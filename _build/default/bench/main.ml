@@ -1,0 +1,184 @@
+(* Benchmark and evaluation harness.
+
+   Running this executable regenerates every table and figure of the
+   paper (printed as text tables, recorded in EXPERIMENTS.md) and then
+   runs one Bechamel micro-benchmark per experiment plus the ablation
+   benchmarks called out in DESIGN.md section 7.
+
+     dune exec bench/main.exe            # full evaluation (several minutes)
+     dune exec bench/main.exe -- --fast  # reduced suite, for development *)
+
+open Bechamel
+module E = Qca_experiments.Experiments
+module Workloads = Qca_workloads.Workloads
+module Circuit = Qca_circuit.Circuit
+module Block = Qca_circuit.Block
+module Gate = Qca_circuit.Gate
+open Qca_adapt
+module Sat = Qca_sat.Solver
+module Lit = Qca_sat.Lit
+module Totalizer = Qca_pseudo_bool.Totalizer
+module Density = Qca_sim.Density
+
+let fmt = Format.std_formatter
+let fast = Array.exists (fun a -> a = "--fast") Sys.argv
+
+(* {1 Experiment regeneration (Table I, Eq. 11, Figs. 5-7)} *)
+
+let run_experiments () =
+  E.print_table1 fmt;
+  E.print_eq11_example fmt;
+  let suite = if fast then Workloads.simulation_suite () else Workloads.evaluation_suite () in
+  let sections =
+    if fast then [ (Hardware.d0, suite) ]
+    else [ (Hardware.d0, suite); (Hardware.d1, suite) ]
+  in
+  let all_rows = ref [] in
+  List.iter
+    (fun (hw, suite) ->
+      Format.fprintf fmt "---- gate characteristics %s ----@." hw.Hardware.name;
+      let rows = E.fig5_fig6 hw suite in
+      all_rows := !all_rows @ rows;
+      E.print_fig5 fmt rows;
+      E.print_fig6 fmt rows)
+    sections;
+  let sim_rows = E.fig7 Hardware.d0 (Workloads.simulation_suite ()) in
+  E.print_fig7 fmt sim_rows;
+  E.print_headline fmt (E.headline_of !all_rows sim_rows);
+  Format.pp_print_flush fmt ()
+
+(* {1 Bechamel micro-benchmarks} *)
+
+let hw = Hardware.d0
+
+let bench_circuit = Workloads.quantum_volume ~seed:77 ~num_qubits:3 ~layers:2
+
+let paper_part = Block.partition bench_circuit
+let paper_subs = Rules.find_all hw paper_part
+
+let php_instance options =
+  (* PHP(6,5): a small but non-trivial UNSAT instance *)
+  let s = Sat.create ~options () in
+  let v = Array.init 6 (fun _ -> Array.init 5 (fun _ -> Sat.new_var s)) in
+  for i = 0 to 5 do
+    Sat.add_clause s (Array.to_list (Array.map Lit.pos v.(i)))
+  done;
+  for j = 0 to 4 do
+    for i1 = 0 to 5 do
+      for i2 = i1 + 1 to 5 do
+        Sat.add_clause s [ Lit.neg_of_var v.(i1).(j); Lit.neg_of_var v.(i2).(j) ]
+      done
+    done
+  done;
+  assert (Sat.solve s = Sat.Unsat)
+
+let totalizer_instance ~max_out =
+  let s = Sat.create () in
+  let terms =
+    List.init 24 (fun i -> (Lit.pos (Sat.new_var s), 37 + (13 * (i mod 5))))
+  in
+  match max_out with
+  | None -> ignore (Totalizer.assume_at_most s terms 500)
+  | Some r -> ignore (Totalizer.assume_at_most_approx ~resolution:r s terms 500)
+
+let noise =
+  {
+    Density.gate_fidelity = Hardware.fidelity hw;
+    duration = Hardware.duration hw;
+    t1 = hw.Hardware.t1;
+    t2 = hw.Hardware.t2;
+  }
+
+let adapted_for_sim = Pipeline.adapt hw (Pipeline.Sat Model.Sat_p) bench_circuit
+
+let stage = Staged.stage
+
+let tests =
+  Test.make_grouped ~name:"qca"
+    [
+      (* E1: Table I *)
+      Test.make ~name:"table1/hardware-lookup"
+        (stage (fun () ->
+             ignore (Hardware.duration hw (Gate.Two (Gate.Cz, 0, 1)));
+             ignore (Hardware.fidelity hw (Gate.Two (Gate.Swap_c, 0, 1)))));
+      (* E5: section IV example — model construction *)
+      Test.make ~name:"eq11/model-build"
+        (stage (fun () -> ignore (Model.build hw paper_part paper_subs)));
+      (* E2 (Fig. 5): fidelity-objective adaptation *)
+      Test.make ~name:"fig5/sat-f-adapt"
+        (stage (fun () ->
+             ignore (Pipeline.adapt hw (Pipeline.Sat Model.Sat_f) bench_circuit)));
+      (* E3 (Fig. 6): idle-time-objective adaptation *)
+      Test.make ~name:"fig6/sat-r-adapt"
+        (stage (fun () ->
+             ignore (Pipeline.adapt hw (Pipeline.Sat Model.Sat_r) bench_circuit)));
+      (* E4 (Fig. 7): noisy density-matrix simulation *)
+      Test.make ~name:"fig7/noisy-sim"
+        (stage (fun () -> ignore (Density.run_noisy noise adapted_for_sim)));
+      (* Ablations: CDCL heuristics (DESIGN.md section 7) *)
+      Test.make ~name:"ablation-sat/default"
+        (stage (fun () -> php_instance Sat.default_options));
+      Test.make ~name:"ablation-sat/no-vsids"
+        (stage (fun () ->
+             php_instance { Sat.default_options with use_vsids = false }));
+      Test.make ~name:"ablation-sat/no-restarts"
+        (stage (fun () ->
+             php_instance { Sat.default_options with use_restarts = false }));
+      Test.make ~name:"ablation-sat/no-deletion"
+        (stage (fun () ->
+             php_instance { Sat.default_options with use_clause_deletion = false }));
+      (* Ablations: exact vs thinned PB encodings *)
+      Test.make ~name:"ablation-encoding/totalizer-exact"
+        (stage (fun () -> totalizer_instance ~max_out:None));
+      Test.make ~name:"ablation-encoding/totalizer-thinned"
+        (stage (fun () -> totalizer_instance ~max_out:(Some 16)));
+      (* Ablations: exact OMT vs the greedy heuristic *)
+      Test.make ~name:"ablation-omt/sat-p"
+        (stage (fun () ->
+             ignore (Pipeline.adapt hw (Pipeline.Sat Model.Sat_p) bench_circuit)));
+      Test.make ~name:"ablation-omt/greedy-p"
+        (stage (fun () ->
+             ignore (Pipeline.adapt hw (Pipeline.Greedy Model.Sat_p) bench_circuit)));
+    ]
+
+let run_benchmarks () =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if fast then 0.2 else 0.5))
+      ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> est
+          | Some _ | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.fprintf fmt "== Bechamel micro-benchmarks (monotonic clock) ==@.";
+  Format.fprintf fmt "%-42s %16s@." "benchmark" "time/run";
+  let pp_time ns =
+    if Float.is_nan ns then "n/a"
+    else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns) -> Format.fprintf fmt "%-42s %16s@." name (pp_time ns))
+    rows;
+  Format.pp_print_flush fmt ()
+
+let () =
+  run_experiments ();
+  run_benchmarks ()

@@ -1,0 +1,89 @@
+(* Command-line circuit adaptation: read a circuit in the textual
+   format (see lib/circuit/parse.mli), adapt it to the spin-qubit
+   hardware with the chosen method, print the adapted circuit and the
+   before/after metrics. *)
+
+open Cmdliner
+module Circuit = Qca_circuit.Circuit
+module Parse = Qca_circuit.Parse
+open Qca_adapt
+
+let method_of_string = function
+  | "direct" -> Ok Pipeline.Direct
+  | "kak-cz" -> Ok Pipeline.Kak_only_cz
+  | "kak-czdb" -> Ok Pipeline.Kak_only_cz_db
+  | "tmp-f" -> Ok Pipeline.Template_f
+  | "tmp-r" -> Ok Pipeline.Template_r
+  | "sat-f" -> Ok (Pipeline.Sat Model.Sat_f)
+  | "sat-r" -> Ok (Pipeline.Sat Model.Sat_r)
+  | "sat-p" -> Ok (Pipeline.Sat Model.Sat_p)
+  | "greedy-p" -> Ok (Pipeline.Greedy Model.Sat_p)
+  | other -> Error (Printf.sprintf "unknown method %S" other)
+
+let hw_of_string = function
+  | "d0" -> Ok Hardware.d0
+  | "d1" -> Ok Hardware.d1
+  | other -> Error (Printf.sprintf "unknown hardware variant %S" other)
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let run method_name hw_name input show_circuit =
+  let ( let* ) = Result.bind in
+  let* method_ = method_of_string method_name in
+  let* hw = hw_of_string hw_name in
+  let* circuit =
+    match Parse.parse (read_input input) with
+    | Ok c -> Ok c
+    | Error msg -> Error ("parse error: " ^ msg)
+  in
+  let adapted, info = Pipeline.adapt_with_info hw method_ circuit in
+  let baseline = Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit) in
+  let s = Metrics.summarize hw adapted in
+  if show_circuit then print_string (Parse.to_text adapted);
+  Format.printf "method       : %s (hardware %s)@."
+    (Pipeline.method_name method_) hw.Hardware.name;
+  Format.printf "adapted      : %a@." Metrics.pp s;
+  Format.printf "vs direct    : fidelity %+.2f%%, idle time %+.2f%%@."
+    (Metrics.fidelity_change_pct ~baseline s)
+    (-.Metrics.idle_decrease_pct ~baseline s);
+  if info.Pipeline.substitutions_considered > 0 then
+    Format.printf "substitutions: %d considered, %d chosen (%d OMT rounds)@."
+      info.Pipeline.substitutions_considered info.Pipeline.substitutions_chosen
+      info.Pipeline.omt_rounds;
+  Ok ()
+
+let method_arg =
+  let doc =
+    "Adaptation method: direct, kak-cz, kak-czdb, tmp-f, tmp-r, sat-f, sat-r, \
+     sat-p, greedy-p."
+  in
+  Arg.(value & opt string "sat-p" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let hw_arg =
+  let doc = "Hardware timing variant (Table I): d0 or d1." in
+  Arg.(value & opt string "d0" & info [ "hw" ] ~docv:"HW" ~doc)
+
+let input_arg =
+  let doc = "Input circuit file in the textual format, or - for stdin." in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+
+let show_arg =
+  let doc = "Print the adapted circuit." in
+  Arg.(value & flag & info [ "c"; "circuit" ] ~doc)
+
+let cmd =
+  let doc = "adapt a quantum circuit to the spin-qubit gate set" in
+  let term =
+    Term.(const run $ method_arg $ hw_arg $ input_arg $ show_arg)
+  in
+  let exit_of = function
+    | Ok () -> 0
+    | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
+  in
+  Cmd.v (Cmd.info "qca-adapt" ~doc) Term.(const exit_of $ term)
+
+let () = exit (Cmd.eval' cmd)

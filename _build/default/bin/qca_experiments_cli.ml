@@ -1,0 +1,60 @@
+(* Regenerate the paper's evaluation artifacts from the command line. *)
+
+open Cmdliner
+module E = Qca_experiments.Experiments
+module Workloads = Qca_workloads.Workloads
+module Hardware = Qca_adapt.Hardware
+
+let fmt = Format.std_formatter
+
+let hw_of_string = function
+  | "d0" -> Ok Hardware.d0
+  | "d1" -> Ok Hardware.d1
+  | other -> Error (Printf.sprintf "unknown hardware variant %S" other)
+
+let suite fast =
+  if fast then Workloads.simulation_suite () else Workloads.evaluation_suite ()
+
+let run what hw_name fast =
+  match hw_of_string hw_name with
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    1
+  | Ok hw ->
+    let figs56 () = E.fig5_fig6 hw (suite fast) in
+    (match what with
+    | "table1" -> E.print_table1 fmt
+    | "eq11" -> E.print_eq11_example fmt
+    | "fig5" -> E.print_fig5 fmt (figs56 ())
+    | "fig6" -> E.print_fig6 fmt (figs56 ())
+    | "fig7" -> E.print_fig7 fmt (E.fig7 hw (Workloads.simulation_suite ()))
+    | "all" | _ ->
+      E.print_table1 fmt;
+      E.print_eq11_example fmt;
+      let rows = figs56 () in
+      E.print_fig5 fmt rows;
+      E.print_fig6 fmt rows;
+      let sim_rows = E.fig7 hw (Workloads.simulation_suite ()) in
+      E.print_fig7 fmt sim_rows;
+      E.print_headline fmt (E.headline_of rows sim_rows));
+    0
+
+let what_arg =
+  let doc = "Artifact: table1, eq11, fig5, fig6, fig7, or all." in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"WHAT" ~doc)
+
+let hw_arg =
+  let doc = "Hardware timing variant: d0 or d1." in
+  Arg.(value & opt string "d0" & info [ "hw" ] ~docv:"HW" ~doc)
+
+let fast_arg =
+  let doc = "Use the smaller simulation suite for fig5/fig6 too." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the evaluation tables and figures" in
+  Cmd.v
+    (Cmd.info "qca-experiments" ~doc)
+    Term.(const run $ what_arg $ hw_arg $ fast_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,66 @@
+(* Stand-alone DIMACS front end for the CDCL solver, with
+   SAT-competition-style output. *)
+
+open Cmdliner
+module Dimacs = Qca_sat.Dimacs
+module Solver = Qca_sat.Solver
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let run input no_vsids no_restarts stats =
+  match Dimacs.parse (read_input input) with
+  | Error msg ->
+    prerr_endline ("c parse error: " ^ msg);
+    1
+  | Ok problem -> (
+    let options =
+      {
+        Solver.default_options with
+        use_vsids = not no_vsids;
+        use_restarts = not no_restarts;
+      }
+    in
+    let solver = Dimacs.load ~options problem in
+    let result = Solver.solve solver in
+    if stats then begin
+      let st = Solver.stats solver in
+      Printf.printf "c conflicts    %d\n" st.Solver.conflicts;
+      Printf.printf "c decisions    %d\n" st.Solver.decisions;
+      Printf.printf "c propagations %d\n" st.Solver.propagations;
+      Printf.printf "c restarts     %d\n" st.Solver.restarts;
+      Printf.printf "c learnt       %d (deleted %d)\n" st.Solver.learnt_clauses
+        st.Solver.deleted_clauses
+    end;
+    match result with
+    | Solver.Unsat ->
+      print_endline "s UNSATISFIABLE";
+      20
+    | Solver.Sat ->
+      print_endline "s SATISFIABLE";
+      let model = Solver.model solver in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "v";
+      Array.iteri
+        (fun v b ->
+          Buffer.add_string buf (Printf.sprintf " %d" (if b then v + 1 else -(v + 1))))
+        model;
+      Buffer.add_string buf " 0";
+      print_endline (Buffer.contents buf);
+      10)
+
+let input_arg =
+  let doc = "DIMACS CNF file, or - for stdin." in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+
+let no_vsids = Arg.(value & flag & info [ "no-vsids" ] ~doc:"Disable VSIDS.")
+let no_restarts = Arg.(value & flag & info [ "no-restarts" ] ~doc:"Disable restarts.")
+let stats = Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print solver statistics.")
+
+let cmd =
+  let doc = "CDCL SAT solver (DIMACS CNF)" in
+  Cmd.v (Cmd.info "qca-sat" ~doc)
+    Term.(const run $ input_arg $ no_vsids $ no_restarts $ stats)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/noise_study.ml: Format Hardware List Metrics Model Pipeline Qca_adapt Qca_circuit Qca_sim Qca_workloads

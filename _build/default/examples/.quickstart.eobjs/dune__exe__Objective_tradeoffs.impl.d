@@ -1,0 +1,1 @@
+examples/objective_tradeoffs.ml: Format Hardware List Metrics Model Pipeline Qca_adapt Qca_circuit Qca_workloads

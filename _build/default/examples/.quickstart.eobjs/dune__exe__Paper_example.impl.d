@@ -1,0 +1,1 @@
+examples/paper_example.ml: Format Qca_experiments

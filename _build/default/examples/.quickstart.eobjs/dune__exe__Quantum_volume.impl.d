@@ -1,0 +1,1 @@
+examples/quantum_volume.ml: Format Hardware List Metrics Pipeline Qca_adapt Qca_circuit Qca_sim Qca_workloads

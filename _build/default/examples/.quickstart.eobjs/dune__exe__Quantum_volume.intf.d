@@ -1,0 +1,1 @@
+examples/quantum_volume.mli:

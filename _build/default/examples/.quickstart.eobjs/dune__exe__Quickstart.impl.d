@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Format Hardware Metrics Model Pipeline Qca_adapt Qca_circuit

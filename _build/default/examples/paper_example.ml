@@ -1,0 +1,7 @@
+(* The worked example of section IV: block partitioning, the Eq. 3 /
+   Eq. 11 duration equations with all four substitution kinds, and the
+   substitutions each objective selects.
+
+   Run with:  dune exec examples/paper_example.exe *)
+
+let () = Qca_experiments.Experiments.print_eq11_example Format.std_formatter

@@ -1,0 +1,46 @@
+(* Adapting quantum-volume circuits (the paper's primary workload):
+   compare every adaptation method on a 3-qubit QV circuit, including
+   the noisy-simulation Hellinger fidelity of Fig. 7.
+
+   Run with:  dune exec examples/quantum_volume.exe *)
+
+module Circuit = Qca_circuit.Circuit
+module Workloads = Qca_workloads.Workloads
+module Density = Qca_sim.Density
+module Hellinger = Qca_sim.Hellinger
+open Qca_adapt
+
+let () =
+  let hw = Hardware.d0 in
+  let circuit = Workloads.quantum_volume ~seed:45 ~num_qubits:3 ~layers:4 in
+  Format.printf "quantum volume circuit: %d qubits, %d gates (%d two-qubit)@.@."
+    (Circuit.num_qubits circuit) (Circuit.length circuit)
+    (Circuit.count_two_qubit circuit);
+  let noise =
+    {
+      Density.gate_fidelity = Hardware.fidelity hw;
+      duration = Hardware.duration hw;
+      t1 = hw.Hardware.t1;
+      t2 = hw.Hardware.t2;
+    }
+  in
+  let ideal = Density.probabilities (Density.run_ideal circuit) in
+  let baseline =
+    Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit)
+  in
+  Format.printf "%-10s %9s %9s %9s %9s %10s@." "method" "dur[ns]" "fid" "idle[ns]"
+    "2q" "hellinger";
+  List.iter
+    (fun m ->
+      let adapted = Pipeline.adapt hw m circuit in
+      assert (Circuit.equivalent circuit adapted);
+      let s = Metrics.summarize hw adapted in
+      let h =
+        Hellinger.fidelity ideal
+          (Density.probabilities (Density.run_noisy noise adapted))
+      in
+      Format.printf "%-10s %9d %9.4f %9d %9d %10.4f@." (Pipeline.method_name m)
+        s.Metrics.duration s.Metrics.fidelity s.Metrics.idle_total
+        s.Metrics.two_qubit_gates h)
+    (Pipeline.Direct :: Pipeline.all_methods);
+  ignore baseline

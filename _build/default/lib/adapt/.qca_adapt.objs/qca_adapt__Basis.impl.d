@@ -1,0 +1,1 @@
+lib/adapt/basis.ml: Float Gates List Qca_circuit Qca_quantum Su2

@@ -1,0 +1,1 @@
+lib/adapt/basis.mli: Qca_circuit

@@ -1,0 +1,1 @@
+lib/adapt/hardware.ml: Format Printf Qca_circuit

@@ -1,0 +1,1 @@
+lib/adapt/hardware.mli: Format Qca_circuit

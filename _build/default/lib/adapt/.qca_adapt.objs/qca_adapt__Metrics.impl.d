@@ -1,0 +1,1 @@
+lib/adapt/metrics.ml: Array Format Hardware Qca_circuit Qca_util

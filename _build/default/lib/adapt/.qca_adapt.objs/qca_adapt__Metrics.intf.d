@@ -1,0 +1,1 @@
+lib/adapt/metrics.mli: Format Hardware Qca_circuit

@@ -1,0 +1,1 @@
+lib/adapt/mirror.ml: Array Fun Gates Kak List Mat Qca_circuit Qca_linalg Qca_quantum

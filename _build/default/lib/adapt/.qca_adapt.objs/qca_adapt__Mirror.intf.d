@@ -1,0 +1,1 @@
+lib/adapt/mirror.mli: Hardware Qca_circuit

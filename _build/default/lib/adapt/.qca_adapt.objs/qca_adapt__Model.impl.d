@@ -1,0 +1,1 @@
+lib/adapt/model.ml: Array Hardware Hashtbl List Lit Qca_circuit Qca_diff_logic Qca_pseudo_bool Qca_sat Qca_smt Rules Solver

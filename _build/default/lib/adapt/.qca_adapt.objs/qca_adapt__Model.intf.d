@@ -1,0 +1,1 @@
+lib/adapt/model.mli: Hardware Qca_circuit Qca_sat Rules Solver

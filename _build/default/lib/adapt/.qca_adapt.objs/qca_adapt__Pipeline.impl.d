@@ -1,0 +1,1 @@
+lib/adapt/pipeline.ml: Array Basis Hashtbl List Model Qca_circuit Rules

@@ -1,0 +1,1 @@
+lib/adapt/pipeline.mli: Hardware Model Qca_circuit Qca_sat Rules Solver

@@ -1,0 +1,1 @@
+lib/adapt/rules.ml: Array Basis Float Hardware List Qca_circuit Qca_util

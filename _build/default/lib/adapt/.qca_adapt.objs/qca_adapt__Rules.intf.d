@@ -1,0 +1,1 @@
+lib/adapt/rules.mli: Hardware Qca_circuit

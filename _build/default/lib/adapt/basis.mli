@@ -1,0 +1,27 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+
+(** Equivalence library and direct basis translation.
+
+    The paper's baseline (section III, "Direct Basis Translation"):
+    every non-native two-qubit gate is rewritten through a fixed
+    equivalence library targeting CZ — [cx → (I⊗H)·cz·(I⊗H)],
+    [swap → 3 cx → 3 cz], etc. — and single-qubit runs merge into one
+    native SU(2) pulse each. Also provides the reverse lowering into
+    the IBM source basis ([rz]/[sx]/[x]/[cx]) used to emit realistic
+    input circuits. *)
+
+val translate_gate : Gate.t -> Gate.t list
+(** Target-basis translation of one gate (native gates pass through). *)
+
+val direct : Circuit.t -> Circuit.t
+(** Whole-circuit direct basis translation followed by single-qubit-run
+    merging: the reference adaptation. *)
+
+val to_ibm : Circuit.t -> Circuit.t
+(** Lowers a circuit to the IBM basis: two-qubit gates become [cx],
+    single-qubit gates become [rz]/[sx] sequences (ZSX Euler
+    decomposition). Opaque [U4] blocks are synthesized over [cx]. *)
+
+val ibm_gate : Gate.t -> bool
+(** Membership in the IBM basis [{rz, sx, x, cx}]. *)

@@ -1,0 +1,31 @@
+module Circuit = Qca_circuit.Circuit
+
+(** Mirror (swap-absorbing) KAK adaptation — an extension beyond the
+    paper.
+
+    For a two-qubit block with unitary [U], the {e mirror} [U·SWAP]
+    sometimes needs fewer entanglers than [U] itself (e.g. a block that
+    is exactly a SWAP becomes free). Synthesizing the cheaper of the two
+    and tracking the resulting wire relabeling through the rest of the
+    circuit trades a real gate for a classical permutation of the
+    measurement outcomes — profitable on swap-heavy circuits.
+
+    The adapted circuit implements [P ∘ U_original] where [P] is the
+    returned output permutation. *)
+
+type result = {
+  circuit : Circuit.t;  (** native-gate circuit *)
+  permutation : int array;
+      (** [permutation.(logical)] = physical output wire carrying that
+          logical qubit at the end *)
+  mirrors_used : int;
+}
+
+val adapt : Hardware.t -> Qca_circuit.Synth.entangler -> Circuit.t -> result
+(** KAK adaptation of every block, choosing per block between plain and
+    mirrored synthesis by entangler count (ties broken toward plain). *)
+
+val undo_permutation : result -> Circuit.t
+(** Appends native composite swaps restoring the identity wire order —
+    used by tests to check unitary equivalence, and by users who cannot
+    relabel measurements. *)

@@ -1,0 +1,379 @@
+module Block = Qca_circuit.Block
+module Circuit = Qca_circuit.Circuit
+open Qca_sat
+module Smt = Qca_smt.Smt
+module Totalizer = Qca_pseudo_bool.Totalizer
+module Dl = Qca_diff_logic.Dl
+
+type objective = Sat_f | Sat_r | Sat_p
+
+let objective_name = function
+  | Sat_f -> "SAT F"
+  | Sat_r -> "SAT R"
+  | Sat_p -> "SAT P"
+
+type t = {
+  hw : Hardware.t;
+  part : Block.t;
+  subs : Rules.t array;
+  smt : Smt.t;
+  choice : Lit.t array;  (* c_s per substitution id *)
+  base_dur : int array;  (* D(b) *)
+  base_fid : int array;  (* log F(b), fixed point *)
+  d_lb : int;  (* admissible lower bound on the makespan *)
+  conflict_pairs : (int * int) list;  (* Eq. 1 pairs, by substitution id *)
+  false_lit : Lit.t;  (* a literal asserted false, for infeasible prunes *)
+  mutable consumed : bool;
+}
+
+(* Longest path over the block dependency graph for given durations;
+   also returns one critical path (block ids). *)
+let critical_path_detail part durations =
+  let n = Array.length part.Block.blocks in
+  let finish = Array.make n 0 in
+  let via = Array.make n (-1) in
+  List.iter
+    (fun b ->
+      let start, pred =
+        List.fold_left
+          (fun (acc, pr) p -> if finish.(p) > acc then (finish.(p), p) else (acc, pr))
+          (0, -1) (Block.predecessors part b)
+      in
+      finish.(b) <- start + durations.(b);
+      via.(b) <- pred)
+    (Block.topological_order part);
+  let sink = ref 0 and best = ref 0 in
+  Array.iteri
+    (fun b f ->
+      if f > !best then begin
+        best := f;
+        sink := b
+      end)
+    finish;
+  let rec walk b acc = if b < 0 then acc else walk via.(b) (b :: acc) in
+  let path = if n = 0 then [] else walk !sink [] in
+  (!best, path)
+
+let critical_path part durations = fst (critical_path_detail part durations)
+
+let subs_of_block subs b =
+  Array.to_list subs |> List.filter (fun s -> s.Rules.block_id = b)
+
+(* The SMT model keeps the Boolean structure (choice variables and the
+   Eq. 1 mutual-exclusion clauses) in the CDCL solver; the scheduling
+   theory (Eq. 2/3) participates through lazily generated critical-path
+   lemmas during optimization — see [optimize] — and through a final
+   difference-logic verification of the returned schedule. *)
+let build ?options hw part subs_list =
+  let smt = Smt.create ?options () in
+  let subs = Array.of_list subs_list in
+  let n_subs = Array.length subs in
+  let choice = Array.init n_subs (fun _ -> Lit.pos (Smt.new_bool smt)) in
+  Array.iter (fun s -> assert (s.Rules.id < n_subs)) subs;
+  (* Eq. 1: overlapping substitutions exclude each other. *)
+  let conflict_pairs = Rules.conflicts subs_list in
+  List.iter
+    (fun (i, j) -> Smt.add_clause smt [ Lit.negate choice.(i); Lit.negate choice.(j) ])
+    conflict_pairs;
+  let n_blocks = Array.length part.Block.blocks in
+  let base_dur =
+    Array.init n_blocks (fun b -> Rules.block_reference_duration hw part b)
+  in
+  let base_fid =
+    Array.init n_blocks (fun b -> Rules.block_reference_log_fid hw part b)
+  in
+  (* Admissible makespan lower bound: all duration-reducing
+     substitutions applied at once (even if mutually exclusive). *)
+  let min_dur =
+    Array.init n_blocks (fun b ->
+        List.fold_left
+          (fun acc s -> acc + min 0 s.Rules.delta_duration)
+          base_dur.(b) (subs_of_block subs b)
+        |> max 0)
+  in
+  let d_lb = critical_path part min_dur in
+  let false_var = Smt.new_bool smt in
+  Smt.add_clause smt [ Lit.neg_of_var false_var ];
+  {
+    hw;
+    part;
+    subs;
+    smt;
+    choice;
+    base_dur;
+    base_fid;
+    d_lb;
+    conflict_pairs;
+    false_lit = Lit.pos false_var;
+    consumed = false;
+  }
+
+let duration_terms t b =
+  ( t.base_dur.(b),
+    subs_of_block t.subs b
+    |> List.map (fun s -> (s.Rules.id, s.Rules.delta_duration)) )
+
+(* Integer objective as   d_weight·D + Σ w_s·c_s + constant   (to be
+   minimized; equivalent to maximizing Eq. 8/9/10, see DESIGN.md).
+   Weight arrays are indexed by substitution id. *)
+type objective_terms = {
+  d_weight : int;
+  weights : int array;
+  constant : int;
+}
+
+let scale = 1_000_000
+
+let objective_terms t obj =
+  let q = Circuit.num_qubits t.part.Block.circuit in
+  let t2 = int_of_float t.hw.Hardware.t2 in
+  let sum_base a = Array.fold_left ( + ) 0 a in
+  let by_id f =
+    let w = Array.make (Array.length t.subs) 0 in
+    Array.iter (fun (s : Rules.t) -> w.(s.Rules.id) <- f s) t.subs;
+    w
+  in
+  match obj with
+  | Sat_f ->
+    {
+      d_weight = 0;
+      weights = by_id (fun s -> -s.Rules.delta_log_fid);
+      constant = -sum_base t.base_fid;
+    }
+  | Sat_r ->
+    {
+      d_weight = q;
+      weights = by_id (fun s -> -s.Rules.delta_duration);
+      constant = -sum_base t.base_dur;
+    }
+  | Sat_p ->
+    {
+      d_weight = scale * q;
+      weights =
+        by_id (fun s ->
+            (-scale * s.Rules.delta_duration) - (t2 * s.Rules.delta_log_fid));
+      constant = (-scale * sum_base t.base_dur) - (t2 * sum_base t.base_fid);
+    }
+
+let durations_for t chosen_mask =
+  Array.mapi
+    (fun b base ->
+      Array.fold_left
+        (fun acc (s : Rules.t) ->
+          if s.Rules.block_id = b && chosen_mask.(s.Rules.id) then
+            acc + s.Rules.delta_duration
+          else acc)
+        base t.subs)
+    t.base_dur
+
+let exact_objective t terms chosen_mask =
+  let d, path = critical_path_detail t.part (durations_for t chosen_mask) in
+  let pb = ref 0 in
+  Array.iteri (fun i w -> if chosen_mask.(i) then pb := !pb + w) terms.weights;
+  ((terms.d_weight * d) + !pb + terms.constant, d, path)
+
+type solution = {
+  chosen : Rules.t list;
+  objective_value : int;
+  makespan : int;
+  rounds : int;
+  theory_conflicts : int;
+  proven_optimal : bool;
+}
+
+(* Verify the chosen schedule with the independent difference-logic
+   solver: start times obeying Eq. 2 with the chosen durations must be
+   consistent together with "every block finishes by [makespan]". *)
+let verify_schedule t chosen_mask makespan =
+  let durations = durations_for t chosen_mask in
+  let n = Array.length t.part.Block.blocks in
+  (* vars: 0 = origin, 1..n = block starts *)
+  let constraints =
+    (* e_b − origin ≥ 0  ⟺  origin − e_b ≤ 0 *)
+    List.concat
+      [
+        List.init n (fun b -> { Dl.x = 0; y = b + 1; k = 0; tag = () });
+        (* e_b + dur_b ≤ makespan ⟺ e_b − origin ≤ makespan − dur_b *)
+        List.init n (fun b ->
+            { Dl.x = b + 1; y = 0; k = makespan - durations.(b); tag = () });
+        (* Eq. 2: e_b ≥ e_b' + dur_b' ⟺ e_b' − e_b ≤ −dur_b' *)
+        List.map
+          (fun (b', b) -> { Dl.x = b' + 1; y = b + 1; k = -durations.(b'); tag = () })
+          t.part.Block.deps;
+      ]
+  in
+  match Dl.check ~num_vars:(n + 1) constraints with
+  | Dl.Consistent _ -> true
+  | Dl.Negative_cycle _ -> false
+
+let default_round_budget = 120
+
+let optimize ?round_budget t obj =
+  if t.consumed then failwith "Model.optimize: model already consumed";
+  t.consumed <- true;
+  (* anytime budget scales inversely with instance size so that deep
+     circuits stay tractable; small instances still close with a proof *)
+  let round_budget =
+    match round_budget with
+    | Some b -> b
+    | None ->
+      max 16 (min default_round_budget (4000 / max 1 (Array.length t.subs)))
+  in
+  let terms = objective_terms t obj in
+  let n = Array.length t.subs in
+  let pb_terms =
+    Array.to_list (Array.mapi (fun i w -> (t.choice.(i), w)) terms.weights)
+    |> List.filter (fun (_, w) -> w <> 0)
+  in
+  let sat = Smt.solver t.smt in
+  (* One totalizer serves every pruning bound of the optimization: the
+     bound only shrinks as the incumbent improves, so it is built once
+     at the warm-start budget and queried per round. *)
+  let prune_selector = ref None in
+  let prune best =
+    let budget = best - 1 - terms.constant - (terms.d_weight * t.d_lb) in
+    if pb_terms = [] then if budget < 0 then [ t.false_lit ] else []
+    else begin
+      let selector =
+        match !prune_selector with
+        | Some sel -> sel
+        | None ->
+          let sel =
+            Totalizer.at_most_selector ~resolution:256 sat pb_terms ~max:budget
+          in
+          prune_selector := Some sel;
+          sel
+      in
+      match Totalizer.select selector budget with
+      | None -> []
+      | Some None -> [ t.false_lit ]
+      | Some (Some a) -> [ a ]
+    end
+  in
+  (* Lazy scheduling lemma: for the critical path P of the incumbent's
+     schedule, every assignment satisfies
+       obj ≥ d_weight·Σ_{b∈P} d_b(c) + Σ w_s·c_s + constant,
+     which is linear in c — add it as a hard cut against the incumbent. *)
+  let seen_cuts : (int list, unit) Hashtbl.t = Hashtbl.create 32 in
+  let max_cuts = 8 in
+  let add_path_cut best path =
+    if
+      terms.d_weight > 0
+      && Hashtbl.length seen_cuts < max_cuts
+      && not (Hashtbl.mem seen_cuts path)
+    then begin
+      Hashtbl.replace seen_cuts path ();
+      let on_path = Array.make (Array.length t.part.Block.blocks) false in
+      List.iter (fun b -> on_path.(b) <- true) path;
+      let cut_terms =
+        Array.to_list t.subs
+        |> List.filter_map (fun (s : Rules.t) ->
+               let w =
+                 terms.weights.(s.Rules.id)
+                 + if on_path.(s.Rules.block_id) then
+                     terms.d_weight * s.Rules.delta_duration
+                   else 0
+               in
+               if w = 0 then None else Some (t.choice.(s.Rules.id), w))
+      in
+      let path_base =
+        List.fold_left (fun acc b -> acc + t.base_dur.(b)) 0 path
+      in
+      let bound = best - 1 - terms.constant - (terms.d_weight * path_base) in
+      Totalizer.enforce_at_most ~resolution:48 sat cut_terms bound
+    end
+  in
+  (* Greedy warm start: a good incumbent keeps the first pruning
+     encoding small and tight. *)
+  let warm_start () =
+    let mask = Array.make n false in
+    let compatible s =
+      not
+        (List.exists
+           (fun (i, j) -> (i = s && mask.(j)) || (j = s && mask.(i)))
+           t.conflict_pairs)
+    in
+    let obj mask =
+      let v, _, _ = exact_objective t terms mask in
+      v
+    in
+    let current = ref (obj mask) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let best_s = ref (-1) and best_v = ref !current in
+      for s = 0 to n - 1 do
+        if (not mask.(s)) && compatible s then begin
+          mask.(s) <- true;
+          let v = obj mask in
+          mask.(s) <- false;
+          if v < !best_v then begin
+            best_v := v;
+            best_s := s
+          end
+        end
+      done;
+      if !best_s >= 0 then begin
+        mask.(!best_s) <- true;
+        current := !best_v;
+        improved := true
+      end
+    done;
+    let v, d, _ = exact_objective t terms mask in
+    ignore v;
+    (!current, mask, d)
+  in
+  let rounds = ref 0 and cuts = ref 0 in
+  let proven = ref true in
+  let rec improve best =
+    incr rounds;
+    if !rounds > round_budget then begin
+      (* anytime behaviour: keep the incumbent, flag non-proven *)
+      proven := false;
+      best
+    end
+    else begin
+    let assumptions = match best with None -> [] | Some (b, _, _) -> prune b in
+    match Solver.solve ~assumptions sat with
+    | Solver.Unsat -> best
+    | Solver.Sat ->
+      let mask = Array.init n (fun i -> Solver.lit_value sat t.choice.(i)) in
+      let v, d, path = exact_objective t terms mask in
+      let best' =
+        match best with
+        | Some (b, _, _) when b <= v -> best
+        | Some _ | None -> Some (v, mask, d)
+      in
+      (match best' with
+      | Some (b, _, _) ->
+        incr cuts;
+        add_path_cut b path
+      | None -> ());
+      (* block this exact choice *)
+      Solver.add_clause sat
+        (Array.to_list
+           (Array.mapi
+              (fun i c -> if mask.(i) then Lit.negate c else c)
+              t.choice));
+      improve best'
+    end
+  in
+  match improve (Some (warm_start ())) with
+  | None -> failwith "Model.optimize: model unsatisfiable (bug)"
+  | Some (v, mask, d) ->
+    assert (verify_schedule t mask d);
+    {
+      chosen = Array.to_list t.subs |> List.filter (fun s -> mask.(s.Rules.id));
+      objective_value = v;
+      makespan = d;
+      rounds = !rounds;
+      theory_conflicts = !cuts;
+      proven_optimal = !proven;
+    }
+
+let evaluate_choice t obj chosen =
+  let terms = objective_terms t obj in
+  let mask = Array.make (Array.length t.subs) false in
+  List.iter (fun s -> mask.(s.Rules.id) <- true) chosen;
+  let v, _, _ = exact_objective t terms mask in
+  v

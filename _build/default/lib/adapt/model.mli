@@ -1,0 +1,55 @@
+module Block = Qca_circuit.Block
+open Qca_sat
+
+(** The SMT model of section IV-C.
+
+    Variables: a Boolean [c_s] per substitution (set C), a start-time
+    integer [e_b] per block (set E), derived finish times realizing the
+    block durations of Eq. 3 as conditional difference-logic chains, and
+    the total circuit duration [D]. Constraints: mutual exclusion of
+    overlapping substitutions (Eq. 1), block dependencies (Eq. 2), and
+    duration/fidelity accumulation (Eq. 3–6, log-fidelities in 1e6·ln
+    fixed point). Objectives (Eq. 8–10) are optimized exactly by the
+    branch-and-bound OMT driver of {!Qca_smt.Smt.minimize} with
+    admissible pseudo-Boolean and makespan pruning. *)
+
+type objective =
+  | Sat_f  (** fidelity objective, Eq. 8 *)
+  | Sat_r  (** qubit-idle-time objective, Eq. 9 *)
+  | Sat_p  (** combined objective, Eq. 10 *)
+
+val objective_name : objective -> string
+
+type t
+(** A built model. One-shot: each {!optimize} call consumes it. *)
+
+val build :
+  ?options:Solver.options -> Hardware.t -> Block.t -> Rules.t list -> t
+
+val duration_terms : t -> int -> int * (int * int) list
+(** [duration_terms t b] is [(D(b), [(sub id, 𝔻(s)); ...])] — the Eq. 3
+    right-hand side of block [b] (used by the paper-example test that
+    reproduces Eq. 11). *)
+
+type solution = {
+  chosen : Rules.t list;  (** substitutions with [c_s = true] *)
+  objective_value : int;  (** minimized integer objective *)
+  makespan : int;  (** optimal circuit duration for the chosen set *)
+  rounds : int;  (** OMT improvement rounds *)
+  theory_conflicts : int;  (** lazily generated scheduling lemmas *)
+  proven_optimal : bool;
+      (** true when the search closed with an UNSAT certificate; false
+          when the anytime round budget stopped it at the incumbent *)
+}
+
+val optimize : ?round_budget:int -> t -> objective -> solution
+(** Optimizes the objective: greedy warm start, then branch-and-bound
+    over the CDCL solver with admissible pseudo-Boolean pruning and
+    lazily generated critical-path lemmas. Solves to proven optimality
+    unless the round budget (default 120) runs out first, in which case
+    the incumbent is returned with [proven_optimal = false]. Raises
+    [Failure] if the model was already consumed. *)
+
+val evaluate_choice : t -> objective -> Rules.t list -> int
+(** Exact integer objective of an arbitrary conflict-free choice of
+    substitutions (used by tests and the greedy heuristic). *)

@@ -1,0 +1,192 @@
+module Circuit = Qca_circuit.Circuit
+module Block = Qca_circuit.Block
+module Gate = Qca_circuit.Gate
+module Synth = Qca_circuit.Synth
+
+type method_ =
+  | Direct
+  | Kak_only_cz
+  | Kak_only_cz_db
+  | Template_f
+  | Template_r
+  | Sat of Model.objective
+  | Greedy of Model.objective
+
+let method_name = function
+  | Direct -> "DIRECT"
+  | Kak_only_cz -> "KAK CZ"
+  | Kak_only_cz_db -> "KAK CZdb"
+  | Template_f -> "TMP F"
+  | Template_r -> "TMP R"
+  | Sat Model.Sat_f -> "SAT F"
+  | Sat Model.Sat_r -> "SAT R"
+  | Sat Model.Sat_p -> "SAT P"
+  | Greedy Model.Sat_f -> "GREEDY F"
+  | Greedy Model.Sat_r -> "GREEDY R"
+  | Greedy Model.Sat_p -> "GREEDY P"
+
+let all_methods =
+  [
+    Kak_only_cz;
+    Kak_only_cz_db;
+    Template_f;
+    Template_r;
+    Sat Model.Sat_f;
+    Sat Model.Sat_r;
+    Sat Model.Sat_p;
+  ]
+
+type info = {
+  substitutions_considered : int;
+  substitutions_chosen : int;
+  omt_rounds : int;
+  theory_conflicts : int;
+}
+
+let no_info = { substitutions_considered = 0; substitutions_chosen = 0; omt_rounds = 0; theory_conflicts = 0 }
+
+(* Splice a conflict-free choice of substitutions into the circuit:
+   blocks are emitted in dependency order; within a block, a gate opens
+   its substitution's replacement if it is the first substituted gate,
+   is skipped if covered by one, and is basis-translated otherwise. *)
+let apply_substitutions part chosen =
+  let gates = Circuit.gates part.Block.circuit in
+  let first_of = Hashtbl.create 16 and covered = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Rules.t) ->
+      match s.Rules.substituted with
+      | [] -> ()
+      | first :: rest ->
+        Hashtbl.replace first_of first s;
+        List.iter (fun i -> Hashtbl.replace covered i ()) rest)
+    chosen;
+  let out = ref [] in
+  let emit g = out := g :: !out in
+  List.iter
+    (fun bid ->
+      let blk = part.Block.blocks.(bid) in
+      List.iter
+        (fun i ->
+          match Hashtbl.find_opt first_of i with
+          | Some s -> List.iter emit s.Rules.replacement
+          | None ->
+            if not (Hashtbl.mem covered i) then
+              List.iter emit (Basis.translate_gate gates.(i)))
+        blk.Block.gate_ids)
+    (Block.topological_order part);
+  Circuit.merge_single_qubit_runs
+    (Circuit.of_gates (Circuit.num_qubits part.Block.circuit) (List.rev !out))
+
+let kak_only ent part =
+  let out = ref [] in
+  List.iter
+    (fun bid ->
+      let blk = part.Block.blocks.(bid) in
+      match blk.Block.wires with
+      | Block.Solo _ ->
+        let gates = Circuit.gates part.Block.circuit in
+        List.iter
+          (fun i -> List.iter (fun g -> out := g :: !out) (Basis.translate_gate gates.(i)))
+          blk.Block.gate_ids
+      | Block.Pair (a, b) ->
+        let u = Block.block_unitary part blk in
+        List.iter
+          (fun g -> out := g :: !out)
+          (Synth.two_qubit_on ent u ~a ~b))
+    (Block.topological_order part);
+  Circuit.merge_single_qubit_runs
+    (Circuit.of_gates (Circuit.num_qubits part.Block.circuit) (List.rev !out))
+
+(* Greedy local template optimization: scan matches in circuit order and
+   accept any compatible match that improves the local cost. *)
+let template_choose metric subs =
+  let compatible chosen s =
+    not
+      (List.exists
+         (fun (s' : Rules.t) ->
+           List.exists (fun i -> List.mem i s'.Rules.substituted) s.Rules.substituted)
+         chosen)
+  in
+  List.fold_left
+    (fun chosen (s : Rules.t) ->
+      match s.Rules.kind with
+      | Rules.Kak_cz | Rules.Kak_cz_db -> chosen
+      | Rules.Cond_rot | Rules.Swap_native_d | Rules.Swap_native_c ->
+        if metric s && compatible chosen s then s :: chosen else chosen)
+    [] subs
+  |> List.rev
+
+(* The future-work heuristic: repeatedly add the substitution (from the
+   full space, KAK included) that improves the exact global objective
+   the most. *)
+let greedy_choose model obj subs =
+  let compatible chosen s =
+    not
+      (List.exists
+         (fun (s' : Rules.t) ->
+           List.exists (fun i -> List.mem i s'.Rules.substituted) s.Rules.substituted)
+         chosen)
+  in
+  let rec refine chosen current =
+    let candidates =
+      List.filter (fun s -> compatible chosen s) subs
+      |> List.map (fun s -> (s, Model.evaluate_choice model obj (s :: chosen)))
+      |> List.filter (fun (_, v) -> v < current)
+    in
+    match candidates with
+    | [] -> chosen
+    | _ ->
+      let s, v =
+        List.fold_left
+          (fun (bs, bv) (s, v) -> if v < bv then (s, v) else (bs, bv))
+          (List.hd candidates)
+          (List.tl candidates)
+      in
+      refine (s :: chosen) v
+  in
+  refine [] (Model.evaluate_choice model obj [])
+
+let adapt_with_info ?options hw method_ circuit =
+  let part = Block.partition circuit in
+  match method_ with
+  | Direct -> (Basis.direct circuit, no_info)
+  | Kak_only_cz -> (kak_only Synth.Use_cz part, no_info)
+  | Kak_only_cz_db -> (kak_only Synth.Use_cz_db part, no_info)
+  | Template_f | Template_r ->
+    let subs = Rules.find_all hw part in
+    let metric (s : Rules.t) =
+      match method_ with
+      | Template_f -> s.Rules.delta_log_fid > 0
+      | Template_r -> s.Rules.delta_duration < 0
+      | Direct | Kak_only_cz | Kak_only_cz_db | Sat _ | Greedy _ -> assert false
+    in
+    let chosen = template_choose metric subs in
+    ( apply_substitutions part chosen,
+      {
+        no_info with
+        substitutions_considered = List.length subs;
+        substitutions_chosen = List.length chosen;
+      } )
+  | Sat obj ->
+    let subs = Rules.find_all hw part in
+    let model = Model.build ?options hw part subs in
+    let sol = Model.optimize model obj in
+    ( apply_substitutions part sol.Model.chosen,
+      {
+        substitutions_considered = List.length subs;
+        substitutions_chosen = List.length sol.Model.chosen;
+        omt_rounds = sol.Model.rounds;
+        theory_conflicts = sol.Model.theory_conflicts;
+      } )
+  | Greedy obj ->
+    let subs = Rules.find_all hw part in
+    let model = Model.build ?options hw part subs in
+    let chosen = greedy_choose model obj subs in
+    ( apply_substitutions part chosen,
+      {
+        no_info with
+        substitutions_considered = List.length subs;
+        substitutions_chosen = List.length chosen;
+      } )
+
+let adapt ?options hw method_ circuit = fst (adapt_with_info ?options hw method_ circuit)

@@ -1,0 +1,58 @@
+module Circuit = Qca_circuit.Circuit
+open Qca_sat
+
+(** End-to-end quantum circuit adaptation.
+
+    Takes an IBM-basis input circuit and produces a circuit over the
+    spin-qubit native gate set using one of the studied methods:
+
+    - {!Direct}: direct basis translation (the paper's comparison
+      baseline);
+    - {!Kak_only_cz} / {!Kak_only_cz_db}: KAK decomposition of every
+      two-qubit block over (diabatic) CZ;
+    - {!Template_f} / {!Template_r}: greedy local template optimization
+      targeting fidelity / duration (section III);
+    - {!Sat}: the SMT model with objective SAT F / SAT R / SAT P
+      (section IV);
+    - {!Greedy}: the future-work heuristic — globally evaluated greedy
+      selection over the same substitution space as {!Sat}. *)
+
+type method_ =
+  | Direct
+  | Kak_only_cz
+  | Kak_only_cz_db
+  | Template_f
+  | Template_r
+  | Sat of Model.objective
+  | Greedy of Model.objective
+
+val method_name : method_ -> string
+
+val all_methods : method_ list
+(** The seven methods evaluated in the paper's figures, in plot order
+    (excluding {!Greedy}). *)
+
+type info = {
+  substitutions_considered : int;
+  substitutions_chosen : int;
+  omt_rounds : int;  (** 0 for non-SAT methods *)
+  theory_conflicts : int;
+}
+
+val adapt : ?options:Solver.options -> Hardware.t -> method_ -> Circuit.t -> Circuit.t
+(** Adapts the circuit; the result contains only native gates and is
+    unitary-equivalent to the input (up to global phase). *)
+
+val adapt_with_info :
+  ?options:Solver.options ->
+  Hardware.t ->
+  method_ ->
+  Circuit.t ->
+  Circuit.t * info
+
+val apply_substitutions :
+  Qca_circuit.Block.t -> Rules.t list -> Circuit.t
+(** Materializes a conflict-free substitution choice: chosen
+    replacements are spliced in, all remaining gates go through direct
+    basis translation, blocks are emitted in dependency order, and
+    single-qubit runs are merged. *)

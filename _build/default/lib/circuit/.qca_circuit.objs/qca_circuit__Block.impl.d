@@ -1,0 +1,1 @@
+lib/circuit/block.ml: Array Circuit Format Gate Hashtbl List Printf Qca_util Queue String

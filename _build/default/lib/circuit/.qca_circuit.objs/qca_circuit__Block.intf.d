@@ -1,0 +1,1 @@
+lib/circuit/block.mli: Circuit Format Qca_linalg

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Cx Format Gate List Mat Printf Qca_linalg Qca_quantum

@@ -1,0 +1,1 @@
+lib/circuit/draw.ml: Array Buffer Circuit Format Gate List Printf String

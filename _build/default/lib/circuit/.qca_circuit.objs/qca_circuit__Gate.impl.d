@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Format Gates Mat Printf Qca_linalg Qca_quantum

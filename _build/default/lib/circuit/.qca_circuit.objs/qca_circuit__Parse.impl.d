@@ -1,0 +1,1 @@
+lib/circuit/parse.ml: Array Buffer Circuit Float Fun Gate List Option Printf Qca_quantum String

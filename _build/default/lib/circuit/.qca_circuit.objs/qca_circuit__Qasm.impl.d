@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Array Buffer Circuit Float Fun Gate List Printf Qca_quantum Str String

@@ -1,0 +1,1 @@
+lib/circuit/schedule.ml: Array Circuit Gate List

@@ -1,0 +1,1 @@
+lib/circuit/synth.ml: Array Circuit Cx Float Gate Kak List Mat Printf Qca_linalg Qca_quantum Stdlib Su2

@@ -1,0 +1,1 @@
+lib/circuit/synth.mli: Gate Mat Qca_linalg

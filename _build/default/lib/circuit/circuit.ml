@@ -1,0 +1,134 @@
+open Qca_linalg
+
+type t = { num_qubits : int; rev_gates : Gate.t list; len : int }
+
+let create n =
+  if n < 1 then invalid_arg "Circuit.create: need at least one qubit";
+  { num_qubits = n; rev_gates = []; len = 0 }
+
+let num_qubits c = c.num_qubits
+let gates c = Array.of_list (List.rev c.rev_gates)
+let length c = c.len
+let is_empty c = c.len = 0
+
+let check_wire c q =
+  if q < 0 || q >= c.num_qubits then
+    invalid_arg (Printf.sprintf "Circuit: wire %d out of range [0,%d)" q c.num_qubits)
+
+let add c g =
+  (match g with
+  | Gate.Single (_, q) -> check_wire c q
+  | Gate.Two (_, a, b) ->
+    check_wire c a;
+    check_wire c b;
+    if a = b then invalid_arg "Circuit.add: two-qubit gate on a single wire");
+  { c with rev_gates = g :: c.rev_gates; len = c.len + 1 }
+
+let add_list c gs = List.fold_left add c gs
+let of_gates n gs = add_list (create n) gs
+
+let append c1 c2 =
+  if c1.num_qubits <> c2.num_qubits then invalid_arg "Circuit.append: width mismatch";
+  { c1 with rev_gates = c2.rev_gates @ c1.rev_gates; len = c1.len + c2.len }
+
+let single c g q = add c (Gate.Single (g, q))
+let two c g a b = add c (Gate.Two (g, a, b))
+
+let max_unitary_qubits = 10
+
+(* Lift a gate matrix on [wires] (most significant first) to n qubits.
+   Entry (i, j) of the result is m(sub i, sub j) when i and j agree on
+   all other bits, where [sub] extracts the wire bits. *)
+let embed m wires n =
+  let k = List.length wires in
+  if Mat.rows m <> 1 lsl k then invalid_arg "Circuit.embed: dimension mismatch";
+  let wires = Array.of_list wires in
+  let dim = 1 lsl n in
+  let bit_of i q = (i lsr (n - 1 - q)) land 1 in
+  let sub i =
+    Array.fold_left (fun acc q -> (acc lsl 1) lor bit_of i q) 0 wires
+  in
+  let in_wires = Array.init n (fun q -> Array.exists (fun w -> w = q) wires) in
+  let rest i =
+    (* bits outside the wires, packed *)
+    let acc = ref 0 in
+    for q = 0 to n - 1 do
+      if not in_wires.(q) then acc := (!acc lsl 1) lor bit_of i q
+    done;
+    !acc
+  in
+  Mat.init dim dim (fun i j ->
+      if rest i = rest j then Mat.get m (sub i) (sub j) else Cx.zero)
+
+let unitary c =
+  if c.num_qubits > max_unitary_qubits then
+    invalid_arg "Circuit.unitary: too many qubits";
+  let n = c.num_qubits in
+  let acc = ref (Mat.identity (1 lsl n)) in
+  let apply g =
+    let m, wires =
+      match g with
+      | Gate.Single (s, q) -> (Gate.single_matrix s, [ q ])
+      | Gate.Two (t, a, b) -> (Gate.two_matrix t, [ a; b ])
+    in
+    acc := Mat.mul (embed m wires n) !acc
+  in
+  List.iter apply (List.rev c.rev_gates);
+  !acc
+
+let equivalent ?(up_to_phase = true) c1 c2 =
+  let u1 = unitary c1 and u2 = unitary c2 in
+  if up_to_phase then Mat.equal_up_to_global_phase ~tol:1e-7 u1 u2
+  else Mat.approx_equal ~tol:1e-7 u1 u2
+
+let count_two_qubit c =
+  List.length (List.filter Gate.is_two_qubit (List.rev c.rev_gates))
+
+let count_single_qubit c = c.len - count_two_qubit c
+
+let merge_single_qubit_runs c =
+  let n = c.num_qubits in
+  (* pending.(q) holds the accumulated 2x2 unitary of the current run. *)
+  let pending = Array.make n None in
+  let out = ref [] in
+  let flush q =
+    match pending.(q) with
+    | None -> ()
+    | Some m ->
+      pending.(q) <- None;
+      if not (Qca_quantum.Su2.is_identity ~tol:1e-9 m) then
+        out := Gate.Single (Su2 m, q) :: !out
+  in
+  let handle = function
+    | Gate.Single (s, q) ->
+      let m = Gate.single_matrix s in
+      let acc = match pending.(q) with None -> m | Some prev -> Mat.mul m prev in
+      pending.(q) <- Some acc
+    | Gate.Two (_, a, b) as g ->
+      flush a;
+      flush b;
+      out := g :: !out
+  in
+  List.iter handle (List.rev c.rev_gates);
+  for q = 0 to n - 1 do
+    flush q
+  done;
+  { num_qubits = n; rev_gates = !out; len = List.length !out }
+
+let map_gates f c =
+  let out =
+    List.concat_map f (List.rev c.rev_gates)
+  in
+  of_gates c.num_qubits out
+
+let inverse c =
+  { c with rev_gates = List.rev_map Gate.inverse c.rev_gates }
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>circuit (%d qubits, %d gates):" c.num_qubits c.len;
+  List.iter
+    (fun g -> Format.fprintf fmt "@,  %a" Gate.pp g)
+    (List.rev c.rev_gates);
+  Format.fprintf fmt "@]"
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,121 @@
+let moments c =
+  let n = Circuit.num_qubits c in
+  let free_at = Array.make n 0 in
+  let columns : Gate.t list ref list ref = ref [] in
+  let column_count = ref 0 in
+  let get_column i =
+    while !column_count <= i do
+      columns := ref [] :: !columns;
+      incr column_count
+    done;
+    List.nth (List.rev !columns) i
+  in
+  Array.iter
+    (fun g ->
+      let wires = Gate.qubits g in
+      let col = List.fold_left (fun acc q -> max acc free_at.(q)) 0 wires in
+      let cell = get_column col in
+      cell := g :: !cell;
+      List.iter (fun q -> free_at.(q) <- col + 1) wires)
+    (Circuit.gates c);
+  List.rev !columns |> List.map (fun cell -> List.rev !cell)
+
+let short_angle a =
+  let s = Printf.sprintf "%.2f" a in
+  if String.length s > 5 then Printf.sprintf "%.1f" a else s
+
+let single_label = function
+  | Gate.H -> "H"
+  | Gate.X -> "X"
+  | Gate.Y -> "Y"
+  | Gate.Z -> "Z"
+  | Gate.S -> "S"
+  | Gate.Sdg -> "S'"
+  | Gate.T -> "T"
+  | Gate.Tdg -> "T'"
+  | Gate.Sx -> "SX"
+  | Gate.Rx a -> "RX(" ^ short_angle a ^ ")"
+  | Gate.Ry a -> "RY(" ^ short_angle a ^ ")"
+  | Gate.Rz a -> "RZ(" ^ short_angle a ^ ")"
+  | Gate.U3 _ -> "U3"
+  | Gate.Su2 _ -> "U"
+
+(* labels for the (first wire, second wire) of a two-qubit gate *)
+let two_labels = function
+  | Gate.Cx -> ("o", "X")
+  | Gate.Cz -> ("o", "Z")
+  | Gate.Cz_db -> ("o", "Zd")
+  | Gate.Swap -> ("x", "x")
+  | Gate.Swap_d -> ("xd", "xd")
+  | Gate.Swap_c -> ("xc", "xc")
+  | Gate.Iswap -> ("ix", "ix")
+  | Gate.Crx a -> ("o", "RX(" ^ short_angle a ^ ")")
+  | Gate.Cry a -> ("o", "RY(" ^ short_angle a ^ ")")
+  | Gate.Crz a -> ("o", "RZ(" ^ short_angle a ^ ")")
+  | Gate.Cphase a -> ("o", "P(" ^ short_angle a ^ ")")
+  | Gate.U4 _ -> ("U4", "U4")
+
+let render c =
+  let n = Circuit.num_qubits c in
+  let cols = moments c in
+  (* layout: for each column, a cell label per qubit plus a connector
+     bitmap for the wire gaps (n-1 gaps between adjacent rows) *)
+  let render_column gates =
+    let labels = Array.make n "" in
+    let connect = Array.make (max 0 (n - 1)) false in
+    List.iter
+      (fun g ->
+        match g with
+        | Gate.Single (s, q) -> labels.(q) <- "[" ^ single_label s ^ "]"
+        | Gate.Two (t, a, b) ->
+          let la, lb = two_labels t in
+          labels.(a) <- (if String.length la = 1 then la else "[" ^ la ^ "]");
+          labels.(b) <- (if String.length lb = 1 then lb else "[" ^ lb ^ "]");
+          for gap = min a b to max a b - 1 do
+            connect.(gap) <- true
+          done;
+          (* mark crossings on intermediate wires *)
+          for q = min a b + 1 to max a b - 1 do
+            if labels.(q) = "" then labels.(q) <- "|"
+          done)
+      gates;
+    let width = Array.fold_left (fun acc l -> max acc (String.length l)) 1 labels in
+    (labels, connect, width + 2)
+  in
+  let rendered = List.map render_column cols in
+  let prefix q = Printf.sprintf "q%-2d: " q in
+  let buf = Buffer.create 1024 in
+  for q = 0 to n - 1 do
+    (* wire row *)
+    Buffer.add_string buf (prefix q);
+    List.iter
+      (fun (labels, _, width) ->
+        let l = labels.(q) in
+        let pad = width - String.length l in
+        let left = pad / 2 and right = pad - (pad / 2) in
+        Buffer.add_string buf (String.make left '-');
+        Buffer.add_string buf (if l = "" then String.make (String.length l) '-' else l);
+        Buffer.add_string buf (String.make right '-'))
+      rendered;
+    Buffer.add_char buf '\n';
+    (* connector row *)
+    if q < n - 1 then begin
+      let has_any =
+        List.exists (fun (_, connect, _) -> connect.(q)) rendered
+      in
+      if has_any then begin
+        Buffer.add_string buf (String.make (String.length (prefix q)) ' ');
+        List.iter
+          (fun (_, connect, width) ->
+            let mid = width / 2 in
+            for i = 0 to width - 1 do
+              Buffer.add_char buf (if connect.(q) && i = mid then '|' else ' ')
+            done)
+          rendered;
+        Buffer.add_char buf '\n'
+      end
+    end
+  done;
+  Buffer.contents buf
+
+let pp fmt c = Format.pp_print_string fmt (render c)

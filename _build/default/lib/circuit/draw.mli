@@ -1,0 +1,22 @@
+(** ASCII rendering of circuits.
+
+    Gates are packed into moments (a gate enters the first column where
+    all of its wires are free), then drawn on horizontal wire lines with
+    vertical connectors for two-qubit gates:
+
+    {v
+    q0: -[H]--o--------
+              |
+    q1: -----[X]--[T]--
+    v}
+
+    Controlled gates draw [o] on the control; symmetric gates ([cz],
+    swaps, [iswap]) draw their symbol on both wires. *)
+
+val moments : Circuit.t -> Gate.t list list
+(** Greedy moment packing (unit-duration layering). *)
+
+val render : Circuit.t -> string
+(** Multi-line drawing, one row per qubit plus connector rows. *)
+
+val pp : Format.formatter -> Circuit.t -> unit

@@ -1,0 +1,147 @@
+open Qca_linalg
+open Qca_quantum
+
+type single =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Sx
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U3 of float * float * float
+  | Su2 of Mat.t
+
+type two =
+  | Cx
+  | Cz
+  | Cz_db
+  | Swap
+  | Swap_d
+  | Swap_c
+  | Iswap
+  | Crx of float
+  | Cry of float
+  | Crz of float
+  | Cphase of float
+  | U4 of Mat.t
+
+type t = Single of single * int | Two of two * int * int
+
+let single_matrix = function
+  | H -> Gates.h
+  | X -> Gates.x
+  | Y -> Gates.y
+  | Z -> Gates.z
+  | S -> Gates.s
+  | Sdg -> Gates.sdg
+  | T -> Gates.t
+  | Tdg -> Gates.tdg
+  | Sx -> Gates.sx
+  | Rx theta -> Gates.rx theta
+  | Ry theta -> Gates.ry theta
+  | Rz theta -> Gates.rz theta
+  | U3 (theta, phi, lambda) -> Gates.u3 theta phi lambda
+  | Su2 m -> m
+
+let two_matrix = function
+  | Cx -> Gates.cx
+  | Cz | Cz_db -> Gates.cz
+  | Swap | Swap_d | Swap_c -> Gates.swap
+  | Iswap -> Gates.iswap
+  | Crx theta -> Gates.crx theta
+  | Cry theta -> Gates.cry theta
+  | Crz theta -> Gates.crz theta
+  | Cphase theta -> Gates.cphase theta
+  | U4 m -> m
+
+let qubits = function
+  | Single (_, q) -> [ q ]
+  | Two (_, a, b) -> [ a; b ]
+
+let is_two_qubit = function Single _ -> false | Two _ -> true
+
+let single_name = function
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Sx -> "sx"
+  | Rx theta -> Printf.sprintf "rx(%.4f)" theta
+  | Ry theta -> Printf.sprintf "ry(%.4f)" theta
+  | Rz theta -> Printf.sprintf "rz(%.4f)" theta
+  | U3 (t, p, l) -> Printf.sprintf "u3(%.4f,%.4f,%.4f)" t p l
+  | Su2 _ -> "su2"
+
+let two_name = function
+  | Cx -> "cx"
+  | Cz -> "cz"
+  | Cz_db -> "cz_db"
+  | Swap -> "swap"
+  | Swap_d -> "swap_d"
+  | Swap_c -> "swap_c"
+  | Iswap -> "iswap"
+  | Crx theta -> Printf.sprintf "crx(%.4f)" theta
+  | Cry theta -> Printf.sprintf "cry(%.4f)" theta
+  | Crz theta -> Printf.sprintf "crz(%.4f)" theta
+  | Cphase theta -> Printf.sprintf "cp(%.4f)" theta
+  | U4 _ -> "u4"
+
+let pp fmt = function
+  | Single (g, q) -> Format.fprintf fmt "%s q%d" (single_name g) q
+  | Two (g, a, b) -> Format.fprintf fmt "%s q%d, q%d" (two_name g) a b
+
+let to_string g = Format.asprintf "%a" pp g
+
+let equal_structure g1 g2 =
+  match (g1, g2) with
+  | Single (Su2 m1, q1), Single (Su2 m2, q2) ->
+    q1 = q2 && Mat.approx_equal ~tol:1e-9 m1 m2
+  | Two (U4 m1, a1, b1), Two (U4 m2, a2, b2) ->
+    a1 = a2 && b1 = b2 && Mat.approx_equal ~tol:1e-9 m1 m2
+  | Single (s1, q1), Single (s2, q2) -> q1 = q2 && s1 = s2
+  | Two (t1, a1, b1), Two (t2, a2, b2) -> a1 = a2 && b1 = b2 && t1 = t2
+  | Single _, Two _ | Two _, Single _ -> false
+
+let inverse_single = function
+  | H -> H
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | Sx -> Su2 (Mat.adjoint Gates.sx)
+  | Rx a -> Rx (-.a)
+  | Ry a -> Ry (-.a)
+  | Rz a -> Rz (-.a)
+  | U3 (t, p, l) -> U3 (-.t, -.l, -.p)
+  | Su2 m -> Su2 (Mat.adjoint m)
+
+let inverse_two = function
+  | Cx -> Cx
+  | Cz -> Cz
+  | Cz_db -> Cz_db
+  | Swap -> Swap
+  | Swap_d -> Swap_d
+  | Swap_c -> Swap_c
+  | Iswap -> U4 (Mat.adjoint Gates.iswap)
+  | Crx a -> Crx (-.a)
+  | Cry a -> Cry (-.a)
+  | Crz a -> Crz (-.a)
+  | Cphase a -> Cphase (-.a)
+  | U4 m -> U4 (Mat.adjoint m)
+
+let inverse = function
+  | Single (g, q) -> Single (inverse_single g, q)
+  | Two (g, a, b) -> Two (inverse_two g, a, b)

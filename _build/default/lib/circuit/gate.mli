@@ -1,0 +1,70 @@
+(** Gate vocabulary of the circuit IR.
+
+    The set covers the IBM source basis ([Rz], [Sx], [X], [Cx]), the
+    spin-qubit target basis of the paper ([Su2], [Cz], [Cz_db],
+    [Crx] — the CROT — and the two native swaps [Swap_d]/[Swap_c],
+    Table I), common named gates used by the equivalence library, and
+    opaque unitaries for quantum-volume workloads.
+
+    Two-qubit gate matrices are expressed with the {e first} wire as the
+    most significant bit and, for controlled gates, as the control. *)
+
+open Qca_linalg
+
+type single =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Sx
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U3 of float * float * float
+  | Su2 of Mat.t  (** arbitrary single-qubit unitary (2x2) *)
+
+type two =
+  | Cx
+  | Cz
+  | Cz_db  (** diabatic CZ: same unitary as {!Cz}, different cost *)
+  | Swap
+  | Swap_d  (** diabatic native swap *)
+  | Swap_c  (** composite-pulse native swap *)
+  | Iswap
+  | Crx of float  (** CROT: controlled X-rotation *)
+  | Cry of float
+  | Crz of float
+  | Cphase of float
+  | U4 of Mat.t  (** arbitrary two-qubit unitary (4x4) *)
+
+type t =
+  | Single of single * int  (** gate, wire *)
+  | Two of two * int * int  (** gate, first wire (control), second wire *)
+
+val single_matrix : single -> Mat.t
+val two_matrix : two -> Mat.t
+
+val qubits : t -> int list
+(** Wires touched, in declaration order. *)
+
+val is_two_qubit : t -> bool
+
+val single_name : single -> string
+val two_name : two -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val equal_structure : t -> t -> bool
+(** Structural equality; opaque unitaries compare by matrix proximity. *)
+
+val inverse_single : single -> single
+(** Inverse gate (named inverses where they exist, adjoint [Su2]
+    otherwise). *)
+
+val inverse_two : two -> two
+
+val inverse : t -> t

@@ -1,0 +1,139 @@
+let angle_of_string s =
+  (* "0.25pi" | "pi" | "-pi" | plain float *)
+  let s = String.trim s in
+  let lower = String.lowercase_ascii s in
+  if lower = "pi" then Some Float.pi
+  else if lower = "-pi" then Some (-.Float.pi)
+  else if String.length lower > 2 && String.sub lower (String.length lower - 2) 2 = "pi"
+  then
+    float_of_string_opt (String.sub lower 0 (String.length lower - 2))
+    |> Option.map (fun f -> f *. Float.pi)
+  else float_of_string_opt s
+
+let split_mnemonic token =
+  (* "rz(0.3)" -> ("rz", Some 0.3) *)
+  match String.index_opt token '(' with
+  | None -> Some (token, None)
+  | Some i ->
+    if String.length token < i + 2 || token.[String.length token - 1] <> ')' then None
+    else begin
+      let name = String.sub token 0 i in
+      let arg = String.sub token (i + 1) (String.length token - i - 2) in
+      match angle_of_string arg with
+      | Some a -> Some (name, Some a)
+      | None -> None
+    end
+
+let gate_of ~name ~angle ~wires =
+  let single g = match wires with [ q ] -> Ok (Gate.Single (g, q)) | _ -> Error "expects 1 wire" in
+  let two g = match wires with [ a; b ] -> Ok (Gate.Two (g, a, b)) | _ -> Error "expects 2 wires" in
+  let need_angle f = match angle with Some a -> f a | None -> Error "missing angle" in
+  let no_angle r = match angle with None -> r | Some _ -> Error "unexpected angle" in
+  match String.lowercase_ascii name with
+  | "h" -> no_angle (single Gate.H)
+  | "x" -> no_angle (single Gate.X)
+  | "y" -> no_angle (single Gate.Y)
+  | "z" -> no_angle (single Gate.Z)
+  | "s" -> no_angle (single Gate.S)
+  | "sdg" -> no_angle (single Gate.Sdg)
+  | "t" -> no_angle (single Gate.T)
+  | "tdg" -> no_angle (single Gate.Tdg)
+  | "sx" -> no_angle (single Gate.Sx)
+  | "rx" -> need_angle (fun a -> single (Gate.Rx a))
+  | "ry" -> need_angle (fun a -> single (Gate.Ry a))
+  | "rz" -> need_angle (fun a -> single (Gate.Rz a))
+  | "cx" | "cnot" -> no_angle (two Gate.Cx)
+  | "cz" -> no_angle (two Gate.Cz)
+  | "cz_db" -> no_angle (two Gate.Cz_db)
+  | "swap" -> no_angle (two Gate.Swap)
+  | "swap_d" -> no_angle (two Gate.Swap_d)
+  | "swap_c" -> no_angle (two Gate.Swap_c)
+  | "iswap" -> no_angle (two Gate.Iswap)
+  | "crx" -> need_angle (fun a -> two (Gate.Crx a))
+  | "cry" -> need_angle (fun a -> two (Gate.Cry a))
+  | "crz" -> need_angle (fun a -> two (Gate.Crz a))
+  | "cp" | "cphase" -> need_angle (fun a -> two (Gate.Cphase a))
+  | other -> Error (Printf.sprintf "unknown gate %S" other)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let clean line =
+    match String.index_opt line '#' with
+    | Some i -> String.trim (String.sub line 0 i)
+    | None -> String.trim line
+  in
+  let rec go lineno declared gates = function
+    | [] -> Ok (declared, List.rev gates)
+    | line :: rest -> (
+      let line = clean line in
+      if line = "" then go (lineno + 1) declared gates rest
+      else
+        let err msg = Error (Printf.sprintf "line %d (%S): %s" lineno line msg) in
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "qubits"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> go (lineno + 1) (Some n) gates rest
+          | Some _ | None -> err "invalid qubit count")
+        | token :: wire_tokens -> (
+          match split_mnemonic token with
+          | None -> err "malformed gate token"
+          | Some (name, angle) -> (
+            let wires = List.map int_of_string_opt wire_tokens in
+            if List.exists (fun w -> w = None) wires then err "invalid wire index"
+            else
+              let wires = List.filter_map Fun.id wires in
+              match gate_of ~name ~angle ~wires with
+              | Ok g -> go (lineno + 1) declared (g :: gates) rest
+              | Error msg -> err msg))
+        | [] -> go (lineno + 1) declared gates rest)
+  in
+  match go 1 None [] lines with
+  | Error _ as e -> e
+  | Ok (declared, gates) ->
+    let max_wire =
+      List.fold_left
+        (fun acc g -> List.fold_left max acc (Gate.qubits g))
+        (-1) gates
+    in
+    let width =
+      match declared with Some n -> n | None -> max 1 (max_wire + 1)
+    in
+    if max_wire >= width then
+      Error
+        (Printf.sprintf "wire %d out of declared range (qubits %d)" max_wire width)
+    else
+      (try Ok (Circuit.of_gates width gates)
+       with Invalid_argument msg -> Error msg)
+
+let parse_exn text =
+  match parse text with Ok c -> c | Error msg -> invalid_arg ("Parse: " ^ msg)
+
+let gate_to_text g =
+  let open Printf in
+  match g with
+  | Gate.Single (Gate.Su2 m, q) ->
+    let theta, phi, lambda, _ = Qca_quantum.Su2.to_u3 m in
+    sprintf "rz(%.9g) %d\nry(%.9g) %d\nrz(%.9g) %d" phi q theta q lambda q
+  | Gate.Single (Gate.U3 (t, p, l), q) ->
+    sprintf "rz(%.9g) %d\nry(%.9g) %d\nrz(%.9g) %d" p q t q l q
+  | Gate.Single (Gate.Rx a, q) -> sprintf "rx(%.9g) %d" a q
+  | Gate.Single (Gate.Ry a, q) -> sprintf "ry(%.9g) %d" a q
+  | Gate.Single (Gate.Rz a, q) -> sprintf "rz(%.9g) %d" a q
+  | Gate.Single (g, q) -> sprintf "%s %d" (Gate.single_name g) q
+  | Gate.Two (Gate.U4 _, _, _) ->
+    invalid_arg "Parse.to_text: opaque two-qubit unitary"
+  | Gate.Two (Gate.Crx a, x, y) -> sprintf "crx(%.9g) %d %d" a x y
+  | Gate.Two (Gate.Cry a, x, y) -> sprintf "cry(%.9g) %d %d" a x y
+  | Gate.Two (Gate.Crz a, x, y) -> sprintf "crz(%.9g) %d %d" a x y
+  | Gate.Two (Gate.Cphase a, x, y) -> sprintf "cp(%.9g) %d %d" a x y
+  | Gate.Two (g, x, y) -> sprintf "%s %d %d" (Gate.two_name g) x y
+
+let to_text c =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "qubits %d\n" (Circuit.num_qubits c));
+  Array.iter
+    (fun g ->
+      Buffer.add_string buf (gate_to_text g);
+      Buffer.add_char buf '\n')
+    (Circuit.gates c);
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Textual circuit format.
+
+    One gate per line: a mnemonic followed by wire indices, with an
+    optional parenthesised angle — e.g. ["h 0"], ["cx 0 1"],
+    ["rz(0.25pi) 2"], ["crx(1.57) 1 0"]. Blank lines and [# comments]
+    are ignored. The first line may be ["qubits N"]; otherwise the
+    width is inferred from the highest wire index. *)
+
+val parse : string -> (Circuit.t, string) result
+(** Parses a whole document. The error string carries the offending
+    line number and content. *)
+
+val parse_exn : string -> Circuit.t
+
+val to_text : Circuit.t -> string
+(** Prints a circuit back into the textual format ([Su2]/[U4] gates are
+    emitted as [u3]/synthesized gates are not re-synthesized — opaque
+    unitaries are rejected with [Invalid_argument]). *)

@@ -1,0 +1,277 @@
+let header n =
+  Printf.sprintf
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\n" n
+
+let angle a = Printf.sprintf "%.12g" a
+
+let gate_line g =
+  let open Printf in
+  match g with
+  | Gate.Single (s, q) -> (
+    match s with
+    | Gate.H -> sprintf "h q[%d];" q
+    | Gate.X -> sprintf "x q[%d];" q
+    | Gate.Y -> sprintf "y q[%d];" q
+    | Gate.Z -> sprintf "z q[%d];" q
+    | Gate.S -> sprintf "s q[%d];" q
+    | Gate.Sdg -> sprintf "sdg q[%d];" q
+    | Gate.T -> sprintf "t q[%d];" q
+    | Gate.Tdg -> sprintf "tdg q[%d];" q
+    | Gate.Sx -> sprintf "sx q[%d];" q
+    | Gate.Rx a -> sprintf "rx(%s) q[%d];" (angle a) q
+    | Gate.Ry a -> sprintf "ry(%s) q[%d];" (angle a) q
+    | Gate.Rz a -> sprintf "rz(%s) q[%d];" (angle a) q
+    | Gate.U3 (t, p, l) ->
+      sprintf "u3(%s,%s,%s) q[%d];" (angle t) (angle p) (angle l) q
+    | Gate.Su2 m ->
+      let t, p, l, _ = Qca_quantum.Su2.to_u3 m in
+      sprintf "u3(%s,%s,%s) q[%d];" (angle t) (angle p) (angle l) q)
+  | Gate.Two (tw, a, b) -> (
+    match tw with
+    | Gate.Cx -> sprintf "cx q[%d],q[%d];" a b
+    | Gate.Cz | Gate.Cz_db -> sprintf "cz q[%d],q[%d];" a b
+    | Gate.Swap | Gate.Swap_d | Gate.Swap_c -> sprintf "swap q[%d],q[%d];" a b
+    | Gate.Iswap ->
+      (* qelib1 has no iswap; standard decomposition *)
+      String.concat "\n"
+        [
+          sprintf "s q[%d];" a;
+          sprintf "s q[%d];" b;
+          sprintf "h q[%d];" a;
+          sprintf "cx q[%d],q[%d];" a b;
+          sprintf "cx q[%d],q[%d];" b a;
+          sprintf "h q[%d];" b;
+        ]
+    | Gate.Crx t -> sprintf "crx(%s) q[%d],q[%d];" (angle t) a b
+    | Gate.Cry t -> sprintf "cry(%s) q[%d],q[%d];" (angle t) a b
+    | Gate.Crz t -> sprintf "crz(%s) q[%d],q[%d];" (angle t) a b
+    | Gate.Cphase t -> sprintf "cp(%s) q[%d],q[%d];" (angle t) a b
+    | Gate.U4 _ -> invalid_arg "Qasm.to_qasm: opaque two-qubit unitary")
+
+let to_qasm c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header (Circuit.num_qubits c));
+  Array.iter
+    (fun g ->
+      Buffer.add_string buf (gate_line g);
+      Buffer.add_char buf '\n')
+    (Circuit.gates c);
+  Buffer.contents buf
+
+(* {1 Import} *)
+
+let strip_comment line =
+  match Str.search_forward (Str.regexp_string "//") line 0 with
+  | exception Not_found -> line
+  | i -> String.sub line 0 i
+
+(* Tiny expression evaluator for angle arguments: floats, [pi],
+   +, -, *, / and unary minus. *)
+let eval_angle s =
+  let s = String.trim s in
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t') ->
+      advance ();
+      skip_ws ()
+    | Some _ | None -> ()
+  in
+  let rec parse_expr () =
+    let lhs = parse_term () in
+    continue_expr lhs
+  and continue_expr lhs =
+    skip_ws ();
+    match peek () with
+    | Some '+' ->
+      advance ();
+      let rhs = parse_term () in
+      continue_expr (lhs +. rhs)
+    | Some '-' ->
+      advance ();
+      let rhs = parse_term () in
+      continue_expr (lhs -. rhs)
+    | Some _ | None -> lhs
+  and parse_term () =
+    let lhs = parse_factor () in
+    continue_term lhs
+  and continue_term lhs =
+    skip_ws ();
+    match peek () with
+    | Some '*' ->
+      advance ();
+      let rhs = parse_factor () in
+      continue_term (lhs *. rhs)
+    | Some '/' ->
+      advance ();
+      let rhs = parse_factor () in
+      continue_term (lhs /. rhs)
+    | Some _ | None -> lhs
+  and parse_factor () =
+    skip_ws ();
+    match peek () with
+    | Some '-' ->
+      advance ();
+      -.parse_factor ()
+    | Some '(' ->
+      advance ();
+      let v = parse_expr () in
+      skip_ws ();
+      (match peek () with
+      | Some ')' -> advance ()
+      | Some _ | None -> failwith "expected )");
+      v
+    | Some 'p' | Some 'P' ->
+      if !pos + 1 < len && (s.[!pos + 1] = 'i' || s.[!pos + 1] = 'I') then begin
+        pos := !pos + 2;
+        Float.pi
+      end
+      else failwith "expected pi"
+    | Some c when (c >= '0' && c <= '9') || c = '.' ->
+      let start = !pos in
+      let is_num c = (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' in
+      while
+        !pos < len
+        && (is_num s.[!pos]
+           || ((s.[!pos] = '-' || s.[!pos] = '+')
+              && !pos > start
+              && (s.[!pos - 1] = 'e' || s.[!pos - 1] = 'E')))
+      do
+        advance ()
+      done;
+      float_of_string (String.sub s start (!pos - start))
+    | Some c -> failwith (Printf.sprintf "unexpected character %c" c)
+    | None -> failwith "unexpected end of angle expression"
+  in
+  match parse_expr () with
+  | v ->
+    skip_ws ();
+    if !pos <> len then Error (Printf.sprintf "trailing input in angle %S" s)
+    else Ok v
+  | exception Failure msg -> Error msg
+
+let qubit_re = Str.regexp "q\\[\\([0-9]+\\)\\]"
+
+let parse_operands s =
+  let parts = String.split_on_char ',' s in
+  let parse_one part =
+    let part = String.trim part in
+    if Str.string_match qubit_re part 0 && Str.match_end () = String.length part
+    then Some (int_of_string (Str.matched_group 1 part))
+    else None
+  in
+  let wires = List.map parse_one parts in
+  if List.exists (fun w -> w = None) wires then None
+  else Some (List.filter_map Fun.id wires)
+
+let of_qasm text =
+  let lines = String.split_on_char '\n' text in
+  (* statements are ';'-terminated; tolerate several per line *)
+  let statements =
+    lines
+    |> List.map strip_comment
+    |> String.concat " "
+    |> String.split_on_char ';'
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let width = ref None in
+  let gates = ref [] in
+  let error = ref None in
+  let fail stmt msg =
+    if !error = None then
+      error := Some (Printf.sprintf "statement %S: %s" stmt msg)
+  in
+  let handle stmt =
+    if !error <> None then ()
+    else if Str.string_match (Str.regexp "OPENQASM") stmt 0 then ()
+    else if Str.string_match (Str.regexp "include") stmt 0 then ()
+    else if Str.string_match (Str.regexp "qreg +q\\[\\([0-9]+\\)\\]") stmt 0 then
+      width := Some (int_of_string (Str.matched_group 1 stmt))
+    else if Str.string_match (Str.regexp "creg") stmt 0 then ()
+    else if Str.string_match (Str.regexp "barrier") stmt 0 then ()
+    else if Str.string_match (Str.regexp "measure") stmt 0 then ()
+    else begin
+      (* "<name>(args)? operands" *)
+      match String.index_opt stmt ' ' with
+      | None -> fail stmt "malformed statement"
+      | Some i -> (
+        let head = String.sub stmt 0 i in
+        let operands_str = String.sub stmt i (String.length stmt - i) in
+        let name, angles =
+          match String.index_opt head '(' with
+          | None -> (head, Ok [])
+          | Some j ->
+            if head.[String.length head - 1] <> ')' then (head, Error "unbalanced (")
+            else begin
+              let name = String.sub head 0 j in
+              let inner = String.sub head (j + 1) (String.length head - j - 2) in
+              let parts = String.split_on_char ',' inner in
+              let rec eval_all acc = function
+                | [] -> Ok (List.rev acc)
+                | p :: rest -> (
+                  match eval_angle p with
+                  | Ok v -> eval_all (v :: acc) rest
+                  | Error e -> Error e)
+              in
+              (name, eval_all [] parts)
+            end
+        in
+        match (angles, parse_operands operands_str) with
+        | Error e, _ -> fail stmt e
+        | Ok _, None -> fail stmt "bad operands"
+        | Ok angles, Some wires -> (
+          let single g =
+            match wires with
+            | [ q ] -> gates := Gate.Single (g, q) :: !gates
+            | _ -> fail stmt "expects one operand"
+          in
+          let two g =
+            match wires with
+            | [ a; b ] -> gates := Gate.Two (g, a, b) :: !gates
+            | _ -> fail stmt "expects two operands"
+          in
+          match (String.lowercase_ascii name, angles) with
+          | "h", [] -> single Gate.H
+          | "x", [] -> single Gate.X
+          | "y", [] -> single Gate.Y
+          | "z", [] -> single Gate.Z
+          | "s", [] -> single Gate.S
+          | "sdg", [] -> single Gate.Sdg
+          | "t", [] -> single Gate.T
+          | "tdg", [] -> single Gate.Tdg
+          | "sx", [] -> single Gate.Sx
+          | "id", [] -> ()
+          | "rx", [ a ] -> single (Gate.Rx a)
+          | "ry", [ a ] -> single (Gate.Ry a)
+          | "rz", [ a ] | "u1", [ a ] | "p", [ a ] -> single (Gate.Rz a)
+          | "u3", [ t; p; l ] | "u", [ t; p; l ] -> single (Gate.U3 (t, p, l))
+          | "u2", [ p; l ] -> single (Gate.U3 (Float.pi /. 2.0, p, l))
+          | "cx", [] | "cnot", [] -> two Gate.Cx
+          | "cz", [] -> two Gate.Cz
+          | "swap", [] -> two Gate.Swap
+          | "crx", [ a ] -> two (Gate.Crx a)
+          | "cry", [ a ] -> two (Gate.Cry a)
+          | "crz", [ a ] -> two (Gate.Crz a)
+          | "cp", [ a ] | "cu1", [ a ] -> two (Gate.Cphase a)
+          | other, _ -> fail stmt (Printf.sprintf "unsupported gate %S" other)))
+    end
+  in
+  List.iter handle statements;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+    let gates = List.rev !gates in
+    let max_wire =
+      List.fold_left (fun acc g -> List.fold_left max acc (Gate.qubits g)) (-1) gates
+    in
+    let n = match !width with Some n -> n | None -> max 1 (max_wire + 1) in
+    if max_wire >= n then Error "operand outside the declared register"
+    else
+      try Ok (Circuit.of_gates n gates) with Invalid_argument m -> Error m)
+
+let of_qasm_exn text =
+  match of_qasm text with Ok c -> c | Error e -> invalid_arg ("Qasm: " ^ e)

@@ -1,0 +1,17 @@
+(** OpenQASM 2.0 interchange.
+
+    Exports circuits to OpenQASM 2.0 (one quantum register [q], the
+    [qelib1.inc] vocabulary; native spin-qubit gates are emitted
+    through their standard definitions: [cz_db] as [cz],
+    [swap_d]/[swap_c] as [swap], CROT as [crx]/[cry]/[crz], merged
+    [Su2] gates as [u3]). Imports the subset of OpenQASM 2.0 sufficient
+    to round-trip these exports (a single register, no classical
+    control, no user-defined gates). *)
+
+val to_qasm : Circuit.t -> string
+(** Raises [Invalid_argument] on opaque [U4] gates (synthesize first). *)
+
+val of_qasm : string -> (Circuit.t, string) result
+(** Parses a program; the error carries the offending line. *)
+
+val of_qasm_exn : string -> Circuit.t

@@ -1,0 +1,1 @@
+lib/diff_logic/dl.ml: Array

@@ -1,0 +1,25 @@
+(** Difference-logic consistency checking.
+
+    A conjunction of constraints [x − y ≤ k] over integer variables is
+    satisfiable iff the constraint graph (edge [y → x] of weight [k])
+    has no negative cycle. This module runs Bellman-Ford from a virtual
+    source and either returns a satisfying assignment or the set of
+    tags of the constraints forming a negative cycle — exactly the
+    theory-conflict explanation the DPLL(T) loop needs. *)
+
+type 'tag constr = { x : int; y : int; k : int; tag : 'tag }
+(** [x − y ≤ k]. Variables are indices in [0, num_vars). *)
+
+type 'tag result =
+  | Consistent of int array
+      (** A satisfying assignment (one value per variable). *)
+  | Negative_cycle of 'tag list
+      (** Tags of a minimal inconsistent constraint cycle. *)
+
+val check : num_vars:int -> 'tag constr list -> 'tag result
+
+val implied_bound :
+  num_vars:int -> 'tag constr list -> int -> int -> int option
+(** [implied_bound ~num_vars cs x y] is the strongest implied [k] with
+    [x − y ≤ k] (shortest path from [y] to [x]), or [None] when
+    unbounded or the system is inconsistent. *)

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Float Format List Printf Qca_adapt Qca_circuit Qca_sim Qca_util Qca_workloads String

@@ -1,0 +1,1 @@
+lib/experiments/experiments.mli: Format Qca_adapt Qca_circuit Qca_workloads

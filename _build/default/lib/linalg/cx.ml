@@ -1,0 +1,31 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let make re im = { re; im }
+let of_float re = { re; im = 0.0 }
+let polar r theta = Complex.polar r theta
+let exp_i theta = Complex.polar 1.0 theta
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let scale s z = { re = s *. z.re; im = s *. z.im }
+let norm = Complex.norm
+let norm2 = Complex.norm2
+let arg = Complex.arg
+let sqrt = Complex.sqrt
+let inv = Complex.inv
+
+let approx_equal ?(tol = 1e-9) a b =
+  Float.abs (a.re -. b.re) <= tol && Float.abs (a.im -. b.im) <= tol
+
+let is_real ?(tol = 1e-9) z = Float.abs z.im <= tol
+
+let pp fmt z =
+  if Float.abs z.im < 1e-12 then Format.fprintf fmt "%g" z.re
+  else if Float.abs z.re < 1e-12 then Format.fprintf fmt "%gi" z.im
+  else Format.fprintf fmt "(%g%+gi)" z.re z.im

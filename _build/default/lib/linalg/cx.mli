@@ -1,0 +1,37 @@
+(** Complex scalars.
+
+    A thin layer over [Stdlib.Complex] adding the handful of helpers the
+    quantum layer needs (polar phases, approximate comparison). *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+val make : float -> float -> t
+val of_float : float -> t
+val polar : float -> float -> t
+(** [polar r theta] is [r·e^{iθ}]. *)
+
+val exp_i : float -> t
+(** [exp_i theta] is [e^{iθ}]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val scale : float -> t -> t
+val norm : t -> float
+(** Modulus. *)
+
+val norm2 : t -> float
+(** Squared modulus. *)
+
+val arg : t -> float
+val sqrt : t -> t
+val inv : t -> t
+val approx_equal : ?tol:float -> t -> t -> bool
+val is_real : ?tol:float -> t -> bool
+val pp : Format.formatter -> t -> unit

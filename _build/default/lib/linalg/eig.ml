@@ -1,0 +1,178 @@
+let mat_mul a b =
+  let n = Array.length a and p = Array.length b.(0) and m = Array.length b in
+  Array.init n (fun i ->
+      Array.init p (fun j ->
+          let acc = ref 0.0 in
+          for k = 0 to m - 1 do
+            acc := !acc +. (a.(i).(k) *. b.(k).(j))
+          done;
+          !acc))
+
+let mat_transpose a =
+  let n = Array.length a and m = Array.length a.(0) in
+  Array.init m (fun i -> Array.init n (fun j -> a.(j).(i)))
+
+let off_diag_norm a =
+  let n = Array.length a in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then acc := !acc +. (a.(i).(j) *. a.(i).(j))
+    done
+  done;
+  sqrt !acc
+
+(* One Jacobi rotation eliminating a.(p).(q); updates [a] and accumulates
+   the rotation into [v] (as columns). *)
+let rotate a v p q =
+  let apq = a.(p).(q) in
+  if Float.abs apq > 1e-300 then begin
+    let theta = (a.(q).(q) -. a.(p).(p)) /. (2.0 *. apq) in
+    let t =
+      let sign = if theta >= 0.0 then 1.0 else -1.0 in
+      sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+    in
+    let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+    let s = t *. c in
+    let n = Array.length a in
+    for k = 0 to n - 1 do
+      let akp = a.(k).(p) and akq = a.(k).(q) in
+      a.(k).(p) <- (c *. akp) -. (s *. akq);
+      a.(k).(q) <- (s *. akp) +. (c *. akq)
+    done;
+    for k = 0 to n - 1 do
+      let apk = a.(p).(k) and aqk = a.(q).(k) in
+      a.(p).(k) <- (c *. apk) -. (s *. aqk);
+      a.(q).(k) <- (s *. apk) +. (c *. aqk)
+    done;
+    for k = 0 to n - 1 do
+      let vkp = v.(k).(p) and vkq = v.(k).(q) in
+      v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+      v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+    done
+  end
+
+let jacobi a0 =
+  let n = Array.length a0 in
+  let a = Array.map Array.copy a0 in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  let sweeps = ref 0 in
+  while off_diag_norm a > 1e-13 && !sweeps < 100 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v p q
+      done
+    done
+  done;
+  (Array.init n (fun i -> a.(i).(i)), v)
+
+let is_diagonal ?(tol = 1e-8) a =
+  let n = Array.length a in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to Array.length a.(i) - 1 do
+      if i <> j && Float.abs a.(i).(j) > tol then ok := false
+    done
+  done;
+  !ok
+
+let det a0 =
+  let n = Array.length a0 in
+  let a = Array.map Array.copy a0 in
+  let d = ref 1.0 in
+  (try
+     for k = 0 to n - 1 do
+       (* partial pivoting *)
+       let pivot = ref k in
+       for i = k + 1 to n - 1 do
+         if Float.abs a.(i).(k) > Float.abs a.(!pivot).(k) then pivot := i
+       done;
+       if !pivot <> k then begin
+         let tmp = a.(k) in
+         a.(k) <- a.(!pivot);
+         a.(!pivot) <- tmp;
+         d := -. !d
+       end;
+       if Float.abs a.(k).(k) < 1e-300 then begin
+         d := 0.0;
+         raise Exit
+       end;
+       d := !d *. a.(k).(k);
+       for i = k + 1 to n - 1 do
+         let f = a.(i).(k) /. a.(k).(k) in
+         for j = k to n - 1 do
+           a.(i).(j) <- a.(i).(j) -. (f *. a.(k).(j))
+         done
+       done
+     done
+   with Exit -> ());
+  !d
+
+let commute a b =
+  let ab = mat_mul a b and ba = mat_mul b a in
+  let n = Array.length a in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      worst := Float.max !worst (Float.abs (ab.(i).(j) -. ba.(i).(j)))
+    done
+  done;
+  !worst < 1e-6
+
+(* Cluster sorted index list of eigenvalues into groups of nearly-equal
+   values. Returns groups as index lists (indices into the eigenvalue
+   array). *)
+let cluster eigenvalues =
+  let n = Array.length eigenvalues in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare eigenvalues.(i) eigenvalues.(j)) order;
+  let groups = ref [] and current = ref [ order.(0) ] in
+  for k = 1 to n - 1 do
+    let prev = eigenvalues.(order.(k - 1)) and here = eigenvalues.(order.(k)) in
+    if Float.abs (here -. prev) < 1e-7 then current := order.(k) :: !current
+    else begin
+      groups := List.rev !current :: !groups;
+      current := [ order.(k) ]
+    end
+  done;
+  groups := List.rev !current :: !groups;
+  List.rev !groups
+
+let simultaneous_diagonalize a b =
+  if not (commute a b) then
+    invalid_arg "Eig.simultaneous_diagonalize: matrices do not commute";
+  let n = Array.length a in
+  let eigenvalues, v = jacobi a in
+  (* b in the eigenbasis of a: block-diagonal over eigenvalue clusters. *)
+  let b_rot = mat_mul (mat_transpose v) (mat_mul b v) in
+  let p = Array.map Array.copy v in
+  let refine group =
+    match group with
+    | [] | [ _ ] -> ()
+    | indices ->
+      let idx = Array.of_list indices in
+      let k = Array.length idx in
+      let sub = Array.init k (fun i -> Array.init k (fun j -> b_rot.(idx.(i)).(idx.(j)))) in
+      let _, w = jacobi sub in
+      (* p's columns within the cluster become combinations via w. *)
+      let fresh =
+        Array.init n (fun r ->
+            Array.init k (fun c ->
+                let acc = ref 0.0 in
+                for m = 0 to k - 1 do
+                  acc := !acc +. (v.(r).(idx.(m)) *. w.(m).(c))
+                done;
+                !acc))
+      in
+      for r = 0 to n - 1 do
+        for c = 0 to k - 1 do
+          p.(r).(idx.(c)) <- fresh.(r).(c)
+        done
+      done
+  in
+  List.iter refine (cluster eigenvalues);
+  let check m = is_diagonal ~tol:1e-6 (mat_mul (mat_transpose p) (mat_mul m p)) in
+  if not (check a && check b) then
+    invalid_arg "Eig.simultaneous_diagonalize: refinement failed";
+  p

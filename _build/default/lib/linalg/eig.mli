@@ -1,0 +1,29 @@
+(** Eigendecomposition of small real symmetric matrices.
+
+    A cyclic Jacobi eigensolver, plus simultaneous diagonalization of two
+    commuting real symmetric matrices — the numerical core of the KAK
+    (Cartan) decomposition in {!Qca_quantum.Kak}. *)
+
+val jacobi : float array array -> float array * float array array
+(** [jacobi a] diagonalizes the real symmetric matrix [a], returning
+    [(eigenvalues, v)] with [v] orthogonal, columns are eigenvectors:
+    [aᵀ = a = v · diag(eigenvalues) · vᵀ]. [a] is not modified.
+    Eigenvalues are not sorted. *)
+
+val simultaneous_diagonalize :
+  float array array -> float array array -> float array array
+(** [simultaneous_diagonalize a b] returns an orthogonal [p] such that
+    both [pᵀ·a·p] and [pᵀ·b·p] are diagonal. [a] and [b] must be real
+    symmetric and commute; raises [Invalid_argument] otherwise (checked
+    numerically). Strategy: diagonalize [a], then re-diagonalize [b]
+    restricted to each (clustered) eigenspace of [a]. *)
+
+val mat_mul : float array array -> float array array -> float array array
+(** Real matrix product (row-major array-of-rows). *)
+
+val mat_transpose : float array array -> float array array
+
+val det : float array array -> float
+(** Determinant via LU with partial pivoting. *)
+
+val is_diagonal : ?tol:float -> float array array -> bool

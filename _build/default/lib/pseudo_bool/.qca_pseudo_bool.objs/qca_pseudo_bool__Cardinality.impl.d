@@ -1,0 +1,1 @@
+lib/pseudo_bool/cardinality.ml: Array List Lit Qca_sat Solver

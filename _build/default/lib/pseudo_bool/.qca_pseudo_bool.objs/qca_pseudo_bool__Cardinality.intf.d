@@ -1,0 +1,1 @@
+lib/pseudo_bool/cardinality.mli: Lit Qca_sat Solver

@@ -1,0 +1,1 @@
+lib/pseudo_bool/totalizer.ml: Array Hashtbl List Lit Option Qca_sat Solver Stdlib

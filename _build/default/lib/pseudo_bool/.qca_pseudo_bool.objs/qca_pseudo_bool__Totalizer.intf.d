@@ -1,0 +1,1 @@
+lib/pseudo_bool/totalizer.mli: Lit Qca_sat Solver

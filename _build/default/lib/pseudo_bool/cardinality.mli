@@ -1,0 +1,19 @@
+(** Cardinality constraints over literals (sequential-counter encoding).
+
+    These add hard CNF constraints to a {!Qca_sat.Solver.t}. Used for
+    the per-block exactly-one selectors of the adaptation model and as
+    the baseline encoding in the encoder ablation benchmarks. *)
+
+open Qca_sat
+
+val at_most : Solver.t -> Lit.t list -> int -> unit
+(** [at_most s lits k] enforces [Σ lits ≤ k] (Sinz sequential counter,
+    O(n·k) clauses and auxiliaries). *)
+
+val at_least : Solver.t -> Lit.t list -> int -> unit
+(** [Σ lits ≥ k], via [at_most] on the negations. *)
+
+val exactly_one : Solver.t -> Lit.t list -> unit
+(** [Σ lits = 1]: one "or" clause plus pairwise exclusions. *)
+
+val at_most_one_pairwise : Solver.t -> Lit.t list -> unit

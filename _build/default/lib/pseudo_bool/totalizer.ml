@@ -1,0 +1,253 @@
+open Qca_sat
+
+type linear = (Lit.t * int) list
+
+let normalize terms =
+  let step (acc, offset) (lit, w) =
+    if w = 0 then (acc, offset)
+    else if w > 0 then ((lit, w) :: acc, offset)
+    else
+      (* w·ℓ = w − w·(¬ℓ) = (−w)·(¬ℓ) + w *)
+      ((Lit.negate lit, -w) :: acc, offset + w)
+  in
+  let acc, offset = List.fold_left step ([], 0) terms in
+  (List.rev acc, offset)
+
+(* A node of the totalizer tree: a sorted list of (weight, literal)
+   outputs, each literal meaning "the subtree sum is ≥ weight". Sums are
+   clamped at [cap]. When a node would carry more than [max_out]
+   distinct weights, the set is thinned and implication targets are
+   rounded DOWN to the nearest kept weight — this only weakens the
+   upward implications (sum ≥ w ⟹ output at some w' ≤ w), preserving
+   the soundness direction needed for branch-and-bound pruning. *)
+type node = (int * Lit.t) list
+
+let thin ~max_out weights =
+  let arr = Array.of_list weights in
+  let n = Array.length arr in
+  if n <= max_out then weights
+  else begin
+    (* keep an evenly spaced subset, always including the smallest and
+       the largest (the largest is the clamp target for the marker) *)
+    let kept = Hashtbl.create max_out in
+    Hashtbl.replace kept arr.(0) ();
+    Hashtbl.replace kept arr.(n - 1) ();
+    for i = 1 to max_out - 2 do
+      Hashtbl.replace kept arr.(i * (n - 1) / (max_out - 1)) ()
+    done;
+    List.filter (fun w -> Hashtbl.mem kept w) weights
+  end
+
+let merge s ~cap ~max_out (a : node) (b : node) : node =
+  let weights = Hashtbl.create 64 in
+  let add w = if w > 0 then Hashtbl.replace weights (min w cap) () in
+  List.iter (fun (w, _) -> add w) a;
+  List.iter (fun (w, _) -> add w) b;
+  List.iter (fun (wa, _) -> List.iter (fun (wb, _) -> add (wa + wb)) b) a;
+  let sorted =
+    Hashtbl.fold (fun w () acc -> w :: acc) weights [] |> List.sort compare
+  in
+  let kept = thin ~max_out sorted in
+  let outs = List.map (fun w -> (w, Lit.pos (Solver.new_var s))) kept in
+  let kept_arr = Array.of_list kept in
+  let out_for w =
+    (* largest kept weight ≤ clamped w (exists: the smallest candidate
+       weight is always kept and is ≤ w for any reachable w) *)
+    let w = min w cap in
+    let lo = ref 0 and hi = ref (Array.length kept_arr - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if kept_arr.(mid) <= w then lo := mid else hi := mid - 1
+    done;
+    let target = kept_arr.(!lo) in
+    let rec find = function
+      | [] -> assert false
+      | (w', l) :: rest -> if w' = target then l else find rest
+    in
+    find outs
+  in
+  (* (a ≥ wa) ∧ (b ≥ wb) → (out ≥ wa+wb); the unit contributions are the
+     wb = 0 / wa = 0 cases. *)
+  List.iter (fun (wa, la) -> Solver.add_clause s [ Lit.negate la; out_for wa ]) a;
+  List.iter (fun (wb, lb) -> Solver.add_clause s [ Lit.negate lb; out_for wb ]) b;
+  List.iter
+    (fun (wa, la) ->
+      List.iter
+        (fun (wb, lb) ->
+          Solver.add_clause s [ Lit.negate la; Lit.negate lb; out_for (wa + wb) ])
+        b)
+    a;
+  outs
+
+(* Unary counter (Sinz-style registers, implication direction only):
+   output.(j) is forced true whenever at least j+1 of [lits] are true. *)
+let count_outputs s lits max_count =
+  let lits = Array.of_list lits in
+  let n = Array.length lits in
+  let k = min n max_count in
+  if k = 0 then [||]
+  else begin
+    let r = Array.init n (fun _ -> Array.init k (fun _ -> Solver.new_var s)) in
+    for i = 0 to n - 1 do
+      Solver.add_clause s [ Lit.negate lits.(i); Lit.pos r.(i).(0) ];
+      if i > 0 then begin
+        for j = 0 to k - 1 do
+          Solver.add_clause s [ Lit.neg_of_var r.(i - 1).(j); Lit.pos r.(i).(j) ]
+        done;
+        for j = 1 to k - 1 do
+          Solver.add_clause s
+            [ Lit.negate lits.(i); Lit.neg_of_var r.(i - 1).(j - 1); Lit.pos r.(i).(j) ]
+        done
+      end
+    done;
+    Array.init k (fun j -> Lit.pos r.(n - 1).(j))
+  end
+
+(* Leaf node for a group of [count] literals sharing weight [w]: outputs
+   (min(w·(j+1), cap), count ≥ j+1). Counts whose weight clamps at the
+   cap collapse into a single output. *)
+let group_node s ~cap ~max_out (w, lits) : node =
+  (* the unary counter is also width-capped: undercounting beyond the
+     cap only weakens the upward implications (admissible) *)
+  let needed = min (min (List.length lits) (((cap - 1) / w) + 1)) max_out in
+  let outs = count_outputs s lits needed in
+  Array.to_list (Array.mapi (fun j l -> (min (w * (j + 1)) cap, l)) outs)
+  |> List.fold_left
+       (fun acc (wv, l) ->
+         match acc with
+         | (wv', _) :: _ when wv' = wv -> acc (* keep the weakest (first) *)
+         | _ -> (wv, l) :: acc)
+       []
+  |> List.rev
+
+let rec build_nodes s ~cap ~max_out = function
+  | [] -> []
+  | [ n ] -> n
+  | nodes ->
+    let rec split i left = function
+      | rest when i = 0 -> (List.rev left, rest)
+      | [] -> (List.rev left, [])
+      | t :: rest -> split (i - 1) (t :: left) rest
+    in
+    let n = List.length nodes in
+    let left, right = split (n / 2) [] nodes in
+    merge s ~cap ~max_out
+      (build_nodes s ~cap ~max_out left)
+      (build_nodes s ~cap ~max_out right)
+
+(* Group equal weights (a unary counter per group is linear-size), then
+   totalizer-merge the group nodes. *)
+let build s ~cap ~max_out terms =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (l, w) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups w) in
+      Hashtbl.replace groups w (l :: prev))
+    terms;
+  let nodes =
+    Hashtbl.fold
+      (fun w lits acc -> group_node s ~cap ~max_out (w, lits) :: acc)
+      groups []
+  in
+  build_nodes s ~cap ~max_out nodes
+
+let marker_geq_sized s ~max_out terms bound =
+  if bound <= 0 then invalid_arg "Totalizer.marker_geq: bound must be ≥ 1";
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 terms in
+  if total < bound then None
+  else begin
+    let outs = build s ~cap:bound ~max_out terms in
+    (* the clamp value [bound] is reachable (total ≥ bound) and always
+       kept by [thin], so the marker exists at the root. *)
+    let rec find = function
+      | [] -> None
+      | (w, l) :: rest -> if w = bound then Some l else find rest
+    in
+    find outs
+  end
+
+let marker_geq s terms bound = marker_geq_sized s ~max_out:max_int terms bound
+
+let assume_at_most_sized ~max_out s terms k =
+  let pos_terms, offset = normalize terms in
+  let k' = k - offset in
+  (* Σ pos_terms ≤ k' *)
+  if k' < 0 then
+    invalid_arg "Totalizer.assume_at_most: bound below the minimum possible sum";
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 pos_terms in
+  if total <= k' then None
+  else begin
+    match marker_geq_sized s ~max_out pos_terms (k' + 1) with
+    | None -> None
+    | Some marker ->
+      let a = Lit.pos (Solver.new_var s) in
+      (* a → ¬marker, i.e. a → sum ≤ k' *)
+      Solver.add_clause s [ Lit.negate a; Lit.negate marker ];
+      Some a
+  end
+
+let assume_at_most s terms k = assume_at_most_sized ~max_out:max_int s terms k
+
+let assume_at_most_approx ?(resolution = 256) s terms k =
+  assume_at_most_sized ~max_out:resolution s terms k
+
+let enforce_at_most ?resolution s terms k =
+  match assume_at_most_approx ?resolution s terms k with
+  | None -> ()
+  | Some a -> Solver.add_clause s [ a ]
+  | exception Invalid_argument _ ->
+    (* even the all-false assignment violates the cut: unsatisfiable *)
+    Solver.add_clause s []
+
+type selector = {
+  sel_solver : Solver.t;
+  offset : int;  (* Σ original = Σ positive + offset *)
+  total : int;  (* maximum possible positive sum *)
+  outputs : (int * Lit.t) array;  (* root outputs, ascending weights *)
+  mutable negations : (int, Lit.t) Hashtbl.t option;  (* memo: weight -> assumption *)
+}
+
+let at_most_selector ?(resolution = 256) s terms ~max =
+  let pos_terms, offset = normalize terms in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 pos_terms in
+  let cap = min total (Stdlib.max 1 (max - offset + 1)) in
+  let outputs =
+    if pos_terms = [] then [||]
+    else Array.of_list (build s ~cap ~max_out:resolution pos_terms)
+  in
+  { sel_solver = s; offset; total; outputs; negations = Some (Hashtbl.create 8) }
+
+let select sel k =
+  let k' = k - sel.offset in
+  if k' >= sel.total then None (* vacuous *)
+  else if k' < 0 then Some None (* infeasible *)
+  else begin
+    (* smallest root output with weight ≥ k'+1; outputs are ascending *)
+    let n = Array.length sel.outputs in
+    let rec find lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if fst sel.outputs.(mid) >= k' + 1 then find lo mid else find (mid + 1) hi
+    in
+    if n = 0 then None
+    else begin
+      let idx = find 0 n in
+      if idx >= n then None (* no output can witness the violation: vacuous *)
+      else begin
+        let w, marker = sel.outputs.(idx) in
+        let memo =
+          match sel.negations with
+          | Some m -> m
+          | None -> assert false
+        in
+        match Hashtbl.find_opt memo w with
+        | Some a -> Some (Some a)
+        | None ->
+          let a = Lit.pos (Solver.new_var sel.sel_solver) in
+          Solver.add_clause sel.sel_solver [ Lit.negate a; Lit.negate marker ];
+          Hashtbl.replace memo w a;
+          Some (Some a)
+      end
+    end
+  end

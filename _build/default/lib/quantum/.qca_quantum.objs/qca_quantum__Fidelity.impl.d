@@ -1,0 +1,1 @@
+lib/quantum/fidelity.ml: Cx Float Mat Qca_linalg

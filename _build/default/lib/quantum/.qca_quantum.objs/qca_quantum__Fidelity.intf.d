@@ -1,0 +1,1 @@
+lib/quantum/fidelity.mli: Mat Qca_linalg

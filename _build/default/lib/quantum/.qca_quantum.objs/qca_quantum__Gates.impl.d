@@ -1,0 +1,1 @@
+lib/quantum/gates.ml: Cx Float Mat Qca_linalg

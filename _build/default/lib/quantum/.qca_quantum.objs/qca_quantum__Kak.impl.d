@@ -1,0 +1,1 @@
+lib/quantum/kak.ml: Array Cx Eig Float Gates Mat Qca_linalg

@@ -1,0 +1,1 @@
+lib/quantum/kak.mli: Cx Mat Qca_linalg

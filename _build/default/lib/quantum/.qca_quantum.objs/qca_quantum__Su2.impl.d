@@ -1,0 +1,1 @@
+lib/quantum/su2.ml: Cx Float Gates Mat Qca_linalg

@@ -1,0 +1,1 @@
+lib/quantum/su2.mli: Mat Qca_linalg

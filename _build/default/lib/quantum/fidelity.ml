@@ -1,0 +1,21 @@
+open Qca_linalg
+
+let overlap u v =
+  if Mat.rows u <> Mat.rows v || Mat.cols u <> Mat.cols v then
+    invalid_arg "Fidelity: dimension mismatch";
+  Mat.trace (Mat.mul (Mat.adjoint u) v)
+
+let process_fidelity u v =
+  let d = float_of_int (Mat.rows u) in
+  Cx.norm2 (overlap u v) /. (d *. d)
+
+let average_gate_fidelity u v =
+  let d = float_of_int (Mat.rows u) in
+  ((d *. process_fidelity u v) +. 1.0) /. (d +. 1.0)
+
+let trace_distance_bound u v =
+  let d = float_of_int (Mat.rows u) in
+  (* ‖u − e^{iφ}v‖²_F = 2d − 2·Re(e^{-iφ}·tr(u†v)); minimized at
+     φ = arg tr(u†v), giving 2d − 2|tr(u†v)|. *)
+  let t = Cx.norm (overlap u v) in
+  sqrt (Float.max 0.0 ((2.0 *. d) -. (2.0 *. t)) /. (2.0 *. d))

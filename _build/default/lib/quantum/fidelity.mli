@@ -1,0 +1,20 @@
+(** Operator fidelity measures between unitaries.
+
+    Used to quantify approximate synthesis quality and to check that
+    adapted circuits implement their targets. All measures are
+    phase-invariant. *)
+
+open Qca_linalg
+
+val process_fidelity : Mat.t -> Mat.t -> float
+(** [|tr(u†v)|² / d²] — the entanglement/process fidelity between two
+    unitaries of dimension [d]. 1 iff equal up to global phase. *)
+
+val average_gate_fidelity : Mat.t -> Mat.t -> float
+(** [(d·F_pro + 1)/(d + 1)], the standard average-over-pure-states gate
+    fidelity. *)
+
+val trace_distance_bound : Mat.t -> Mat.t -> float
+(** The phase-optimized operator deviation
+    [min_φ ‖u − e^{iφ}v‖_F / √(2d)], a cheap upper-bound-style diagnostic
+    in [\[0, 1\]]. *)

@@ -1,0 +1,90 @@
+open Qca_linalg
+
+let c = Cx.make
+let r x = Cx.of_float x
+
+let id2 = Mat.identity 2
+let x = Mat.of_lists [ [ Cx.zero; Cx.one ]; [ Cx.one; Cx.zero ] ]
+let y = Mat.of_lists [ [ Cx.zero; c 0. (-1.) ]; [ Cx.i; Cx.zero ] ]
+let z = Mat.of_lists [ [ Cx.one; Cx.zero ]; [ Cx.zero; r (-1.) ] ]
+
+let h =
+  let s = 1.0 /. sqrt 2.0 in
+  Mat.of_lists [ [ r s; r s ]; [ r s; r (-.s) ] ]
+
+let s = Mat.of_lists [ [ Cx.one; Cx.zero ]; [ Cx.zero; Cx.i ] ]
+let sdg = Mat.of_lists [ [ Cx.one; Cx.zero ]; [ Cx.zero; c 0. (-1.) ] ]
+let t = Mat.of_lists [ [ Cx.one; Cx.zero ]; [ Cx.zero; Cx.exp_i (Float.pi /. 4.) ] ]
+let tdg = Mat.of_lists [ [ Cx.one; Cx.zero ]; [ Cx.zero; Cx.exp_i (-.Float.pi /. 4.) ] ]
+
+let sx =
+  Mat.of_lists
+    [ [ c 0.5 0.5; c 0.5 (-0.5) ]; [ c 0.5 (-0.5); c 0.5 0.5 ] ]
+
+let rx theta =
+  let co = cos (theta /. 2.) and si = sin (theta /. 2.) in
+  Mat.of_lists [ [ r co; c 0. (-.si) ]; [ c 0. (-.si); r co ] ]
+
+let ry theta =
+  let co = cos (theta /. 2.) and si = sin (theta /. 2.) in
+  Mat.of_lists [ [ r co; r (-.si) ]; [ r si; r co ] ]
+
+let rz theta =
+  Mat.of_lists
+    [ [ Cx.exp_i (-.theta /. 2.); Cx.zero ]; [ Cx.zero; Cx.exp_i (theta /. 2.) ] ]
+
+let u3 theta phi lambda =
+  let co = cos (theta /. 2.) and si = sin (theta /. 2.) in
+  Mat.of_lists
+    [
+      [ r co; Cx.neg (Cx.mul (Cx.exp_i lambda) (r si)) ];
+      [ Cx.mul (Cx.exp_i phi) (r si); Cx.mul (Cx.exp_i (phi +. lambda)) (r co) ];
+    ]
+
+let controlled u =
+  Mat.init 4 4 (fun i j ->
+      if i < 2 && j < 2 then if i = j then Cx.one else Cx.zero
+      else if i >= 2 && j >= 2 then Mat.get u (i - 2) (j - 2)
+      else Cx.zero)
+
+let cx = controlled x
+let cz = controlled z
+
+let swap =
+  Mat.of_real_lists
+    [ [ 1.; 0.; 0.; 0. ]; [ 0.; 0.; 1.; 0. ]; [ 0.; 1.; 0.; 0. ]; [ 0.; 0.; 0.; 1. ] ]
+
+let iswap =
+  Mat.of_lists
+    [
+      [ Cx.one; Cx.zero; Cx.zero; Cx.zero ];
+      [ Cx.zero; Cx.zero; Cx.i; Cx.zero ];
+      [ Cx.zero; Cx.i; Cx.zero; Cx.zero ];
+      [ Cx.zero; Cx.zero; Cx.zero; Cx.one ];
+    ]
+
+let crx theta = controlled (rx theta)
+let cry theta = controlled (ry theta)
+let crz theta = controlled (rz theta)
+
+let cphase theta =
+  Mat.init 4 4 (fun i j ->
+      if i <> j then Cx.zero else if i = 3 then Cx.exp_i theta else Cx.one)
+
+let xx = Mat.kron x x
+let yy = Mat.kron y y
+let zz = Mat.kron z z
+
+(* exp(i·a·P) = cos a · I + i sin a · P for an involution P. *)
+let exp_i_pauli a p =
+  Mat.add
+    (Mat.scale (r (cos a)) (Mat.identity 4))
+    (Mat.scale (c 0. (sin a)) p)
+
+let canonical cx_coef cy_coef cz_coef =
+  Mat.mul3
+    (exp_i_pauli cx_coef xx)
+    (exp_i_pauli cy_coef yy)
+    (exp_i_pauli cz_coef zz)
+
+let global_phase theta n = Mat.scale (Cx.exp_i theta) (Mat.identity n)

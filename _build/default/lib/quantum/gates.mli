@@ -1,0 +1,68 @@
+(** Standard gate unitaries.
+
+    Conventions used throughout the repository:
+    - qubit 0 is the {e most significant} bit of a basis index, so a
+      two-qubit state vector is ordered |00⟩, |01⟩, |10⟩, |11⟩ with the
+      first digit belonging to qubit 0;
+    - [kron a b] therefore applies [a] to qubit 0 and [b] to qubit 1;
+    - rotation gates follow the physics convention
+      [R_P(θ) = exp(−iθP/2)];
+    - two-qubit controlled gates here have qubit 0 as control and
+      qubit 1 as target (the circuit layer handles arbitrary wires). *)
+
+open Qca_linalg
+
+(** {1 Single-qubit gates} *)
+
+val id2 : Mat.t
+val x : Mat.t
+val y : Mat.t
+val z : Mat.t
+val h : Mat.t
+val s : Mat.t
+val sdg : Mat.t
+val t : Mat.t
+val tdg : Mat.t
+val sx : Mat.t
+(** Square root of X, as on IBM backends. *)
+
+val rx : float -> Mat.t
+val ry : float -> Mat.t
+val rz : float -> Mat.t
+
+val u3 : float -> float -> float -> Mat.t
+(** [u3 theta phi lambda] is the generic single-qubit gate
+    [Rz(phi)·Ry(theta)·Rz(lambda)] up to the usual IBM phase convention:
+    [u3 θ φ λ = [[cos(θ/2), −e^{iλ} sin(θ/2)],
+                 [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]]]. *)
+
+(** {1 Two-qubit gates} *)
+
+val cx : Mat.t
+(** CNOT, control qubit 0, target qubit 1. *)
+
+val cz : Mat.t
+val swap : Mat.t
+val iswap : Mat.t
+
+val crx : float -> Mat.t
+(** Controlled X-rotation: |0⟩⟨0|⊗I + |1⟩⟨1|⊗Rx(θ). A CROT in the
+    spin-qubit sense; [crx pi] equals CNOT up to an S gate on the
+    control. *)
+
+val cry : float -> Mat.t
+val crz : float -> Mat.t
+val cphase : float -> Mat.t
+(** diag(1, 1, 1, e^{iθ}); [cphase pi] is CZ. *)
+
+val canonical : float -> float -> float -> Mat.t
+(** [canonical x y z] is [exp(i(x·XX + y·YY + z·ZZ))], the canonical
+    two-qubit interaction of the KAK decomposition. *)
+
+val xx : Mat.t
+val yy : Mat.t
+val zz : Mat.t
+(** Two-qubit Pauli products. *)
+
+val global_phase : float -> int -> Mat.t
+(** [global_phase theta n] is [e^{iθ}·I] of dimension [n]. *)

@@ -1,0 +1,309 @@
+open Qca_linalg
+
+type t = {
+  phase : float;
+  k1l : Mat.t;
+  k1r : Mat.t;
+  x : float;
+  y : float;
+  z : float;
+  k2l : Mat.t;
+  k2r : Mat.t;
+}
+
+let magic_basis =
+  let s = 1.0 /. sqrt 2.0 in
+  let c re im = Cx.scale s (Cx.make re im) in
+  Mat.of_lists
+    [
+      [ c 1. 0.; Cx.zero; Cx.zero; c 0. 1. ];
+      [ Cx.zero; c 0. 1.; c 1. 0.; Cx.zero ];
+      [ Cx.zero; c 0. 1.; c (-1.) 0.; Cx.zero ];
+      [ c 1. 0.; Cx.zero; Cx.zero; c 0. (-1.) ];
+    ]
+
+let magic_dag = Mat.adjoint magic_basis
+
+(* Diagonal (in the magic basis) sign patterns of XX, YY, ZZ; computed
+   once so every convention below is self-consistent with
+   [magic_basis]. *)
+let sign_vectors =
+  let diag_of p =
+    let d = Mat.mul3 magic_dag p magic_basis in
+    assert (Mat.is_diagonal ~tol:1e-12 d);
+    Array.init 4 (fun i ->
+        let v = Mat.get d i i in
+        assert (Cx.is_real ~tol:1e-12 v);
+        v.Cx.re)
+  in
+  (diag_of Gates.xx, diag_of Gates.yy, diag_of Gates.zz)
+
+let factor_tensor_product m =
+  if Mat.rows m <> 4 || Mat.cols m <> 4 then
+    invalid_arg "Kak.factor_tensor_product: not 4x4";
+  (* Locate the entry of largest modulus; m = a⊗b means
+     m[2r+s][2c+t] = a[r][c]·b[s][t]. *)
+  let best = ref 0.0 and bi = ref 0 and bj = ref 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      let n = Cx.norm (Mat.get m i j) in
+      if n > !best then begin
+        best := n;
+        bi := i;
+        bj := j
+      end
+    done
+  done;
+  if !best < 1e-9 then None
+  else begin
+    let r0 = !bi / 2 and s0 = !bi mod 2 and c0 = !bj / 2 and t0 = !bj mod 2 in
+    let pivot = Mat.get m !bi !bj in
+    let b = Mat.init 2 2 (fun st tt -> Mat.get m ((2 * r0) + st) ((2 * c0) + tt)) in
+    let a =
+      Mat.init 2 2 (fun rr cc ->
+          Cx.div (Mat.get m ((2 * rr) + s0) ((2 * cc) + t0)) pivot)
+    in
+    (* a⊗b reproduces m exactly when m is a tensor product. Balance the
+       scales so both factors are unitary (when m is). *)
+    let na = Mat.frobenius_norm a /. sqrt 2.0 in
+    let nb = Mat.frobenius_norm b /. sqrt 2.0 in
+    if na < 1e-12 || nb < 1e-12 then None
+    else begin
+      let a = Mat.scale (Cx.of_float (1.0 /. na)) a in
+      let b = Mat.scale (Cx.of_float (1.0 /. nb)) b in
+      (* Distribute the leftover complex scale into [a]. *)
+      let kron_ab = Mat.kron a b in
+      let scale = Cx.div pivot (Mat.get kron_ab !bi !bj) in
+      let a = Mat.scale scale a in
+      if Mat.approx_equal ~tol:1e-6 (Mat.kron a b) m then Some (a, b) else None
+    end
+  end
+
+let makhlin_invariants u =
+  if not (Mat.is_unitary ~tol:1e-8 u) then
+    invalid_arg "Kak.makhlin_invariants: not unitary";
+  let det = Mat.det4 u in
+  (* Normalize to SU(4). *)
+  let su = Mat.scale (Cx.exp_i (-.Cx.arg det /. 4.0)) u in
+  let m = Mat.mul3 magic_dag su magic_basis in
+  let mm = Mat.mul (Mat.transpose m) m in
+  let tr = Mat.trace mm in
+  let tr2 = Mat.trace (Mat.mul mm mm) in
+  let g1 = Cx.scale (1.0 /. 16.0) (Cx.mul tr tr) in
+  let g2 = Cx.scale 0.25 (Cx.sub (Cx.mul tr tr) tr2) in
+  assert (Cx.is_real ~tol:1e-6 g2);
+  (g1, g2.Cx.re)
+
+let locally_equivalent ?(tol = 1e-6) u v =
+  (* G1 and G2 are invariant under the branch chosen when normalizing the
+     determinant (it rescales MᵀM by ±1, and both invariants are even). *)
+  let g1u, g2u = makhlin_invariants u and g1v, g2v = makhlin_invariants v in
+  Float.abs (g2u -. g2v) <= tol && Cx.approx_equal ~tol g1u g1v
+
+let rebuild d =
+  let local l r = Mat.kron l r in
+  Mat.scale (Cx.exp_i d.phase)
+    (Mat.mul3 (local d.k1l d.k1r)
+       (Gates.canonical d.x d.y d.z)
+       (local d.k2l d.k2r))
+
+let decompose u =
+  if Mat.rows u <> 4 || Mat.cols u <> 4 then invalid_arg "Kak.decompose: not 4x4";
+  if not (Mat.is_unitary ~tol:1e-8 u) then invalid_arg "Kak.decompose: not unitary";
+  (* 1. Normalize to SU(4), tracking the global phase. *)
+  let det = Mat.det4 u in
+  let phase0 = Cx.arg det /. 4.0 in
+  let su = Mat.scale (Cx.exp_i (-.phase0)) u in
+  (* 2. Move to the magic basis and form the complex symmetric γ = MᵀM. *)
+  let m = Mat.mul3 magic_dag su magic_basis in
+  let gamma = Mat.mul (Mat.transpose m) m in
+  (* 3. Simultaneously diagonalize Re γ and Im γ with a real orthogonal P. *)
+  let p_real = Eig.simultaneous_diagonalize (Mat.re gamma) (Mat.im gamma) in
+  let p_real = if Eig.det p_real < 0.0 then begin
+      Array.iter (fun row -> row.(0) <- -.row.(0)) p_real;
+      p_real
+    end
+    else p_real
+  in
+  let p = Mat.of_re_im p_real (Array.map (Array.map (fun _ -> 0.0)) p_real) in
+  (* 4. Extract the diagonal phases: Pᵀ γ P = diag(e^{2iθ}). *)
+  let diag = Mat.mul3 (Mat.transpose p) gamma p in
+  let theta = Array.init 4 (fun j -> Cx.arg (Mat.get diag j j) /. 2.0) in
+  (* 5. Q1 = M P D⁻¹ is real orthogonal; force det Q1 = +1 by flipping a
+     θ branch if needed. *)
+  let q1_of theta =
+    let d_inv = Mat.init 4 4 (fun i j -> if i = j then Cx.exp_i (-.theta.(i)) else Cx.zero) in
+    Mat.mul3 m p d_inv
+  in
+  let q1 = q1_of theta in
+  let theta, q1 =
+    if Eig.det (Mat.re q1) < 0.0 then begin
+      theta.(0) <- theta.(0) +. Float.pi;
+      (theta, q1_of theta)
+    end
+    else (theta, q1)
+  in
+  (* 6. Interaction coefficients from the orthogonal basis {1,sx,sy,sz}
+     of R⁴: θ = φ·1 + x·sx + y·sy + z·sz exactly. *)
+  let sx, sy, sz = sign_vectors in
+  let dot a b =
+    let acc = ref 0.0 in
+    for i = 0 to 3 do
+      acc := !acc +. (a.(i) *. b.(i))
+    done;
+    !acc
+  in
+  let ones = [| 1.; 1.; 1.; 1. |] in
+  let phi = dot theta ones /. 4.0 in
+  let x = dot theta sx /. 4.0 in
+  let y = dot theta sy /. 4.0 in
+  let z = dot theta sz /. 4.0 in
+  (* 7. Back to the computational basis; factor the local parts. *)
+  let k1 = Mat.mul3 magic_basis q1 magic_dag in
+  let k2 = Mat.mul3 magic_basis (Mat.transpose p) magic_dag in
+  let fail () = invalid_arg "Kak.decompose: local factorization failed" in
+  let k1l, k1r = match factor_tensor_product k1 with Some ab -> ab | None -> fail () in
+  let k2l, k2r = match factor_tensor_product k2 with Some ab -> ab | None -> fail () in
+  (* The tensor factorizations fix their internal phases arbitrarily;
+     recover the exact residual global phase against u. *)
+  let d = { phase = phase0 +. phi; k1l; k1r; x; y; z; k2l; k2r } in
+  let rebuilt = rebuild d in
+  let correction =
+    (* rebuilt = e^{iδ}·u for some δ; find δ from the largest entry. *)
+    let best = ref 0.0 and arg = ref 0.0 in
+    for i = 0 to 3 do
+      for j = 0 to 3 do
+        let zu = Mat.get u i j in
+        let n = Cx.norm zu in
+        if n > !best then begin
+          best := n;
+          arg := Cx.arg zu -. Cx.arg (Mat.get rebuilt i j)
+        end
+      done
+    done;
+    !arg
+  in
+  let d = { d with phase = d.phase +. correction } in
+  if Mat.max_abs_diff (rebuild d) u > 1e-7 then
+    invalid_arg "Kak.decompose: reconstruction check failed";
+  d
+
+type canonical = {
+  cx : float;
+  cy : float;
+  cz : float;
+  c_phase : float;
+  cl : Mat.t;
+  cr : Mat.t;
+}
+
+(* State while canonicalizing: N(v₀) = e^{iφ}·L·N(v)·R. *)
+type canon_state = {
+  mutable v : float array;
+  mutable phi : float;
+  mutable l : Mat.t;
+  mutable r : Mat.t;
+}
+
+let half_pi = Float.pi /. 2.0
+let quarter_pi = Float.pi /. 4.0
+
+(* Conjugation: N(v) = C·N(v')·C† where v' = action(v). *)
+let conjugate st c4 action =
+  st.v <- action st.v;
+  st.l <- Mat.mul st.l c4;
+  st.r <- Mat.mul (Mat.adjoint c4) st.r
+
+(* Shift coordinate k by ±π/2: N(..vk..) = e^{∓iπ/2}·(σ⊗σ)^{±1}... more
+   precisely N(v) = (∓i)·(σₖ⊗σₖ)·N(v ∓ π/2·eₖ) — we fold the phase and
+   the Pauli product into L. *)
+let shift st k step =
+  let pauli = match k with 0 -> Gates.xx | 1 -> Gates.yy | _ -> Gates.zz in
+  (* N(v) = exp(i·step·π/2·σσ) · N(v − step·π/2·eₖ)
+          = (i·step-sign)·σσ · N(v − step·π/2·eₖ) when step = ±1. *)
+  let ph = if step > 0 then half_pi else -.half_pi in
+  st.v.(k) <- st.v.(k) -. (float_of_int step *. half_pi);
+  st.phi <- st.phi +. ph;
+  st.l <- Mat.mul st.l pauli
+
+let swap_correctors =
+  (* c ⊗ c conjugation permutes the interaction coordinates:
+     S swaps x,y; H swaps x,z; Rx(π/2) swaps y,z (tensor squares kill
+     residual Pauli signs). Verified by the test suite. *)
+  [| Gates.s; Gates.h; Gates.rx half_pi |]
+
+let swap_coords st a b =
+  if a <> b then begin
+    let which = match (min a b, max a b) with
+      | 0, 1 -> 0
+      | 0, 2 -> 1
+      | 1, 2 -> 2
+      | _ -> assert false
+    in
+    let c = swap_correctors.(which) in
+    conjugate st (Mat.kron c c) (fun v ->
+        let v = Array.copy v in
+        let tmp = v.(a) in
+        v.(a) <- v.(b);
+        v.(b) <- tmp;
+        v)
+  end
+
+(* Negate the two coordinates other than [spared] by conjugating with
+   σ_spared ⊗ I. *)
+let negate_pair st spared =
+  let sigma = match spared with 0 -> Gates.x | 1 -> Gates.y | _ -> Gates.z in
+  conjugate st (Mat.kron sigma Gates.id2) (fun v ->
+      Array.mapi (fun i vi -> if i = spared then vi else -.vi) v)
+
+let canonicalize x y z =
+  let st = { v = [| x; y; z |]; phi = 0.0; l = Mat.identity 4; r = Mat.identity 4 } in
+  (* 1. Bring each coordinate into (−π/4, π/4] by ±π/2 shifts. *)
+  for k = 0 to 2 do
+    while st.v.(k) > quarter_pi +. 1e-12 do
+      shift st k 1
+    done;
+    while st.v.(k) <= -.quarter_pi -. 1e-12 do
+      shift st k (-1)
+    done
+  done;
+  (* 2. Sort by decreasing absolute value. *)
+  let abs_v k = Float.abs st.v.(k) in
+  let largest =
+    if abs_v 0 >= abs_v 1 && abs_v 0 >= abs_v 2 then 0
+    else if abs_v 1 >= abs_v 2 then 1
+    else 2
+  in
+  swap_coords st 0 largest;
+  if abs_v 1 < abs_v 2 then swap_coords st 1 2;
+  (* 3. Push signs onto z. *)
+  if st.v.(0) < 0.0 && st.v.(1) < 0.0 then negate_pair st 2
+  else if st.v.(0) < 0.0 then negate_pair st 1
+  else if st.v.(1) < 0.0 then negate_pair st 0;
+  (* 4. Boundary: at x = π/4 a negative z can be reflected. *)
+  if st.v.(0) > quarter_pi -. 1e-9 && st.v.(2) < -1e-12 then begin
+    negate_pair st 1;
+    (* x is now −π/4; shift it back up to +π/4. *)
+    shift st 0 (-1)
+  end;
+  {
+    cx = st.v.(0);
+    cy = st.v.(1);
+    cz = st.v.(2);
+    c_phase = st.phi;
+    cl = st.l;
+    cr = st.r;
+  }
+
+let weyl_coordinates u =
+  let d = decompose u in
+  let c = canonicalize d.x d.y d.z in
+  (c.cx, c.cy, c.cz)
+
+let cnot_cost u =
+  let cx, cy, cz = weyl_coordinates u in
+  let zero v = Float.abs v < 1e-8 in
+  if zero cx && zero cy && zero cz then 0
+  else if Float.abs (cx -. quarter_pi) < 1e-8 && zero cy && zero cz then 1
+  else if zero cz then 2
+  else 3

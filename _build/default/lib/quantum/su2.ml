@@ -1,0 +1,32 @@
+open Qca_linalg
+
+type zyz = { alpha : float; beta : float; gamma : float; delta : float }
+
+let zyz u =
+  if Mat.rows u <> 2 || Mat.cols u <> 2 then invalid_arg "Su2.zyz: not 2x2";
+  if not (Mat.is_unitary ~tol:1e-8 u) then invalid_arg "Su2.zyz: not unitary";
+  let det = Mat.det4 u in
+  let alpha = Cx.arg det /. 2.0 in
+  let v = Mat.scale (Cx.exp_i (-.alpha)) u in
+  let v00 = Mat.get v 0 0 and v10 = Mat.get v 1 0 in
+  let gamma = 2.0 *. Float.atan2 (Cx.norm v10) (Cx.norm v00) in
+  let eps = 1e-12 in
+  let beta, delta =
+    if Cx.norm v10 < eps then (-2.0 *. Cx.arg v00, 0.0)
+    else if Cx.norm v00 < eps then (2.0 *. Cx.arg v10, 0.0)
+    else begin
+      let sum = -2.0 *. Cx.arg v00 and diff = 2.0 *. Cx.arg v10 in
+      ((sum +. diff) /. 2.0, (sum -. diff) /. 2.0)
+    end
+  in
+  { alpha; beta; gamma; delta }
+
+let rebuild { alpha; beta; gamma; delta } =
+  Mat.scale (Cx.exp_i alpha) (Mat.mul3 (Gates.rz beta) (Gates.ry gamma) (Gates.rz delta))
+
+let to_u3 u =
+  let d = zyz u in
+  (d.gamma, d.beta, d.delta, d.alpha -. ((d.beta +. d.delta) /. 2.0))
+
+let is_identity ?(tol = 1e-9) u =
+  Mat.equal_up_to_global_phase ~tol u (Mat.identity 2)

@@ -1,0 +1,25 @@
+(** Single-qubit (ZYZ) decomposition. *)
+
+open Qca_linalg
+
+type zyz = {
+  alpha : float;  (** global phase *)
+  beta : float;  (** first (leftmost) Z angle *)
+  gamma : float;  (** Y angle *)
+  delta : float;  (** last (rightmost) Z angle *)
+}
+(** [u = e^{iα} · Rz(β) · Ry(γ) · Rz(δ)]. *)
+
+val zyz : Mat.t -> zyz
+(** Decomposes a 2x2 unitary. Raises [Invalid_argument] on non-unitary
+    input. *)
+
+val rebuild : zyz -> Mat.t
+(** Reconstructs the unitary from its angles (for tests). *)
+
+val to_u3 : Mat.t -> float * float * float * float
+(** [to_u3 u] is [(theta, phi, lambda, phase)] such that
+    [u = e^{i·phase} · Gates.u3 theta phi lambda]. *)
+
+val is_identity : ?tol:float -> Mat.t -> bool
+(** True when the 2x2 unitary is the identity up to global phase. *)

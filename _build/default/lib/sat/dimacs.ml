@@ -1,0 +1,68 @@
+type problem = { num_vars : int; clauses : Lit.t list list }
+
+let parse text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.filter (fun line ->
+           let t = String.trim line in
+           t = "" || (t.[0] <> 'c' && t.[0] <> '%'))
+    |> String.concat " "
+    |> String.split_on_char ' '
+    |> List.filter (fun s -> s <> "")
+  in
+  let skip_header = function
+    | "p" :: "cnf" :: v :: _c :: rest -> (
+      match int_of_string_opt v with
+      | Some v when v >= 0 -> Ok (v, rest)
+      | Some _ | None -> Error "invalid p-line")
+    | [] -> Ok (0, [])
+    | tokens -> Ok (0, tokens)
+  in
+  match skip_header tokens with
+  | Error _ as e -> e
+  | Ok (declared, rest) -> (
+    let rec collect clauses current max_var = function
+      | [] ->
+        if current = [] then Ok (List.rev clauses, max_var)
+        else Error "unterminated final clause"
+      | "0" :: rest -> collect (List.rev current :: clauses) [] max_var rest
+      | tok :: rest -> (
+        match int_of_string_opt tok with
+        | None -> Error (Printf.sprintf "invalid literal %S" tok)
+        | Some 0 -> assert false
+        | Some n ->
+          collect clauses (Lit.of_int n :: current) (max max_var (abs n)) rest)
+    in
+    match collect [] [] declared rest with
+    | Error _ as e -> e
+    | Ok (clauses, max_var) -> Ok { num_vars = max max_var declared; clauses })
+
+let parse_exn text =
+  match parse text with Ok p -> p | Error e -> invalid_arg ("Dimacs: " ^ e)
+
+let to_dimacs p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" p.num_vars (List.length p.clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_int l)))
+        clause;
+      Buffer.add_string buf "0\n")
+    p.clauses;
+  Buffer.contents buf
+
+let load ?options p =
+  let s = Solver.create ?options () in
+  for _ = 1 to p.num_vars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (Solver.add_clause s) p.clauses;
+  s
+
+let solve ?options p =
+  let s = load ?options p in
+  match Solver.solve s with
+  | Solver.Sat -> (Solver.Sat, Some (Solver.model s))
+  | Solver.Unsat -> (Solver.Unsat, None)

@@ -1,0 +1,89 @@
+type t = {
+  mutable heap : int array;  (* heap positions -> var *)
+  mutable size : int;
+  mutable index : int array;  (* var -> heap position, -1 if absent *)
+  mutable act : float array;  (* var -> activity *)
+  mutable cap : int;  (* number of representable vars *)
+}
+
+let create () = { heap = Array.make 16 0; size = 0; index = Array.make 16 (-1); act = Array.make 16 0.0; cap = 0 }
+
+let grow_to t n =
+  if n > Array.length t.index then begin
+    let cap' = max n (2 * Array.length t.index) in
+    let index = Array.make cap' (-1) in
+    Array.blit t.index 0 index 0 (Array.length t.index);
+    let act = Array.make cap' 0.0 in
+    Array.blit t.act 0 act 0 (Array.length t.act);
+    t.index <- index;
+    t.act <- act
+  end;
+  if n > t.cap then t.cap <- n
+
+let in_heap t v = v < Array.length t.index && t.index.(v) >= 0
+
+let swap t i j =
+  let vi = t.heap.(i) and vj = t.heap.(j) in
+  t.heap.(i) <- vj;
+  t.heap.(j) <- vi;
+  t.index.(vi) <- j;
+  t.index.(vj) <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.act.(t.heap.(i)) > t.act.(t.heap.(parent)) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && t.act.(t.heap.(l)) > t.act.(t.heap.(!best)) then best := l;
+  if r < t.size && t.act.(t.heap.(r)) > t.act.(t.heap.(!best)) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let insert t v =
+  grow_to t (v + 1);
+  if not (in_heap t v) then begin
+    if t.size = Array.length t.heap then begin
+      let heap = Array.make (2 * t.size) 0 in
+      Array.blit t.heap 0 heap 0 t.size;
+      t.heap <- heap
+    end;
+    t.heap.(t.size) <- v;
+    t.index.(v) <- t.size;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+
+let pop_max t =
+  if t.size = 0 then None
+  else begin
+    let v = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      t.index.(t.heap.(0)) <- 0;
+      sift_down t 0
+    end;
+    t.index.(v) <- -1;
+    Some v
+  end
+
+let bump t v inc =
+  grow_to t (v + 1);
+  t.act.(v) <- t.act.(v) +. inc;
+  if in_heap t v then sift_up t t.index.(v)
+
+let activity t v = if v < Array.length t.act then t.act.(v) else 0.0
+
+let rescale t factor =
+  for v = 0 to Array.length t.act - 1 do
+    t.act.(v) <- t.act.(v) *. factor
+  done

@@ -1,0 +1,26 @@
+(** Indexed max-heap over variable activities (the VSIDS order). *)
+
+type t
+
+val create : unit -> t
+
+val grow_to : t -> int -> unit
+(** Ensure variables [0..n-1] are representable (new ones start outside
+    the heap with activity 0). *)
+
+val insert : t -> int -> unit
+(** Put a variable (back) into the heap; no-op if already present. *)
+
+val in_heap : t -> int -> bool
+
+val pop_max : t -> int option
+(** Remove and return the variable with the highest activity. *)
+
+val bump : t -> int -> float -> unit
+(** Increase a variable's activity by the given increment, restoring the
+    heap order if needed. *)
+
+val activity : t -> int -> float
+
+val rescale : t -> float -> unit
+(** Multiply all activities by a factor (used to avoid float overflow). *)

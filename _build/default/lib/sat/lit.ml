@@ -1,0 +1,19 @@
+type var = int
+type t = int
+
+let make v polarity = (2 * v) + if polarity then 0 else 1
+let pos v = 2 * v
+let neg_of_var v = (2 * v) + 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let to_int l = if sign l then var l + 1 else -(var l + 1)
+
+let of_int n =
+  if n = 0 then invalid_arg "Lit.of_int: zero";
+  if n > 0 then pos (n - 1) else neg_of_var (-n - 1)
+
+let pp fmt l = Format.fprintf fmt "%d" (to_int l)
+
+let pp_clause fmt lits =
+  Format.fprintf fmt "(%s)" (String.concat " ∨ " (List.map (fun l -> string_of_int (to_int l)) lits))

@@ -1,0 +1,28 @@
+(** Propositional literals.
+
+    Variables are non-negative integers; a literal packs a variable and a
+    polarity into one int ([2·var] positive, [2·var + 1] negative), the
+    classical MiniSat representation. *)
+
+type var = int
+
+type t = int
+
+val make : var -> bool -> t
+(** [make v polarity]; [polarity = true] gives the positive literal. *)
+
+val pos : var -> t
+val neg_of_var : var -> t
+val var : t -> var
+val sign : t -> bool
+(** [true] for positive literals. *)
+
+val negate : t -> t
+val to_int : t -> int
+(** DIMACS-style signed integer ([var+1], negative when negated). *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}. 0 is invalid. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_clause : Format.formatter -> t list -> unit

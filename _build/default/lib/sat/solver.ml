@@ -1,0 +1,531 @@
+module Vec = Qca_util.Vec
+
+type clause = {
+  mutable lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = true }
+
+type options = {
+  use_vsids : bool;
+  use_restarts : bool;
+  use_clause_deletion : bool;
+  var_decay : float;
+  clause_decay : float;
+  restart_base : int;
+  seed : int;
+}
+
+let default_options =
+  {
+    use_vsids = true;
+    use_restarts = true;
+    use_clause_deletion = true;
+    var_decay = 0.95;
+    clause_decay = 0.999;
+    restart_base = 64;
+    seed = 0;
+  }
+
+type result = Sat | Unsat
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+  deleted_clauses : int;
+}
+
+type t = {
+  opts : options;
+  mutable nvars : int;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array;  (* literal -> watching clauses *)
+  mutable assigns : int array;  (* var -> -1 undef / 1 true / 0 false *)
+  mutable phase : bool array;  (* saved phases *)
+  mutable reason : clause array;  (* var -> implying clause or dummy *)
+  mutable level : int array;
+  mutable seen : bool array;
+  trail : int Vec.t;  (* literals, in assignment order *)
+  trail_lim : int Vec.t;  (* trail size at each decision level *)
+  mutable qhead : int;
+  order : Heap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable has_model : bool;
+  mutable core : Lit.t list;
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable n_learnt : int;
+  mutable n_deleted : int;
+}
+
+let create ?(options = default_options) () =
+  {
+    opts = options;
+    nvars = 0;
+    clauses = Vec.create ~dummy:dummy_clause ();
+    learnts = Vec.create ~dummy:dummy_clause ();
+    watches = Array.init 2 (fun _ -> Vec.create ~dummy:dummy_clause ());
+    assigns = Array.make 1 (-1);
+    phase = Array.make 1 false;
+    reason = Array.make 1 dummy_clause;
+    level = Array.make 1 0;
+    seen = Array.make 1 false;
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    order = Heap.create ();
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    has_model = false;
+    core = [];
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_restarts = 0;
+    n_learnt = 0;
+    n_deleted = 0;
+  }
+
+let num_vars t = t.nvars
+let num_clauses t = Vec.length t.clauses
+
+let grow_arrays t n =
+  let old = Array.length t.assigns in
+  if n > old then begin
+    let cap = max n (2 * old) in
+    let copy_arr a fill =
+      let fresh = Array.make cap fill in
+      Array.blit a 0 fresh 0 old;
+      fresh
+    in
+    t.assigns <- copy_arr t.assigns (-1);
+    t.phase <- copy_arr t.phase false;
+    t.reason <- copy_arr t.reason dummy_clause;
+    t.level <- copy_arr t.level 0;
+    t.seen <- copy_arr t.seen false;
+    let oldw = Array.length t.watches in
+    let watches = Array.init (2 * cap) (fun i ->
+        if i < oldw then t.watches.(i) else Vec.create ~dummy:dummy_clause ())
+    in
+    t.watches <- watches
+  end
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  grow_arrays t t.nvars;
+  Heap.grow_to t.order t.nvars;
+  Heap.insert t.order v;
+  v
+
+(* -1 undef / 1 true / 0 false *)
+let var_value t v = t.assigns.(v)
+
+let lit_value_raw t l =
+  let a = t.assigns.(Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level t = Vec.length t.trail_lim
+
+let enqueue t l reason =
+  t.assigns.(Lit.var l) <- 1 lxor (l land 1);
+  t.phase.(Lit.var l) <- Lit.sign l;
+  t.reason.(Lit.var l) <- reason;
+  t.level.(Lit.var l) <- decision_level t;
+  Vec.push t.trail l
+
+let attach_clause t c =
+  Vec.push t.watches.(c.lits.(0)) c;
+  Vec.push t.watches.(c.lits.(1)) c
+
+(* Two-watched-literal propagation. Returns the conflicting clause if
+   any. *)
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < Vec.length t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.n_propagations <- t.n_propagations + 1;
+    let false_lit = Lit.negate p in
+    let ws = t.watches.(false_lit) in
+    let n = Vec.length ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if c.deleted then () (* drop lazily *)
+      else if !conflict <> None then begin
+        (* conflict found: keep remaining watches untouched *)
+        Vec.set ws !j c;
+        incr j
+      end
+      else begin
+        (* ensure the false literal is at position 1 *)
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        if lit_value_raw t c.lits.(0) = 1 then begin
+          (* satisfied: keep watching *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* search replacement watch *)
+          let len = Array.length c.lits in
+          let k = ref 2 in
+          while !k < len && lit_value_raw t c.lits.(!k) = 0 do
+            incr k
+          done;
+          if !k < len then begin
+            (* move watch *)
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- false_lit;
+            Vec.push t.watches.(c.lits.(1)) c
+          end
+          else if lit_value_raw t c.lits.(0) = 0 then begin
+            (* conflict *)
+            Vec.set ws !j c;
+            incr j;
+            conflict := Some c
+          end
+          else begin
+            (* unit *)
+            Vec.set ws !j c;
+            incr j;
+            enqueue t c.lits.(0) c
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+let var_bump t v =
+  Heap.bump t.order v t.var_inc;
+  if Heap.activity t.order v > 1e100 then begin
+    Heap.rescale t.order 1e-100;
+    t.var_inc <- t.var_inc *. 1e-100
+  end
+
+let var_decay_tick t = t.var_inc <- t.var_inc /. t.opts.var_decay
+
+let clause_bump t c =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun cl -> cl.activity <- cl.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let clause_decay_tick t = t.cla_inc <- t.cla_inc /. t.opts.clause_decay
+
+let backtrack_to t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.length t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.assigns.(v) <- -1;
+      t.reason.(v) <- dummy_clause;
+      if not (Heap.in_heap t.order v) then Heap.insert t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.length t.trail
+  end
+
+(* First-UIP conflict analysis. Returns (learnt literals with the
+   asserting literal first, backtrack level). *)
+let analyze t conflict =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let c = ref conflict in
+  let index = ref (Vec.length t.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    clause_bump t !c;
+    let lits = !c.lits in
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = Lit.var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        var_bump t v;
+        if t.level.(v) >= decision_level t then incr counter
+        else learnt := q :: !learnt
+      end
+    done;
+    (* pick the next seen literal from the trail *)
+    while not t.seen.(Lit.var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    p := Vec.get t.trail !index;
+    decr index;
+    let v = Lit.var !p in
+    t.seen.(v) <- false;
+    decr counter;
+    if !counter = 0 then continue := false else c := t.reason.(v)
+  done;
+  let learnt_lits = Lit.negate !p :: !learnt in
+  (* clear seen flags *)
+  List.iter (fun q -> t.seen.(Lit.var q) <- false) !learnt;
+  let back_level =
+    List.fold_left (fun acc q -> max acc t.level.(Lit.var q)) 0 !learnt
+  in
+  (learnt_lits, back_level)
+
+(* A new assumption [failed] is already false: collect the subset of
+   earlier assumptions (plus [failed] itself) that is jointly
+   unsatisfiable with the clauses. *)
+let analyze_final t failed =
+  let core = ref [ failed ] in
+  if decision_level t > 0 then begin
+    t.seen.(Lit.var failed) <- true;
+    let bound = Vec.get t.trail_lim 0 in
+    for i = Vec.length t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      if t.seen.(v) then begin
+        if t.reason.(v) == dummy_clause then
+          (* a decision: decisions below assumption levels are exactly
+             the assumption literals as they were enqueued *)
+          core := l :: !core
+        else
+          Array.iter
+            (fun q -> if t.level.(Lit.var q) > 0 then t.seen.(Lit.var q) <- true)
+            t.reason.(v).lits;
+        t.seen.(v) <- false
+      end
+    done;
+    t.seen.(Lit.var failed) <- false
+  end;
+  !core
+
+let record_learnt t lits =
+  match lits with
+  | [] -> t.ok <- false
+  | [ l ] ->
+    backtrack_to t 0;
+    if lit_value_raw t l = 0 then t.ok <- false
+    else if lit_value_raw t l = -1 then enqueue t l dummy_clause
+  | first :: _ ->
+    let arr = Array.of_list lits in
+    (* watch the asserting literal and a literal from the backtrack
+       level (the second highest level in the clause) *)
+    let best = ref 1 in
+    for k = 2 to Array.length arr - 1 do
+      if t.level.(Lit.var arr.(k)) > t.level.(Lit.var arr.(!best)) then best := k
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp;
+    let c = { lits = arr; activity = 0.0; learnt = true; deleted = false } in
+    Vec.push t.learnts c;
+    t.n_learnt <- t.n_learnt + 1;
+    attach_clause t c;
+    clause_bump t c;
+    enqueue t first c
+
+let reduce_db t =
+  let n = Vec.length t.learnts in
+  if n > 10 then begin
+    Vec.sort (fun a b -> Float.compare b.activity a.activity) t.learnts;
+    let keep = n / 2 in
+    for i = keep to n - 1 do
+      let c = Vec.get t.learnts i in
+      (* don't delete reason clauses or binary clauses *)
+      let is_reason =
+        Array.length c.lits > 0
+        &&
+        let v = Lit.var c.lits.(0) in
+        var_value t v >= 0 && t.reason.(v) == c
+      in
+      if (not is_reason) && Array.length c.lits > 2 then begin
+        c.deleted <- true;
+        t.n_deleted <- t.n_deleted + 1
+      end
+    done;
+    Vec.filter_in_place (fun c -> not c.deleted) t.learnts
+  end
+
+let add_clause t lits =
+  backtrack_to t 0;
+  t.has_model <- false;
+  if t.ok then begin
+    (* normalize: sort, dedupe, drop false lits, detect tautology *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+    in
+    if not tautology then begin
+      List.iter
+        (fun l ->
+          if Lit.var l >= t.nvars then
+            invalid_arg "Solver.add_clause: unknown variable")
+        lits;
+      let lits = List.filter (fun l -> lit_value_raw t l <> 0) lits in
+      let already_sat = List.exists (fun l -> lit_value_raw t l = 1) lits in
+      if not already_sat then
+        match lits with
+        | [] -> t.ok <- false
+        | [ l ] ->
+          enqueue t l dummy_clause;
+          if propagate t <> None then t.ok <- false
+        | _ ->
+          let c =
+            { lits = Array.of_list lits; activity = 0.0; learnt = false; deleted = false }
+          in
+          Vec.push t.clauses c;
+          attach_clause t c
+    end
+  end
+
+(* Luby sequence 1 1 2 1 1 2 4 1 1 2 ... (0-indexed), after MiniSat. *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let pick_branch_var t =
+  if t.opts.use_vsids then begin
+    let rec pop () =
+      match Heap.pop_max t.order with
+      | None -> None
+      | Some v -> if var_value t v < 0 then Some v else pop ()
+    in
+    pop ()
+  end
+  else begin
+    let rec scan v =
+      if v >= t.nvars then None
+      else if var_value t v < 0 then Some v
+      else scan (v + 1)
+    in
+    scan 0
+  end
+
+exception Answered of result
+
+let solve ?(assumptions = []) t =
+  t.has_model <- false;
+  t.core <- [];
+  backtrack_to t 0;
+  if not t.ok then Unsat
+  else if propagate t <> None then begin
+    t.ok <- false;
+    Unsat
+  end
+  else begin
+    let assumptions = Array.of_list assumptions in
+    let restart_count = ref 0 in
+    let conflicts_until_restart =
+      ref (if t.opts.use_restarts then t.opts.restart_base * luby 0 else max_int)
+    in
+    let learnt_limit = ref (max 1000 (2 * Vec.length t.clauses)) in
+    try
+      while true do
+        match propagate t with
+        | Some conflict ->
+          t.n_conflicts <- t.n_conflicts + 1;
+          decr conflicts_until_restart;
+          if decision_level t = 0 then begin
+            t.ok <- false;
+            raise (Answered Unsat)
+          end;
+          let learnt, back_level = analyze t conflict in
+          backtrack_to t back_level;
+          record_learnt t learnt;
+          if not t.ok then raise (Answered Unsat);
+          var_decay_tick t;
+          clause_decay_tick t
+        | None ->
+          if t.opts.use_restarts && !conflicts_until_restart <= 0 then begin
+            incr restart_count;
+            t.n_restarts <- t.n_restarts + 1;
+            conflicts_until_restart :=
+              t.opts.restart_base * luby !restart_count;
+            backtrack_to t 0
+          end
+          else if
+            t.opts.use_clause_deletion && Vec.length t.learnts > !learnt_limit
+          then begin
+            learnt_limit := !learnt_limit + (!learnt_limit / 2);
+            reduce_db t
+          end
+          else if decision_level t < Array.length assumptions then begin
+            (* assumption decisions come first *)
+            let a = assumptions.(decision_level t) in
+            match lit_value_raw t a with
+            | 1 ->
+              (* already true: open an empty decision level *)
+              Vec.push t.trail_lim (Vec.length t.trail)
+            | 0 ->
+              t.core <- analyze_final t a;
+              raise (Answered Unsat)
+            | _ ->
+              Vec.push t.trail_lim (Vec.length t.trail);
+              t.n_decisions <- t.n_decisions + 1;
+              enqueue t a dummy_clause
+          end
+          else begin
+            match pick_branch_var t with
+            | None ->
+              t.has_model <- true;
+              raise (Answered Sat)
+            | Some v ->
+              t.n_decisions <- t.n_decisions + 1;
+              Vec.push t.trail_lim (Vec.length t.trail);
+              enqueue t (Lit.make v t.phase.(v)) dummy_clause
+          end
+      done;
+      assert false
+    with Answered r ->
+      if r = Sat then () else ();
+      r
+  end
+
+let value t v =
+  if not t.has_model then invalid_arg "Solver.value: no model";
+  if v < 0 || v >= t.nvars then invalid_arg "Solver.value: unknown variable";
+  t.assigns.(v) = 1
+
+let lit_value t l = if Lit.sign l then value t (Lit.var l) else not (value t (Lit.var l))
+
+let model t = Array.init t.nvars (fun v -> value t v)
+
+let unsat_core t = t.core
+
+let stats t =
+  {
+    conflicts = t.n_conflicts;
+    decisions = t.n_decisions;
+    propagations = t.n_propagations;
+    restarts = t.n_restarts;
+    learnt_clauses = t.n_learnt;
+    deleted_clauses = t.n_deleted;
+  }

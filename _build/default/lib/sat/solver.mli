@@ -1,0 +1,65 @@
+(** CDCL SAT solver.
+
+    A MiniSat-style conflict-driven clause-learning solver: two-watched-
+    literal propagation, first-UIP clause learning, VSIDS decision
+    order with phase saving, Luby restarts, and activity-based learnt
+    clause deletion. Incremental use is supported through
+    [solve ~assumptions] and adding clauses between calls; an
+    unsatisfiable core over the assumptions is available after an UNSAT
+    answer.
+
+    The heuristic components can be switched off individually (see
+    {!options}) — the evaluation harness uses this for the solver
+    ablation benchmarks. *)
+
+type t
+
+type options = {
+  use_vsids : bool;  (** VSIDS decision order (else lowest-index-first) *)
+  use_restarts : bool;
+  use_clause_deletion : bool;
+  var_decay : float;  (** VSIDS decay, e.g. 0.95 *)
+  clause_decay : float;
+  restart_base : int;  (** conflicts per Luby unit *)
+  seed : int;  (** reserved for randomized polarity experiments *)
+}
+
+val default_options : options
+
+type result = Sat | Unsat
+
+val create : ?options:options -> unit -> t
+
+val new_var : t -> Lit.var
+val num_vars : t -> int
+val num_clauses : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Adds a clause (permanently). Tautologies are dropped; duplicate
+    literals merged. Adding the empty clause (or deriving a root-level
+    conflict) makes every future {!solve} return [Unsat]. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+
+val value : t -> Lit.var -> bool
+(** Model value after [Sat]; raises [Invalid_argument] otherwise. *)
+
+val lit_value : t -> Lit.t -> bool
+
+val model : t -> bool array
+(** Copy of the full model after [Sat]. *)
+
+val unsat_core : t -> Lit.t list
+(** After [Unsat] under assumptions: a subset of the assumptions that is
+    already unsatisfiable together with the clauses. *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+  deleted_clauses : int;
+}
+
+val stats : t -> stats

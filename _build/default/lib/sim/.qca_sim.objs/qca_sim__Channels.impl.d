@@ -1,0 +1,1 @@
+lib/sim/channels.ml: Array Cx Float Gates List Mat Qca_linalg Qca_quantum Qca_util

@@ -1,0 +1,1 @@
+lib/sim/channels.mli: Mat Qca_linalg

@@ -1,0 +1,1 @@
+lib/sim/density.ml: Array Channels Cx Float List Mat Qca_circuit Qca_linalg

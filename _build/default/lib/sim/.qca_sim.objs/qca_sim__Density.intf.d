@@ -1,0 +1,1 @@
+lib/sim/density.mli: Channels Cx Mat Qca_circuit Qca_linalg

@@ -1,0 +1,1 @@
+lib/sim/hellinger.ml: Array Float

@@ -1,0 +1,1 @@
+lib/sim/statevector.ml: Array Cx Float Mat Qca_circuit Qca_linalg

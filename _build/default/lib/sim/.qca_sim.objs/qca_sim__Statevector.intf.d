@@ -1,0 +1,1 @@
+lib/sim/statevector.mli: Cx Qca_circuit Qca_linalg

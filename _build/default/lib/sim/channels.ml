@@ -1,0 +1,125 @@
+open Qca_linalg
+open Qca_quantum
+
+type t = Mat.t list
+
+let is_trace_preserving ?(tol = 1e-9) kraus =
+  match kraus with
+  | [] -> false
+  | k0 :: _ ->
+    let d = Mat.rows k0 in
+    let sum =
+      List.fold_left
+        (fun acc k -> Mat.add acc (Mat.mul (Mat.adjoint k) k))
+        (Mat.zeros d d) kraus
+    in
+    Mat.approx_equal ~tol sum (Mat.identity d)
+
+let paulis1 = [ Gates.id2; Gates.x; Gates.y; Gates.z ]
+
+let rec pauli_strings n =
+  if n = 0 then [ Mat.identity 1 ]
+  else
+    let rest = pauli_strings (n - 1) in
+    List.concat_map (fun p -> List.map (fun r -> Mat.kron p r) rest) paulis1
+
+let depolarizing ~num_qubits ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Channels.depolarizing: p out of range";
+  let d2 = float_of_int (1 lsl (2 * num_qubits)) in
+  (* ρ → (1−p)ρ + (p/d²)·Σ_P PρP, with the identity term getting the
+     combined weight 1 − p + p/d². *)
+  let w_id = sqrt (1.0 -. p +. (p /. d2)) in
+  let w_p = sqrt (p /. d2) in
+  match pauli_strings num_qubits with
+  | [] -> assert false
+  | identity :: rest ->
+    Mat.scale (Cx.of_float w_id) identity
+    :: List.map (fun pm -> Mat.scale (Cx.of_float w_p) pm) rest
+
+let depolarizing_of_fidelity ~num_qubits ~fidelity =
+  if fidelity <= 0.0 || fidelity > 1.0 then
+    invalid_arg "Channels.depolarizing_of_fidelity: fidelity out of range";
+  let d = float_of_int (1 lsl num_qubits) in
+  let p = (1.0 -. fidelity) *. d /. (d -. 1.0) in
+  depolarizing ~num_qubits ~p:(Qca_util.Numeric.clamp 0.0 1.0 p)
+
+let amplitude_damping ~gamma =
+  if gamma < 0.0 || gamma > 1.0 then invalid_arg "Channels.amplitude_damping";
+  let r = Cx.of_float in
+  [
+    Mat.of_lists [ [ Cx.one; Cx.zero ]; [ Cx.zero; r (sqrt (1.0 -. gamma)) ] ];
+    Mat.of_lists [ [ Cx.zero; r (sqrt gamma) ]; [ Cx.zero; Cx.zero ] ];
+  ]
+
+let phase_damping ~lambda =
+  if lambda < 0.0 || lambda > 1.0 then invalid_arg "Channels.phase_damping";
+  (* equivalent to applying Z with probability (1 − √(1−λ))/2 *)
+  let pz = (1.0 -. sqrt (1.0 -. lambda)) /. 2.0 in
+  [
+    Mat.scale (Cx.of_float (sqrt (1.0 -. pz))) Gates.id2;
+    Mat.scale (Cx.of_float (sqrt pz)) Gates.z;
+  ]
+
+let compose a b =
+  List.concat_map (fun ka -> List.map (fun kb -> Mat.mul ka kb) b) a
+
+let thermal_relaxation ~t1 ~t2 ~duration =
+  if duration < 0.0 then invalid_arg "Channels.thermal_relaxation: negative time";
+  if t2 > 2.0 *. t1 +. 1e-9 then
+    invalid_arg "Channels.thermal_relaxation: T2 must be ≤ 2·T1";
+  let gamma = 1.0 -. exp (-.duration /. t1) in
+  let rate_phi = (1.0 /. t2) -. (1.0 /. (2.0 *. t1)) in
+  let lambda =
+    if rate_phi <= 0.0 then 0.0 else 1.0 -. exp (-.duration *. rate_phi)
+  in
+  compose (phase_damping ~lambda) (amplitude_damping ~gamma)
+
+let one_pauli_mix terms =
+  let total = List.fold_left (fun acc (p, _) -> acc +. p) 0.0 terms in
+  if total > 1.0 +. 1e-12 then invalid_arg "Channels: probabilities exceed 1";
+  List.iter (fun (p, _) -> if p < 0.0 then invalid_arg "Channels: negative probability") terms;
+  Mat.scale (Cx.of_float (Float.sqrt (Float.max 0.0 (1.0 -. total)))) Gates.id2
+  :: List.filter_map
+       (fun (p, sigma) ->
+         if p = 0.0 then None
+         else Some (Mat.scale (Cx.of_float (Float.sqrt p)) sigma))
+       terms
+
+let bit_flip ~p = one_pauli_mix [ (p, Gates.x) ]
+let phase_flip ~p = one_pauli_mix [ (p, Gates.z) ]
+
+let pauli_channel ~px ~py ~pz =
+  one_pauli_mix [ (px, Gates.x); (py, Gates.y); (pz, Gates.z) ]
+
+let apply_readout_error ~p01 ~p10 dist =
+  if p01 < 0.0 || p01 > 1.0 || p10 < 0.0 || p10 > 1.0 then
+    invalid_arg "Channels.apply_readout_error: probabilities out of range";
+  let len = Array.length dist in
+  if len = 0 || len land (len - 1) <> 0 then
+    invalid_arg "Channels.apply_readout_error: length must be a power of two";
+  let n =
+    let rec bits k acc = if k = 1 then acc else bits (k lsr 1) (acc + 1) in
+    bits len 0
+  in
+  (* apply the 2x2 confusion matrix qubit by qubit *)
+  let confuse dist q =
+    let out = Array.make len 0.0 in
+    let bit = 1 lsl (n - 1 - q) in
+    Array.iteri
+      (fun i p ->
+        if i land bit = 0 then begin
+          out.(i) <- out.(i) +. (p *. (1.0 -. p01));
+          out.(i lor bit) <- out.(i lor bit) +. (p *. p01)
+        end
+        else begin
+          out.(i) <- out.(i) +. (p *. (1.0 -. p10));
+          out.(i land lnot bit) <- out.(i land lnot bit) +. (p *. p10)
+        end)
+      dist;
+    out
+  in
+  let result = ref dist in
+  for q = 0 to n - 1 do
+    result := confuse !result q
+  done;
+  !result

@@ -1,0 +1,52 @@
+(** Quantum noise channels as Kraus-operator sets.
+
+    Used by {!Density} to model the paper's noise: a depolarizing
+    channel per gate whose strength matches the gate's average fidelity,
+    and thermal relaxation (T1 amplitude damping composed with T2-derived
+    pure dephasing) during qubit idle windows (section V-B). *)
+
+open Qca_linalg
+
+type t = Mat.t list
+(** Kraus operators [Kᵢ] with [Σ Kᵢ†Kᵢ = I]. *)
+
+val is_trace_preserving : ?tol:float -> t -> bool
+
+val depolarizing : num_qubits:int -> p:float -> t
+(** [ρ ↦ (1−p)·ρ + p·I/d], [d = 2ⁿ], as [4ⁿ] Pauli-string Kraus
+    operators. [p] must lie in [\[0, 1\]]. *)
+
+val depolarizing_of_fidelity : num_qubits:int -> fidelity:float -> t
+(** Depolarizing channel whose {e average gate fidelity} equals
+    [fidelity]: [p = (1 − F)·d/(d − 1)]. *)
+
+val amplitude_damping : gamma:float -> t
+(** Single-qubit T1 decay with [γ = 1 − e^{−t/T1}]. *)
+
+val phase_damping : lambda:float -> t
+(** Single-qubit pure dephasing with [λ = 1 − e^{−t/Tφ}]. *)
+
+val thermal_relaxation : t1:float -> t2:float -> duration:float -> t
+(** Idle-time channel: amplitude damping for [t1] composed with the
+    pure dephasing left over once T1's dephasing contribution is
+    removed ([1/Tφ = 1/t2 − 1/(2·t1)]). Requires [t2 ≤ 2·t1]. *)
+
+val compose : t -> t -> t
+(** [compose a b] applies [b] first, then [a] (Kraus products). *)
+
+val bit_flip : p:float -> t
+(** Applies X with probability [p]. *)
+
+val phase_flip : p:float -> t
+(** Applies Z with probability [p]. *)
+
+val pauli_channel : px:float -> py:float -> pz:float -> t
+(** Applies X/Y/Z with the given probabilities (their sum must be
+    ≤ 1). *)
+
+val apply_readout_error :
+  p01:float -> p10:float -> float array -> float array
+(** Classical readout confusion applied independently per qubit to a
+    measurement distribution: [p01] is the probability of reading 1 for
+    a true 0 and [p10] the converse. The array length fixes the qubit
+    count (a power of two; qubit 0 most significant). *)

@@ -1,0 +1,104 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Schedule = Qca_circuit.Schedule
+
+open Qca_linalg
+
+type t = { n : int; rho : Mat.t }
+
+let init n =
+  if n < 1 || n > Circuit.max_unitary_qubits then invalid_arg "Density.init";
+  let d = 1 lsl n in
+  let rho = Mat.zeros d d in
+  Mat.set rho 0 0 Cx.one;
+  { n; rho }
+
+let num_qubits t = t.n
+let matrix t = t.rho
+
+let trace t = (Mat.trace t.rho).Cx.re
+
+let apply_unitary t u wires =
+  let full = Circuit.embed u wires t.n in
+  { t with rho = Mat.mul3 full t.rho (Mat.adjoint full) }
+
+let apply_channel t kraus wires =
+  let d = 1 lsl t.n in
+  let acc = ref (Mat.zeros d d) in
+  List.iter
+    (fun k ->
+      let full = Circuit.embed k wires t.n in
+      acc := Mat.add !acc (Mat.mul3 full t.rho (Mat.adjoint full)))
+    kraus;
+  { t with rho = !acc }
+
+let apply_gate t = function
+  | Gate.Single (g, q) -> apply_unitary t (Gate.single_matrix g) [ q ]
+  | Gate.Two (g, a, b) -> apply_unitary t (Gate.two_matrix g) [ a; b ]
+
+let probabilities t =
+  let d = 1 lsl t.n in
+  Array.init d (fun i -> Float.max 0.0 (Mat.get t.rho i i).Cx.re)
+
+let purity t = (Mat.trace (Mat.mul t.rho t.rho)).Cx.re
+
+let fidelity_to_pure t psi =
+  let d = 1 lsl t.n in
+  if Array.length psi <> d then invalid_arg "Density.fidelity_to_pure";
+  (* ⟨ψ|ρ|ψ⟩ *)
+  let rho_psi = Mat.apply_vec t.rho psi in
+  let acc = ref Cx.zero in
+  for i = 0 to d - 1 do
+    acc := Cx.add !acc (Cx.mul (Cx.conj psi.(i)) rho_psi.(i))
+  done;
+  !acc.Cx.re
+
+type noise = {
+  gate_fidelity : Gate.t -> float;
+  duration : Gate.t -> int;
+  t1 : float;
+  t2 : float;
+}
+
+let run_ideal circuit =
+  let state = ref (init (Circuit.num_qubits circuit)) in
+  Array.iter (fun g -> state := apply_gate !state g) (Circuit.gates circuit);
+  !state
+
+(* Gates execute in circuit order; per-qubit idle relaxation is applied
+   just before each gate for the window since the qubit's previous
+   activity, and once more at the end up to the makespan. Channels on
+   disjoint qubits commute, so this matches the chronological order of
+   the ASAP schedule. *)
+let run_noisy noise circuit =
+  let n = Circuit.num_qubits circuit in
+  let sch = Schedule.schedule ~dur:noise.duration circuit in
+  let cursor = Array.make n 0 in
+  let state = ref (init n) in
+  let relax q until =
+    if until > cursor.(q) then begin
+      let duration = float_of_int (until - cursor.(q)) in
+      let chan = Channels.thermal_relaxation ~t1:noise.t1 ~t2:noise.t2 ~duration in
+      state := apply_channel !state chan [ q ];
+      cursor.(q) <- until
+    end
+  in
+  Array.iteri
+    (fun i g ->
+      let wires = Gate.qubits g in
+      List.iter (fun q -> relax q sch.Schedule.starts.(i)) wires;
+      state := apply_gate !state g;
+      let f = noise.gate_fidelity g in
+      if f < 1.0 then begin
+        let chan =
+          Channels.depolarizing_of_fidelity ~num_qubits:(List.length wires)
+            ~fidelity:f
+        in
+        state := apply_channel !state chan wires
+      end;
+      List.iter (fun q -> cursor.(q) <- sch.Schedule.finishes.(i)) wires)
+    (Circuit.gates circuit);
+  for q = 0 to n - 1 do
+    relax q sch.Schedule.makespan
+  done;
+  !state

@@ -1,0 +1,55 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Schedule = Qca_circuit.Schedule
+
+(** Exact density-matrix simulation.
+
+    Suitable for the paper's evaluation sizes (≤ 4 qubits): states are
+    full [2ⁿ × 2ⁿ] density matrices, channels are applied exactly (no
+    sampling noise), and measurement distributions are read off the
+    diagonal. *)
+
+open Qca_linalg
+
+type t
+
+val init : int -> t
+(** [init n] is |0…0⟩⟨0…0| on [n] qubits. *)
+
+val num_qubits : t -> int
+val matrix : t -> Mat.t
+val trace : t -> float
+
+val apply_unitary : t -> Mat.t -> int list -> t
+(** [apply_unitary rho u wires]: [u] acts on [wires] (msb first). *)
+
+val apply_channel : t -> Channels.t -> int list -> t
+(** Applies a Kraus channel on the given wires. *)
+
+val apply_gate : t -> Gate.t -> t
+
+val probabilities : t -> float array
+(** Measurement distribution over the [2ⁿ] computational basis states
+    (the diagonal, clamped to non-negative reals). *)
+
+val purity : t -> float
+(** [tr(ρ²)]. *)
+
+val fidelity_to_pure : t -> Cx.t array -> float
+(** [⟨ψ|ρ|ψ⟩] against a pure state vector. *)
+
+type noise = {
+  gate_fidelity : Gate.t -> float;
+      (** average fidelity of each gate; 1.0 means noiseless *)
+  duration : Gate.t -> int;  (** ns, for scheduling idle windows *)
+  t1 : float;  (** ns *)
+  t2 : float;  (** ns *)
+}
+
+val run_ideal : Circuit.t -> t
+
+val run_noisy : noise -> Circuit.t -> t
+(** Simulates the circuit with a depolarizing channel after every gate
+    (strength from [gate_fidelity]) and thermal relaxation on every
+    idle window of the ASAP schedule, including trailing idle time up
+    to the circuit makespan (the paper's Eq. 7 noise model). *)

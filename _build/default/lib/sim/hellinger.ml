@@ -1,0 +1,24 @@
+let normalize p =
+  let s = Array.fold_left ( +. ) 0.0 p in
+  if s <= 0.0 then invalid_arg "Hellinger: empty distribution";
+  Array.map (fun x -> Float.max 0.0 x /. s) p
+
+let bhattacharyya p q =
+  if Array.length p <> Array.length q then invalid_arg "Hellinger: length mismatch";
+  let p = normalize p and q = normalize q in
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> acc := !acc +. sqrt (pi *. q.(i))) p;
+  !acc
+
+let fidelity p q =
+  let b = bhattacharyya p q in
+  b *. b
+
+let distance p q = sqrt (Float.max 0.0 (1.0 -. bhattacharyya p q))
+
+let total_variation p q =
+  if Array.length p <> Array.length q then invalid_arg "Hellinger: length mismatch";
+  let p = normalize p and q = normalize q in
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> acc := !acc +. Float.abs (pi -. q.(i))) p;
+  !acc /. 2.0

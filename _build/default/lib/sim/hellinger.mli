@@ -1,0 +1,11 @@
+(** Distribution distances between measurement outcomes. *)
+
+val fidelity : float array -> float array -> float
+(** Hellinger fidelity [(Σᵢ √(pᵢ·qᵢ))²] between two distributions
+    (the quantity reported in the paper's Fig. 7). Arrays must have the
+    same length; inputs are renormalized defensively. *)
+
+val distance : float array -> float array -> float
+(** Hellinger distance [√(1 − Σ √(pᵢqᵢ))]. *)
+
+val total_variation : float array -> float array -> float

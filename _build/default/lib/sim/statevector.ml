@@ -1,0 +1,107 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+open Qca_linalg
+
+type t = { n : int; amp : Cx.t array }
+
+let init n =
+  if n < 1 || n > 20 then invalid_arg "Statevector.init: 1..20 qubits";
+  let amp = Array.make (1 lsl n) Cx.zero in
+  amp.(0) <- Cx.one;
+  { n; amp }
+
+let num_qubits t = t.n
+let amplitudes t = Array.copy t.amp
+
+let norm2 amp = Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 amp
+
+let of_amplitudes amp =
+  let len = Array.length amp in
+  if len = 0 || len land (len - 1) <> 0 then
+    invalid_arg "Statevector.of_amplitudes: length must be a power of two";
+  let n =
+    let rec bits k acc = if k = 1 then acc else bits (k lsr 1) (acc + 1) in
+    bits len 0
+  in
+  if n < 1 then invalid_arg "Statevector.of_amplitudes: need at least one qubit";
+  if Float.abs (norm2 amp -. 1.0) > 1e-6 then
+    invalid_arg "Statevector.of_amplitudes: not normalized";
+  { n; amp = Array.copy amp }
+
+(* Apply a 2x2 matrix to one qubit: pairs of amplitudes differing only
+   in bit q (counted with qubit 0 most significant). *)
+let apply1 t m q =
+  let amp = Array.copy t.amp in
+  let bit = 1 lsl (t.n - 1 - q) in
+  let m00 = Mat.get m 0 0 and m01 = Mat.get m 0 1 in
+  let m10 = Mat.get m 1 0 and m11 = Mat.get m 1 1 in
+  for i = 0 to Array.length amp - 1 do
+    if i land bit = 0 then begin
+      let j = i lor bit in
+      let a0 = t.amp.(i) and a1 = t.amp.(j) in
+      amp.(i) <- Cx.add (Cx.mul m00 a0) (Cx.mul m01 a1);
+      amp.(j) <- Cx.add (Cx.mul m10 a0) (Cx.mul m11 a1)
+    end
+  done;
+  { t with amp }
+
+(* Apply a 4x4 matrix to the ordered qubit pair (a msb, b lsb). *)
+let apply2 t m a b =
+  let amp = Array.copy t.amp in
+  let bit_a = 1 lsl (t.n - 1 - a) and bit_b = 1 lsl (t.n - 1 - b) in
+  for i = 0 to Array.length amp - 1 do
+    if i land bit_a = 0 && i land bit_b = 0 then begin
+      let idx =
+        [| i; i lor bit_b; i lor bit_a; i lor bit_a lor bit_b |]
+      in
+      let v = Array.map (fun k -> t.amp.(k)) idx in
+      for r = 0 to 3 do
+        let acc = ref Cx.zero in
+        for c = 0 to 3 do
+          acc := Cx.add !acc (Cx.mul (Mat.get m r c) v.(c))
+        done;
+        amp.(idx.(r)) <- !acc
+      done
+    end
+  done;
+  { t with amp }
+
+let apply_gate t = function
+  | Gate.Single (g, q) ->
+    if q < 0 || q >= t.n then invalid_arg "Statevector.apply_gate: bad wire";
+    apply1 t (Gate.single_matrix g) q
+  | Gate.Two (g, a, b) ->
+    if a < 0 || a >= t.n || b < 0 || b >= t.n || a = b then
+      invalid_arg "Statevector.apply_gate: bad wires";
+    apply2 t (Gate.two_matrix g) a b
+
+let run circuit =
+  Array.fold_left apply_gate
+    (init (Circuit.num_qubits circuit))
+    (Circuit.gates circuit)
+
+let probabilities t = Array.map Cx.norm2 t.amp
+
+let inner_product a b =
+  if a.n <> b.n then invalid_arg "Statevector.inner_product: size mismatch";
+  let acc = ref Cx.zero in
+  Array.iteri (fun i za -> acc := Cx.add !acc (Cx.mul (Cx.conj za) b.amp.(i))) a.amp;
+  !acc
+
+let fidelity a b = Cx.norm2 (inner_product a b)
+
+let expectation_z t q =
+  if q < 0 || q >= t.n then invalid_arg "Statevector.expectation_z: bad wire";
+  let bit = 1 lsl (t.n - 1 - q) in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i z ->
+      let p = Cx.norm2 z in
+      acc := !acc +. if i land bit = 0 then p else -.p)
+    t.amp;
+  !acc
+
+let normalize t =
+  let n = sqrt (norm2 t.amp) in
+  if n < 1e-300 then invalid_arg "Statevector.normalize: zero vector";
+  { t with amp = Array.map (Cx.scale (1.0 /. n)) t.amp }

@@ -1,0 +1,43 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+
+(** Pure-state (statevector) simulation.
+
+    Cheaper than {!Density} by a factor of the Hilbert-space dimension;
+    used for ideal-output distributions, cross-checks of the
+    density-matrix simulator, and the examples. Amplitudes are stored
+    with qubit 0 as the most significant address bit, matching
+    {!Qca_circuit.Circuit.unitary}. *)
+
+open Qca_linalg
+
+type t
+
+val init : int -> t
+(** |0…0⟩ on [n] qubits (1 ≤ n ≤ 20). *)
+
+val of_amplitudes : Cx.t array -> t
+(** Validates length (a power of two) and normalization. *)
+
+val num_qubits : t -> int
+val amplitudes : t -> Cx.t array
+(** A copy. *)
+
+val apply_gate : t -> Gate.t -> t
+(** Applies a gate in place on a fresh copy. *)
+
+val run : Circuit.t -> t
+(** Simulates the whole circuit from |0…0⟩. *)
+
+val probabilities : t -> float array
+
+val inner_product : t -> t -> Cx.t
+(** ⟨a|b⟩. *)
+
+val fidelity : t -> t -> float
+(** |⟨a|b⟩|². *)
+
+val expectation_z : t -> int -> float
+(** ⟨Z_q⟩ of one qubit. *)
+
+val normalize : t -> t

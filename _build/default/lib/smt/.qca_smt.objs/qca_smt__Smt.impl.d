@@ -1,0 +1,1 @@
+lib/smt/smt.ml: Array Hashtbl List Lit Qca_diff_logic Qca_sat Solver

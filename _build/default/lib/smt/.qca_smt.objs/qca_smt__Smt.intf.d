@@ -1,0 +1,1 @@
+lib/smt/smt.mli: Lit Qca_sat Solver

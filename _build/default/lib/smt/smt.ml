@@ -1,0 +1,142 @@
+open Qca_sat
+module Dl = Qca_diff_logic.Dl
+
+type ivar = int
+
+type direction = Le | Ge
+
+type atom = { ax : ivar; ay : ivar; ak : int; dir : direction; lit : Lit.t }
+
+type t = {
+  sat : Solver.t;
+  mutable num_ints : int;
+  mutable int_names : string list;  (* reversed *)
+  atoms : (int * int * int * bool, Lit.t) Hashtbl.t;  (* last key part: true = Le *)
+  mutable atom_list : atom list;
+  mutable int_model : int array;  (* last consistent assignment *)
+  mutable n_theory_conflicts : int;
+  mutable n_rounds : int;
+}
+
+let create ?options () =
+  let sat = Solver.create ?options () in
+  let t =
+    {
+      sat;
+      num_ints = 0;
+      int_names = [];
+      atoms = Hashtbl.create 64;
+      atom_list = [];
+      int_model = [||];
+      n_theory_conflicts = 0;
+      n_rounds = 0;
+    }
+  in
+  (* variable 0 is the origin *)
+  t.num_ints <- 1;
+  t.int_names <- [ "origin" ];
+  t
+
+let solver t = t.sat
+let new_bool t = Solver.new_var t.sat
+let add_clause t lits = Solver.add_clause t.sat lits
+
+let new_int t name =
+  let v = t.num_ints in
+  t.num_ints <- v + 1;
+  t.int_names <- name :: t.int_names;
+  v
+
+let origin _t = 0
+
+let make_atom t x y k dir =
+  let is_le = dir = Le in
+  match Hashtbl.find_opt t.atoms (x, y, k, is_le) with
+  | Some lit -> lit
+  | None ->
+    let lit = Lit.pos (Solver.new_var t.sat) in
+    Hashtbl.add t.atoms (x, y, k, is_le) lit;
+    t.atom_list <- { ax = x; ay = y; ak = k; dir; lit } :: t.atom_list;
+    lit
+
+let atom_le t x y k = make_atom t x y k Le
+let atom_ge t x y k = make_atom t x y k Ge
+
+type verdict = Sat | Unsat
+
+(* Atoms are monotone (one-sided): only atoms assigned true contribute a
+   constraint; a false atom means nothing. This is sound because the
+   encodings in this repository only ever use atom literals positively,
+   and it prevents the lazy theory loop from chasing spurious negative
+   cycles created by don't-care atoms. A Ge atom x − y ≥ k is the
+   difference constraint y − x ≤ −k. *)
+let theory_constraints t =
+  List.filter_map
+    (fun a ->
+      if not (Solver.lit_value t.sat a.lit) then None
+      else
+        match a.dir with
+        | Le -> Some { Dl.x = a.ax; y = a.ay; k = a.ak; tag = a.lit }
+        | Ge -> Some { Dl.x = a.ay; y = a.ax; k = -a.ak; tag = a.lit })
+    t.atom_list
+
+let rec solve_loop t assumptions fuel =
+  if fuel <= 0 then failwith "Smt.solve: theory refinement did not converge";
+  t.n_rounds <- t.n_rounds + 1;
+  match Solver.solve ~assumptions t.sat with
+  | Solver.Unsat -> Unsat
+  | Solver.Sat ->
+    let constraints = theory_constraints t in
+    (match Dl.check ~num_vars:t.num_ints constraints with
+    | Dl.Consistent values ->
+      t.int_model <- values;
+      Sat
+    | Dl.Negative_cycle blamed ->
+      t.n_theory_conflicts <- t.n_theory_conflicts + 1;
+      (* the conjunction of blamed literals is theory-inconsistent *)
+      Solver.add_clause t.sat (List.map Lit.negate blamed);
+      solve_loop t assumptions (fuel - 1))
+
+let solve ?(assumptions = []) t =
+  t.n_rounds <- 0;
+  solve_loop t assumptions 1_000_000
+
+let bool_value t v = Solver.value t.sat v
+let lit_value t l = Solver.lit_value t.sat l
+
+let int_value t v =
+  if v < 0 || v >= t.num_ints then invalid_arg "Smt.int_value: unknown variable";
+  if Array.length t.int_model = 0 then invalid_arg "Smt.int_value: no model";
+  t.int_model.(v) - t.int_model.(0)
+
+type opt_stats = { rounds : int; theory_conflicts : int }
+
+let stats t = { rounds = t.n_rounds; theory_conflicts = t.n_theory_conflicts }
+
+let minimize t ~evaluate ~prune ~block ?(assumptions = [])
+    ?(max_rounds = 100_000) () =
+  let total_rounds = ref 0 in
+  let conflicts_before = t.n_theory_conflicts in
+  let rec improve best rounds =
+    if rounds > max_rounds then failwith "Smt.minimize: round limit exhausted";
+    let extra = match best with None -> [] | Some b -> prune ~best:b in
+    match solve ~assumptions:(assumptions @ extra) t with
+    | Unsat -> best
+    | Sat ->
+      total_rounds := !total_rounds + 1;
+      let v = evaluate () in
+      let best' =
+        match best with Some b when b <= v -> best | _ -> Some v
+      in
+      add_clause t (block ());
+      improve best' (rounds + 1)
+  in
+  match improve None 0 with
+  | None -> None
+  | Some v ->
+    Some
+      ( v,
+        {
+          rounds = !total_rounds;
+          theory_conflicts = t.n_theory_conflicts - conflicts_before;
+        } )

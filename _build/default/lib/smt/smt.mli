@@ -1,0 +1,84 @@
+(** Lazy SMT solver for Booleans + integer difference logic, with
+    optimization (OMT) drivers.
+
+    The Boolean skeleton is solved by the CDCL solver ({!Qca_sat});
+    difference atoms [x − y ≤ k] are registered as fresh Boolean
+    variables, and each full Boolean model is checked against the
+    difference-logic theory ({!Qca_diff_logic}). Theory conflicts come
+    back as negative cycles and are learnt as clauses (lazy, offline
+    DPLL(T) — entirely adequate for the model sizes the circuit
+    adaptation produces; see DESIGN.md).
+
+    This is the fragment the paper's SMT model lives in: Eq. 1 are
+    plain clauses, Eq. 2/3 are conditional difference constraints, and
+    Eq. 5/8-10 are linear objectives handled by {!minimize}. *)
+
+open Qca_sat
+
+type t
+
+type ivar
+(** An integer (difference-logic) variable. *)
+
+val create : ?options:Solver.options -> unit -> t
+
+val solver : t -> Solver.t
+(** The underlying CDCL solver (for adding plain variables/clauses and
+    for the pseudo-Boolean encoders). *)
+
+val new_bool : t -> Lit.var
+val add_clause : t -> Lit.t list -> unit
+
+val new_int : t -> string -> ivar
+val origin : t -> ivar
+(** The distinguished zero variable: all integer values are reported
+    relative to it. *)
+
+val atom_le : t -> ivar -> ivar -> int -> Lit.t
+(** [atom_le t x y k] is the literal of the atom [x − y ≤ k]
+    (memoized). Atoms are {e monotone}: a true atom enforces its
+    constraint, a false atom enforces nothing — so atom literals must
+    only be used positively (asserted or implied), which is all the
+    adaptation model ever needs and what keeps the lazy theory loop
+    efficient. *)
+
+val atom_ge : t -> ivar -> ivar -> int -> Lit.t
+(** [x − y ≥ k], a separate monotone atom (not the negation of
+    {!atom_le}). *)
+
+type verdict = Sat | Unsat
+
+val solve : ?assumptions:Lit.t list -> t -> verdict
+
+val bool_value : t -> Lit.var -> bool
+(** After {!Sat}. *)
+
+val lit_value : t -> Lit.t -> bool
+
+val int_value : t -> ivar -> int
+(** Value relative to {!origin} in the last theory-consistent model. *)
+
+type opt_stats = {
+  rounds : int;  (** SAT calls made by the OMT driver *)
+  theory_conflicts : int;
+}
+
+val minimize :
+  t ->
+  evaluate:(unit -> int) ->
+  prune:(best:int -> Lit.t list) ->
+  block:(unit -> Lit.t list) ->
+  ?assumptions:Lit.t list ->
+  ?max_rounds:int ->
+  unit ->
+  (int * opt_stats) option
+(** Branch-and-bound minimization. Repeatedly solves; for each
+    theory-consistent model calls [evaluate] (which may snapshot the
+    model), then adds the [block] clause and re-solves under
+    [prune ~best] assumptions. [prune] must be {e admissible}: it may
+    only exclude assignments whose objective is ≥ [best]. Returns the
+    optimal value, or [None] if the problem is unsatisfiable. Raises
+    [Failure] if [max_rounds] (default 100_000) is exhausted. *)
+
+val stats : t -> opt_stats
+(** Cumulative counters from the last [solve]/[minimize]. *)

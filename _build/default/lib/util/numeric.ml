@@ -1,0 +1,30 @@
+let approx_equal ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol
+
+let clamp lo hi x = Float.min hi (Float.max lo x)
+
+let fixed_scale = 1e6
+
+let log_fidelity_fixed f =
+  if not (f > 0.0 && f <= 1.0) then
+    invalid_arg (Printf.sprintf "log_fidelity_fixed: %g not in (0, 1]" f);
+  int_of_float (Float.round (fixed_scale *. log f))
+
+let fidelity_of_fixed n = exp (float_of_int n /. fixed_scale)
+
+let sum_floats xs =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  let add x =
+    let y = x -. !comp in
+    let t = !sum +. y in
+    comp := t -. !sum -. y;
+    sum := t
+  in
+  List.iter add xs;
+  !sum
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum_floats xs /. float_of_int (List.length xs)
+
+let percent_change ~baseline value =
+  if baseline = 0.0 then 0.0 else (value -. baseline) /. baseline *. 100.0

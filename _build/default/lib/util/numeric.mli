@@ -1,0 +1,26 @@
+(** Small numeric helpers shared across libraries. *)
+
+val approx_equal : ?tol:float -> float -> float -> bool
+(** Absolute-difference comparison, default tolerance [1e-9]. *)
+
+val clamp : float -> float -> float -> float
+(** [clamp lo hi x] restricts [x] to [\[lo, hi\]]. *)
+
+val log_fidelity_fixed : float -> int
+(** [log_fidelity_fixed f] is [round (1e6 *. log f)]: the fixed-point
+    integer encoding of a log-fidelity used throughout the SMT model so
+    that objectives stay integral (DESIGN.md section 4). [f] must be in
+    (0, 1]. *)
+
+val fidelity_of_fixed : int -> float
+(** Inverse of {!log_fidelity_fixed} up to rounding. *)
+
+val sum_floats : float list -> float
+(** Kahan-compensated summation. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val percent_change : baseline:float -> float -> float
+(** [(value - baseline) / baseline * 100.], guarded against a zero
+    baseline (returns 0 in that case). *)

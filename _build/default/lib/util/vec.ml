@@ -1,0 +1,112 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) ~dummy () =
+  { data = Array.make (max capacity 1) dummy; size = 0; dummy }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let check t i =
+  if i < 0 || i >= t.size then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (size %d)" i t.size)
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) t.dummy in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let push t x =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then invalid_arg "Vec.pop: empty";
+  t.size <- t.size - 1;
+  let x = t.data.(t.size) in
+  t.data.(t.size) <- t.dummy;
+  x
+
+let last t =
+  if t.size = 0 then invalid_arg "Vec.last: empty";
+  t.data.(t.size - 1)
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.data.(i) <- t.dummy
+  done;
+  t.size <- 0
+
+let shrink t n =
+  if n < 0 || n > t.size then invalid_arg "Vec.shrink";
+  for i = n to t.size - 1 do
+    t.data.(i) <- t.dummy
+  done;
+  t.size <- n
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.size && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.size - 1) []
+
+let to_array t = Array.sub t.data 0 t.size
+
+let of_list ~dummy xs =
+  let t = create ~dummy () in
+  List.iter (push t) xs;
+  t
+
+let swap_remove t i =
+  check t i;
+  t.size <- t.size - 1;
+  t.data.(i) <- t.data.(t.size);
+  t.data.(t.size) <- t.dummy
+
+let sort cmp t =
+  let live = Array.sub t.data 0 t.size in
+  Array.sort cmp live;
+  Array.blit live 0 t.data 0 t.size
+
+let filter_in_place p t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    if p t.data.(i) then begin
+      t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  shrink t !j

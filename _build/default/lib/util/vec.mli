@@ -1,0 +1,58 @@
+(** Growable arrays.
+
+    A thin, allocation-conscious dynamic array used throughout the SAT
+    solver's hot paths (clause databases, watch lists, trails), where
+    [Buffer]-style amortized growth and O(1) truncation matter. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector. [dummy] fills unused slots. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Bounds-checked read. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Bounds-checked write. *)
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element. Raises [Invalid_argument] when
+    empty. *)
+
+val last : 'a t -> 'a
+
+val clear : 'a t -> unit
+(** Logical clear; capacity is retained. *)
+
+val shrink : 'a t -> int -> unit
+(** [shrink t n] truncates to the first [n] elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : dummy:'a -> 'a list -> 'a t
+
+val swap_remove : 'a t -> int -> unit
+(** [swap_remove t i] removes index [i] by moving the last element into
+    its place: O(1), does not preserve order. *)
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort of the live elements. *)
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keeps only elements satisfying the predicate, preserving order. *)

@@ -1,0 +1,1 @@
+lib/workloads/random_unitary.ml: Array Cx Mat Qca_linalg Qca_util

@@ -1,0 +1,1 @@
+lib/workloads/random_unitary.mli: Mat Qca_linalg Qca_util

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Float List Printf Qca_adapt Qca_circuit Qca_util Random_unitary

@@ -1,0 +1,45 @@
+open Qca_linalg
+
+let ginibre rng d =
+  Mat.init d d (fun _ _ ->
+      Cx.make (Qca_util.Rng.gaussian rng) (Qca_util.Rng.gaussian rng))
+
+(* Modified Gram-Schmidt on the columns, then fix phases so the implied
+   R has a positive real diagonal — this makes the distribution exactly
+   Haar (Mezzadri, "How to generate random matrices from the classical
+   compact groups"). *)
+let haar rng d =
+  let a = ginibre rng d in
+  let cols = Array.init d (fun j -> Array.init d (fun i -> Mat.get a i j)) in
+  let dot u v =
+    let acc = ref Cx.zero in
+    for i = 0 to d - 1 do
+      acc := Cx.add !acc (Cx.mul (Cx.conj u.(i)) v.(i))
+    done;
+    !acc
+  in
+  for j = 0 to d - 1 do
+    for k = 0 to j - 1 do
+      let proj = dot cols.(k) cols.(j) in
+      for i = 0 to d - 1 do
+        cols.(j).(i) <- Cx.sub cols.(j).(i) (Cx.mul proj cols.(k).(i))
+      done
+    done;
+    let norm = sqrt (dot cols.(j) cols.(j)).Cx.re in
+    (* diagonal phase fix: rotate so the pivot entry is positive real *)
+    let pivot = cols.(j).(j) in
+    let phase = if Cx.norm pivot < 1e-300 then Cx.one else Cx.polar 1.0 (Cx.arg pivot) in
+    let scale = Cx.div (Cx.of_float (1.0 /. norm)) phase in
+    for i = 0 to d - 1 do
+      cols.(j).(i) <- Cx.mul scale cols.(j).(i)
+    done
+  done;
+  Mat.init d d (fun i j -> cols.(j).(i))
+
+let special u =
+  let d = Mat.rows u in
+  let det = Mat.det4 u in
+  Mat.scale (Cx.exp_i (-.Cx.arg det /. float_of_int d)) u
+
+let su2 rng = special (haar rng 2)
+let su4 rng = special (haar rng 4)

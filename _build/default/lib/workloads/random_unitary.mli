@@ -1,0 +1,14 @@
+(** Haar-random unitaries (QR decomposition of a complex Ginibre
+    matrix, with the R-diagonal phase fix of Mezzadri 2007). *)
+
+open Qca_linalg
+
+val haar : Qca_util.Rng.t -> int -> Mat.t
+(** [haar rng d] draws a [d×d] unitary from the Haar measure. *)
+
+val su2 : Qca_util.Rng.t -> Mat.t
+(** Haar-random 2x2 special unitary. *)
+
+val su4 : Qca_util.Rng.t -> Mat.t
+(** Haar-random 4x4 unitary with unit determinant (quantum-volume
+    block). *)

@@ -1,0 +1,39 @@
+module Circuit = Qca_circuit.Circuit
+
+(** Evaluation workloads (section V).
+
+    All circuits come out in the IBM source basis ([rz]/[sx]/[x]/[cx])
+    and respect a linear qubit topology (adjacent-pair two-qubit gates
+    only), mirroring the paper's Qiskit-transpiled inputs. Everything is
+    seeded and deterministic. *)
+
+val quantum_volume :
+  seed:int -> num_qubits:int -> layers:int -> Circuit.t
+(** Quantum-volume-style circuit: [layers] rounds, each applying a
+    Haar-random SU(4) to a random matching of adjacent qubit pairs,
+    lowered to the IBM basis with the 3-CNOT KAK synthesis. *)
+
+val random_template :
+  seed:int -> num_qubits:int -> depth:int -> Circuit.t
+(** Random circuit over the Fig. 3 template vocabulary: random
+    single-qubit rotations, CNOTs and 3-CNOT swap patterns on adjacent
+    pairs; [depth] counts emitted two-qubit gates. *)
+
+val mirror :
+  seed:int -> num_qubits:int -> depth:int -> Circuit.t
+(** Mirror-benchmarking circuit: a random template circuit followed by
+    its inverse, lowered to the IBM basis. The ideal output
+    distribution is the point mass on |0…0⟩, which makes
+    Hellinger-fidelity differences between adaptation methods highly
+    visible under noise. *)
+
+type case = { label : string; circuit : Circuit.t }
+
+val evaluation_suite : unit -> case list
+(** The circuit family used to regenerate Figs. 5-7: quantum-volume
+    circuits on 2-4 qubits and random template circuits up to depth 160
+    (full-size; noisy simulation uses {!simulation_suite}). *)
+
+val simulation_suite : unit -> case list
+(** A smaller subset (shallower circuits) for the density-matrix
+    Hellinger experiments of Fig. 7. *)

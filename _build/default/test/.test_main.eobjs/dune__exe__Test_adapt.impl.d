@@ -1,0 +1,1 @@
+test/test_adapt.ml: Alcotest Array Basis Hardware List Metrics Model Pipeline Printf QCheck QCheck_alcotest Qca_adapt Qca_circuit Qca_quantum Qca_sat Qca_util Qca_workloads Rules Solver

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Block Circuit Cx Float Gate Gates Hashtbl List Mat QCheck QCheck_alcotest Qca_circuit Qca_linalg Qca_quantum Qca_util Schedule Synth

@@ -1,0 +1,1 @@
+test/test_diff_logic.ml: Alcotest Array List QCheck QCheck_alcotest Qca_diff_logic Qca_util

@@ -1,0 +1,1 @@
+test/test_fidelity.ml: Alcotest Cx Fidelity Gates List Mat Qca_circuit Qca_linalg Qca_quantum Qca_util

@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Array Float List QCheck QCheck_alcotest Qca_circuit Qca_quantum Qca_sat Qca_util Str String

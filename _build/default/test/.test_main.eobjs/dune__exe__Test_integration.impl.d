@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hardware List Metrics Model Pipeline Qca_adapt Qca_circuit Qca_sim Qca_workloads

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cx Eig Float Mat Printf QCheck QCheck_alcotest Qca_linalg Qca_util

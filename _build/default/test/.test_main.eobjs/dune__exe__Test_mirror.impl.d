@@ -1,0 +1,1 @@
+test/test_mirror.ml: Alcotest Array Hardware List Mirror Pipeline QCheck QCheck_alcotest Qca_adapt Qca_circuit Qca_sim Qca_util Qca_workloads

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float Fun Gates Hardware Kak List Mat Metrics Model Pipeline Printf QCheck QCheck_alcotest Qca_adapt Qca_circuit Qca_linalg Qca_quantum Qca_smt Qca_util Rules

@@ -1,0 +1,1 @@
+test/test_pseudo_bool.ml: Alcotest Array List Lit QCheck QCheck_alcotest Qca_pseudo_bool Qca_sat Qca_util Solver

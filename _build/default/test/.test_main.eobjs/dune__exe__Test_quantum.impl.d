@@ -1,0 +1,1 @@
+test/test_quantum.ml: Alcotest Cx Float Gates Kak List Mat QCheck QCheck_alcotest Qca_linalg Qca_quantum Qca_util Su2

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Format List Lit QCheck QCheck_alcotest Qca_sat Qca_util Solver

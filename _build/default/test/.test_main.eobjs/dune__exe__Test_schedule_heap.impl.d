@@ -1,0 +1,1 @@
+test/test_schedule_heap.ml: Alcotest Array List Option QCheck QCheck_alcotest Qca_circuit Qca_sat Qca_util

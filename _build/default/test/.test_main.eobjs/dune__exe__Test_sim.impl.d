@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Channels Cx Density Float Gates Hellinger List Mat Qca_circuit Qca_linalg Qca_quantum Qca_sim

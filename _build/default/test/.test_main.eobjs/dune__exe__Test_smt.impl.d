@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Format List Lit Qca_sat Qca_smt Qca_util

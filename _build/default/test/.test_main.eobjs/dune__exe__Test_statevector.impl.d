@@ -1,0 +1,1 @@
+test/test_statevector.ml: Alcotest Array Cx List Mat Qca_circuit Qca_linalg Qca_sim Qca_util

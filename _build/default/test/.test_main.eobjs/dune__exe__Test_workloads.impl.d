@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cx List Mat Qca_adapt Qca_circuit Qca_linalg Qca_util Qca_workloads Random_unitary Workloads

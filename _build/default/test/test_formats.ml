@@ -1,0 +1,251 @@
+(* Interchange formats: the textual circuit format, OpenQASM 2.0, the
+   ASCII drawer, and DIMACS CNF. *)
+
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Parse = Qca_circuit.Parse
+module Qasm = Qca_circuit.Qasm
+module Draw = Qca_circuit.Draw
+module Dimacs = Qca_sat.Dimacs
+module Solver = Qca_sat.Solver
+module Lit = Qca_sat.Lit
+module Rng = Qca_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* {1 Textual format} *)
+
+let test_parse_basic () =
+  match Parse.parse "h 0\ncx 0 1\nrz(0.5) 1" with
+  | Ok c ->
+    checki "width" 2 (Circuit.num_qubits c);
+    checki "gates" 3 (Circuit.length c)
+  | Error e -> Alcotest.fail e
+
+let test_parse_pi_angles () =
+  match Parse.parse "rz(0.5pi) 0\nrx(pi) 0\nry(-pi) 0" with
+  | Ok c -> (
+    match Circuit.gates c with
+    | [| Gate.Single (Gate.Rz a, _); Gate.Single (Gate.Rx b, _); Gate.Single (Gate.Ry d, _) |] ->
+      checkb "half pi" true (Float.abs (a -. (Float.pi /. 2.)) < 1e-9);
+      checkb "pi" true (Float.abs (b -. Float.pi) < 1e-9);
+      checkb "minus pi" true (Float.abs (d +. Float.pi) < 1e-9)
+    | _ -> Alcotest.fail "wrong gates")
+  | Error e -> Alcotest.fail e
+
+let test_parse_comments_and_qubits () =
+  match Parse.parse "# a comment\nqubits 4\nh 0 # trailing\n\ncx 2 3" with
+  | Ok c -> checki "declared width" 4 (Circuit.num_qubits c)
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  let bad = [ "frobnicate 0"; "cx 0"; "h 0 1"; "rz 0"; "qubits 1\ncx 0 1"; "cx 0 zero" ] in
+  List.iter
+    (fun text ->
+      match Parse.parse text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    bad
+
+let test_parse_roundtrip () =
+  let c =
+    Circuit.of_gates 3
+      [
+        Gate.Single (Gate.H, 0);
+        Gate.Two (Gate.Cx, 0, 1);
+        Gate.Single (Gate.Rz 0.7, 1);
+        Gate.Two (Gate.Swap_c, 1, 2);
+        Gate.Two (Gate.Crx 1.1, 2, 0);
+      ]
+  in
+  let c2 = Parse.parse_exn (Parse.to_text c) in
+  checkb "roundtrip equivalent" true (Circuit.equivalent c c2)
+
+let prop_parse_roundtrip =
+  QCheck.Test.make ~name:"textual format roundtrips random circuits" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 3) in
+      let gates = ref [] in
+      for _ = 1 to 10 do
+        match Rng.int rng 5 with
+        | 0 -> gates := Gate.Single (Gate.H, Rng.int rng 3) :: !gates
+        | 1 -> gates := Gate.Single (Gate.Rz (Rng.float rng 6.0), Rng.int rng 3) :: !gates
+        | 2 ->
+          let a = Rng.int rng 2 in
+          gates := Gate.Two (Gate.Cx, a, a + 1) :: !gates
+        | 3 ->
+          let a = Rng.int rng 2 in
+          gates := Gate.Two (Gate.Cz, a + 1, a) :: !gates
+        | _ ->
+          let a = Rng.int rng 2 in
+          gates := Gate.Two (Gate.Crz (Rng.float rng 3.0), a, a + 1) :: !gates
+      done;
+      let c = Circuit.of_gates 3 (List.rev !gates) in
+      Circuit.equivalent c (Parse.parse_exn (Parse.to_text c)))
+
+(* {1 OpenQASM} *)
+
+let test_qasm_export_header () =
+  let c = Circuit.of_gates 2 [ Gate.Single (Gate.H, 0) ] in
+  let q = Qasm.to_qasm c in
+  checkb "has version" true
+    (String.length q > 12 && String.sub q 0 12 = "OPENQASM 2.0");
+  checkb "declares register" true
+    (Str.string_match (Str.regexp ".*qreg q\\[2\\];") (String.concat " " (String.split_on_char '\n' q)) 0)
+
+let test_qasm_roundtrip_semantics () =
+  let c =
+    Circuit.of_gates 3
+      [
+        Gate.Single (Gate.H, 0);
+        Gate.Two (Gate.Cx, 0, 1);
+        Gate.Single (Gate.Sdg, 1);
+        Gate.Two (Gate.Cz, 1, 2);
+        Gate.Single (Gate.U3 (0.3, 0.7, 1.2), 2);
+        Gate.Two (Gate.Cphase 0.9, 0, 2);
+        Gate.Two (Gate.Iswap, 0, 1);
+        Gate.Single (Gate.Su2 (Qca_quantum.Gates.u3 0.4 0.1 0.9), 0);
+      ]
+  in
+  match Qasm.of_qasm (Qasm.to_qasm c) with
+  | Ok c2 -> checkb "unitary preserved" true (Circuit.equivalent c c2)
+  | Error e -> Alcotest.fail e
+
+let test_qasm_native_gates_lowered () =
+  (* native spin gates export through standard qelib gates *)
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Two (Gate.Cz_db, 0, 1); Gate.Two (Gate.Swap_d, 0, 1) ]
+  in
+  match Qasm.of_qasm (Qasm.to_qasm c) with
+  | Ok c2 -> checkb "same unitary" true (Circuit.equivalent c c2)
+  | Error e -> Alcotest.fail e
+
+let test_qasm_parses_angle_expressions () =
+  let src =
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nrz(pi/2) q[0];\nrx(-pi/4) q[0];\nry(2*pi) q[0];\n"
+  in
+  match Qasm.of_qasm src with
+  | Ok c -> (
+    match Circuit.gates c with
+    | [| Gate.Single (Gate.Rz a, _); Gate.Single (Gate.Rx b, _); Gate.Single (Gate.Ry d, _) |] ->
+      checkb "pi/2" true (Float.abs (a -. (Float.pi /. 2.)) < 1e-9);
+      checkb "-pi/4" true (Float.abs (b +. (Float.pi /. 4.)) < 1e-9);
+      checkb "2*pi" true (Float.abs (d -. (2. *. Float.pi)) < 1e-9)
+    | _ -> Alcotest.fail "unexpected gates")
+  | Error e -> Alcotest.fail e
+
+let test_qasm_ignores_measure_barrier () =
+  let src =
+    "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nbarrier q[0],q[1];\nmeasure q[0] -> c[0];\n"
+  in
+  match Qasm.of_qasm src with
+  | Ok c -> checki "one gate" 1 (Circuit.length c)
+  | Error e -> Alcotest.fail e
+
+let test_qasm_rejects_unknown () =
+  match Qasm.of_qasm "qreg q[1];\nmygate q[0];\n" with
+  | Ok _ -> Alcotest.fail "accepted unknown gate"
+  | Error _ -> ()
+
+(* {1 ASCII drawing} *)
+
+let test_draw_moments () =
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Single (Gate.H, 0); Gate.Single (Gate.T, 1); Gate.Two (Gate.Cx, 0, 1) ]
+  in
+  let ms = Draw.moments c in
+  checki "two moments" 2 (List.length ms);
+  checki "first moment parallel" 2 (List.length (List.nth ms 0))
+
+let test_draw_renders () =
+  let c =
+    Circuit.of_gates 3
+      [ Gate.Single (Gate.H, 0); Gate.Two (Gate.Cx, 0, 2); Gate.Two (Gate.Swap_c, 1, 2) ]
+  in
+  let s = Draw.render c in
+  let lines = String.split_on_char '\n' s in
+  checkb "one line per wire plus connectors" true (List.length lines >= 3);
+  checkb "mentions H" true (Str.string_match (Str.regexp ".*\\[H\\]") (List.nth lines 0) 0);
+  checkb "wire prefix" true (String.length (List.nth lines 0) > 4 && String.sub (List.nth lines 0) 0 2 = "q0")
+
+(* {1 DIMACS} *)
+
+let test_dimacs_parse () =
+  let p = Dimacs.parse_exn "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  checki "vars" 3 p.Dimacs.num_vars;
+  checki "clauses" 2 (List.length p.Dimacs.clauses)
+
+let test_dimacs_multiline_clause () =
+  let p = Dimacs.parse_exn "p cnf 3 1\n1\n-2\n3 0\n" in
+  checki "one clause" 1 (List.length p.Dimacs.clauses);
+  checki "three lits" 3 (List.length (List.hd p.Dimacs.clauses))
+
+let test_dimacs_solve () =
+  let p = Dimacs.parse_exn "p cnf 2 2\n1 0\n-1 2 0\n" in
+  match Dimacs.solve p with
+  | Solver.Sat, Some model ->
+    checkb "x1" true model.(0);
+    checkb "x2" true model.(1)
+  | _, _ -> Alcotest.fail "expected SAT with model"
+
+let test_dimacs_unsat () =
+  let p = Dimacs.parse_exn "p cnf 1 2\n1 0\n-1 0\n" in
+  checkb "unsat" true (fst (Dimacs.solve p) = Solver.Unsat)
+
+let test_dimacs_roundtrip () =
+  let p = Dimacs.parse_exn "p cnf 4 3\n1 -2 0\n3 4 -1 0\n2 0\n" in
+  let p2 = Dimacs.parse_exn (Dimacs.to_dimacs p) in
+  checki "vars" p.Dimacs.num_vars p2.Dimacs.num_vars;
+  checkb "clauses equal" true (p.Dimacs.clauses = p2.Dimacs.clauses)
+
+let test_dimacs_rejects_garbage () =
+  match Dimacs.parse "p cnf 2 1\n1 x 0\n" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ()
+
+let prop_dimacs_model_valid =
+  QCheck.Test.make ~name:"dimacs solve returns valid models" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 17) in
+      let nvars = 8 + Rng.int rng 10 in
+      let clauses =
+        List.init (3 * nvars) (fun _ ->
+            List.init 3 (fun _ -> Lit.make (Rng.int rng nvars) (Rng.bool rng)))
+      in
+      let p = { Dimacs.num_vars = nvars; clauses } in
+      match Dimacs.solve p with
+      | Solver.Unsat, _ -> true
+      | Solver.Sat, Some model ->
+        List.for_all
+          (List.exists (fun l ->
+               if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l)))
+          clauses
+      | Solver.Sat, None -> false)
+
+let suite =
+  [
+    ("parse basic", `Quick, test_parse_basic);
+    ("parse pi angles", `Quick, test_parse_pi_angles);
+    ("parse comments/qubits", `Quick, test_parse_comments_and_qubits);
+    ("parse errors", `Quick, test_parse_errors);
+    ("parse roundtrip", `Quick, test_parse_roundtrip);
+    QCheck_alcotest.to_alcotest prop_parse_roundtrip;
+    ("qasm export header", `Quick, test_qasm_export_header);
+    ("qasm roundtrip semantics", `Quick, test_qasm_roundtrip_semantics);
+    ("qasm native gates", `Quick, test_qasm_native_gates_lowered);
+    ("qasm angle expressions", `Quick, test_qasm_parses_angle_expressions);
+    ("qasm measure/barrier ignored", `Quick, test_qasm_ignores_measure_barrier);
+    ("qasm unknown rejected", `Quick, test_qasm_rejects_unknown);
+    ("draw moments", `Quick, test_draw_moments);
+    ("draw renders", `Quick, test_draw_renders);
+    ("dimacs parse", `Quick, test_dimacs_parse);
+    ("dimacs multiline clause", `Quick, test_dimacs_multiline_clause);
+    ("dimacs solve", `Quick, test_dimacs_solve);
+    ("dimacs unsat", `Quick, test_dimacs_unsat);
+    ("dimacs roundtrip", `Quick, test_dimacs_roundtrip);
+    ("dimacs rejects garbage", `Quick, test_dimacs_rejects_garbage);
+    QCheck_alcotest.to_alcotest prop_dimacs_model_valid;
+  ]

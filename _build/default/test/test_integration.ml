@@ -1,0 +1,100 @@
+(* End-to-end: the full adaptation pipeline on evaluation-style
+   circuits, including the noisy-simulation Hellinger comparison that
+   backs Fig. 7. *)
+
+open Qca_adapt
+module Circuit = Qca_circuit.Circuit
+module Workloads = Qca_workloads.Workloads
+module Density = Qca_sim.Density
+module Hellinger = Qca_sim.Hellinger
+
+let checkb = Alcotest.check Alcotest.bool
+let hw = Hardware.d0
+
+let noise_for hw =
+  {
+    Density.gate_fidelity = Hardware.fidelity hw;
+    duration = Hardware.duration hw;
+    t1 = hw.Hardware.t1;
+    t2 = hw.Hardware.t2;
+  }
+
+let hellinger_of hw circuit method_ =
+  let ideal = Density.probabilities (Density.run_ideal circuit) in
+  let adapted = Pipeline.adapt hw method_ circuit in
+  let noisy = Density.probabilities (Density.run_noisy (noise_for hw) adapted) in
+  Hellinger.fidelity ideal noisy
+
+let test_full_pipeline_on_suite_sample () =
+  (* a representative slice of the evaluation suite through every
+     method: native gates, preserved unitary *)
+  let cases =
+    [
+      Workloads.quantum_volume ~seed:21 ~num_qubits:2 ~layers:2;
+      Workloads.random_template ~seed:22 ~num_qubits:3 ~depth:10;
+    ]
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun m ->
+          let adapted = Pipeline.adapt hw m c in
+          checkb
+            (Pipeline.method_name m ^ " native")
+            true
+            (Array.for_all (Hardware.is_native hw) (Circuit.gates adapted));
+          checkb
+            (Pipeline.method_name m ^ " equivalent")
+            true (Circuit.equivalent c adapted))
+        (Pipeline.Direct :: Pipeline.all_methods))
+    cases
+
+let test_noisy_sim_runs_on_adapted () =
+  let c = Workloads.quantum_volume ~seed:23 ~num_qubits:3 ~layers:2 in
+  List.iter
+    (fun m ->
+      let h = hellinger_of hw c m in
+      checkb (Pipeline.method_name m ^ " hellinger in range") true
+        (h >= 0.0 && h <= 1.0 +. 1e-9))
+    [ Pipeline.Direct; Pipeline.Sat Model.Sat_p ]
+
+let test_sat_p_not_worse_than_direct_hellinger () =
+  (* shape property of Fig. 7: the combined SMT objective should not be
+     (meaningfully) worse than plain direct translation under the noisy
+     simulation; allow a small tolerance for single-qubit ambiguities *)
+  let cases =
+    [
+      Workloads.quantum_volume ~seed:24 ~num_qubits:2 ~layers:2;
+      Workloads.random_template ~seed:25 ~num_qubits:3 ~depth:8;
+    ]
+  in
+  List.iter
+    (fun c ->
+      let h_direct = hellinger_of hw c Pipeline.Direct in
+      let h_sat = hellinger_of hw c (Pipeline.Sat Model.Sat_p) in
+      checkb "SAT P >= direct - eps" true (h_sat >= h_direct -. 0.02))
+    cases
+
+let test_d1_variant_runs () =
+  let c = Workloads.random_template ~seed:26 ~num_qubits:2 ~depth:6 in
+  let adapted = Pipeline.adapt Hardware.d1 (Pipeline.Sat Model.Sat_r) c in
+  checkb "native under D1" true
+    (Array.for_all (Hardware.is_native Hardware.d1) (Circuit.gates adapted));
+  checkb "equivalent under D1" true (Circuit.equivalent c adapted)
+
+let test_idle_decrease_shape () =
+  (* SAT R should reduce idle time vs direct on swap-rich circuits *)
+  let c = Workloads.random_template ~seed:27 ~num_qubits:3 ~depth:12 in
+  let direct = Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct c) in
+  let sat_r = Metrics.summarize hw (Pipeline.adapt hw (Pipeline.Sat Model.Sat_r) c) in
+  checkb "SAT R idle <= direct idle" true
+    (sat_r.Metrics.idle_total <= direct.Metrics.idle_total)
+
+let suite =
+  [
+    ("full pipeline on suite sample", `Slow, test_full_pipeline_on_suite_sample);
+    ("noisy sim on adapted circuits", `Slow, test_noisy_sim_runs_on_adapted);
+    ("SAT P hellinger vs direct", `Slow, test_sat_p_not_worse_than_direct_hellinger);
+    ("D1 variant", `Quick, test_d1_variant_runs);
+    ("idle decrease shape", `Slow, test_idle_decrease_shape);
+  ]

@@ -1,0 +1,24 @@
+(* Test entry point: every module family registers its suite here. *)
+
+let () =
+  Alcotest.run "qca"
+    [
+      ("util", Test_util.suite);
+      ("linalg", Test_linalg.suite);
+      ("quantum", Test_quantum.suite);
+      ("circuit", Test_circuit.suite);
+      ("sat", Test_sat.suite);
+      ("pseudo_bool", Test_pseudo_bool.suite);
+      ("diff_logic", Test_diff_logic.suite);
+      ("smt", Test_smt.suite);
+      ("adapt", Test_adapt.suite);
+      ("sim", Test_sim.suite);
+      ("workloads", Test_workloads.suite);
+      ("formats", Test_formats.suite);
+      ("statevector", Test_statevector.suite);
+      ("properties", Test_properties.suite);
+      ("mirror", Test_mirror.suite);
+      ("fidelity", Test_fidelity.suite);
+      ("schedule+heap", Test_schedule_heap.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,125 @@
+(* Mirror (swap-absorbing) synthesis and circuit inversion. *)
+
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Synth = Qca_circuit.Synth
+module Rng = Qca_util.Rng
+open Qca_adapt
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let hw = Hardware.d0
+
+(* {1 Circuit inversion} *)
+
+let test_inverse_cancels () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10 do
+    let gates = ref [] in
+    for _ = 1 to 12 do
+      match Rng.int rng 6 with
+      | 0 -> gates := Gate.Single (Gate.T, Rng.int rng 3) :: !gates
+      | 1 -> gates := Gate.Single (Gate.Sx, Rng.int rng 3) :: !gates
+      | 2 -> gates := Gate.Single (Gate.Rz (Rng.float rng 6.0), Rng.int rng 3) :: !gates
+      | 3 -> gates := Gate.Two (Gate.Cx, 0, 1) :: !gates
+      | 4 -> gates := Gate.Two (Gate.Iswap, 1, 2) :: !gates
+      | _ -> gates := Gate.Two (Gate.Crx (Rng.float rng 3.0), 1, 0) :: !gates
+    done;
+    let c = Circuit.of_gates 3 (List.rev !gates) in
+    let id = Circuit.append c (Circuit.inverse c) in
+    checkb "c · c† = identity" true
+      (Circuit.equivalent id (Circuit.create 3))
+  done
+
+let test_inverse_involution () =
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Single (Gate.S, 0); Gate.Two (Gate.Cphase 0.4, 0, 1); Gate.Single (Gate.Tdg, 1) ]
+  in
+  checkb "(c†)† ~ c" true (Circuit.equivalent c (Circuit.inverse (Circuit.inverse c)))
+
+(* {1 Mirror adaptation} *)
+
+let test_mirror_on_pure_swap () =
+  (* a literal swap block: the mirror is the identity, so the block
+     costs zero entanglers and the permutation records the exchange *)
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Two (Gate.Cx, 0, 1); Gate.Two (Gate.Cx, 1, 0); Gate.Two (Gate.Cx, 0, 1) ]
+  in
+  let r = Mirror.adapt hw Synth.Use_cz c in
+  checki "one mirror used" 1 r.Mirror.mirrors_used;
+  checki "no entanglers left" 0 (Circuit.count_two_qubit r.Mirror.circuit);
+  checkb "wires exchanged" true (r.Mirror.permutation = [| 1; 0 |]);
+  checkb "undo restores the unitary" true
+    (Circuit.equivalent c (Mirror.undo_permutation r))
+
+let test_mirror_no_op_when_not_profitable () =
+  let c =
+    Circuit.of_gates 2 [ Gate.Single (Gate.H, 0); Gate.Two (Gate.Cx, 0, 1) ]
+  in
+  let r = Mirror.adapt hw Synth.Use_cz c in
+  checki "no mirrors" 0 r.Mirror.mirrors_used;
+  checkb "identity permutation" true (r.Mirror.permutation = [| 0; 1 |]);
+  checkb "equivalent directly" true (Circuit.equivalent c r.Mirror.circuit)
+
+let test_mirror_propagates_permutation () =
+  (* swap block on (0,1) followed by a gate on (1,2): after the mirror,
+     the later gate must land on the physical wire carrying its logical
+     qubit *)
+  let c =
+    Circuit.of_gates 3
+      [
+        Gate.Two (Gate.Cx, 0, 1);
+        Gate.Two (Gate.Cx, 1, 0);
+        Gate.Two (Gate.Cx, 0, 1);
+        Gate.Two (Gate.Cx, 1, 2);
+      ]
+  in
+  let r = Mirror.adapt hw Synth.Use_cz c in
+  checki "one mirror" 1 r.Mirror.mirrors_used;
+  checkb "undo restores the unitary" true
+    (Circuit.equivalent c (Mirror.undo_permutation r))
+
+let prop_mirror_correct =
+  QCheck.Test.make ~name:"mirror adaptation + undo is always equivalent" ~count:25
+    QCheck.small_int (fun seed ->
+      let c =
+        Qca_workloads.Workloads.random_template ~seed:(seed + 500) ~num_qubits:3
+          ~depth:10
+      in
+      let r = Mirror.adapt hw Synth.Use_cz c in
+      let native =
+        Array.for_all (Hardware.is_native hw) (Circuit.gates r.Mirror.circuit)
+      in
+      native && Circuit.equivalent c (Mirror.undo_permutation r))
+
+let prop_mirror_never_more_entanglers =
+  QCheck.Test.make ~name:"mirroring never uses more entanglers than plain KAK"
+    ~count:25 QCheck.small_int (fun seed ->
+      let c =
+        Qca_workloads.Workloads.random_template ~seed:(seed + 900) ~num_qubits:3
+          ~depth:12
+      in
+      let r = Mirror.adapt hw Synth.Use_cz c in
+      let plain = Pipeline.adapt hw Pipeline.Kak_only_cz c in
+      Circuit.count_two_qubit r.Mirror.circuit <= Circuit.count_two_qubit plain)
+
+(* {1 Mirror-benchmarking workloads} *)
+
+let test_mirror_workload_peaked () =
+  let c = Qca_workloads.Workloads.mirror ~seed:11 ~num_qubits:3 ~depth:12 in
+  let p = Qca_sim.Density.probabilities (Qca_sim.Density.run_ideal c) in
+  checkb "ideal output is |0...0⟩" true (p.(0) > 1.0 -. 1e-6)
+
+let suite =
+  [
+    ("inverse cancels", `Quick, test_inverse_cancels);
+    ("inverse involution", `Quick, test_inverse_involution);
+    ("mirror pure swap", `Quick, test_mirror_on_pure_swap);
+    ("mirror not profitable", `Quick, test_mirror_no_op_when_not_profitable);
+    ("mirror propagates permutation", `Quick, test_mirror_propagates_permutation);
+    QCheck_alcotest.to_alcotest prop_mirror_correct;
+    QCheck_alcotest.to_alcotest prop_mirror_never_more_entanglers;
+    ("mirror workload peaked", `Quick, test_mirror_workload_peaked);
+  ]

@@ -1,0 +1,262 @@
+open Qca_sat
+module Cardinality = Qca_pseudo_bool.Cardinality
+module Totalizer = Qca_pseudo_bool.Totalizer
+module Rng = Qca_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Enumerate all models of a solver over the given variables by repeated
+   solving + blocking. *)
+let all_models s vars =
+  let models = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Solver.solve s with
+    | Solver.Unsat -> continue := false
+    | Solver.Sat ->
+      let m = List.map (fun v -> Solver.value s v) vars in
+      models := m :: !models;
+      Solver.add_clause s
+        (List.map
+           (fun v -> if Solver.value s v then Lit.neg_of_var v else Lit.pos v)
+           vars)
+  done;
+  !models
+
+let count_true = List.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+
+(* {1 Cardinality} *)
+
+let test_at_most_exact_model_count () =
+  (* with 4 free vars and Σ ≤ 2 there are C(4,0)+C(4,1)+C(4,2)=11 models *)
+  let s = Solver.create () in
+  let vars = List.init 4 (fun _ -> Solver.new_var s) in
+  Cardinality.at_most s (List.map Lit.pos vars) 2;
+  let models = all_models s vars in
+  checki "model count" 11 (List.length models);
+  List.iter (fun m -> checkb "≤ 2 true" true (count_true m <= 2)) models
+
+let test_at_least_model_count () =
+  let s = Solver.create () in
+  let vars = List.init 4 (fun _ -> Solver.new_var s) in
+  Cardinality.at_least s (List.map Lit.pos vars) 3;
+  let models = all_models s vars in
+  (* C(4,3)+C(4,4) = 5 *)
+  checki "model count" 5 (List.length models);
+  List.iter (fun m -> checkb "≥ 3 true" true (count_true m >= 3)) models
+
+let test_exactly_one () =
+  let s = Solver.create () in
+  let vars = List.init 5 (fun _ -> Solver.new_var s) in
+  Cardinality.exactly_one s (List.map Lit.pos vars);
+  let models = all_models s vars in
+  checki "5 models" 5 (List.length models);
+  List.iter (fun m -> checki "exactly one" 1 (count_true m)) models
+
+let test_at_most_zero () =
+  let s = Solver.create () in
+  let vars = List.init 3 (fun _ -> Solver.new_var s) in
+  Cardinality.at_most s (List.map Lit.pos vars) 0;
+  (match Solver.solve s with
+  | Solver.Sat -> List.iter (fun v -> checkb "all false" false (Solver.value s v)) vars
+  | Solver.Unsat -> Alcotest.fail "should be satisfiable");
+  Cardinality.at_least s (List.map Lit.pos vars) 1;
+  checkb "contradiction" true (Solver.solve s = Solver.Unsat)
+
+let test_at_least_more_than_n () =
+  let s = Solver.create () in
+  let vars = List.init 3 (fun _ -> Solver.new_var s) in
+  Cardinality.at_least s (List.map Lit.pos vars) 4;
+  checkb "unsat" true (Solver.solve s = Solver.Unsat)
+
+let prop_cardinality_bounds =
+  QCheck.Test.make ~name:"sequential counter enforces the bound" ~count:60
+    QCheck.(pair (int_bound 6) small_int)
+    (fun (k, seed) ->
+      let rng = Rng.create (seed + 5) in
+      let n = 3 + Rng.int rng 5 in
+      let s = Solver.create () in
+      let vars = List.init n (fun _ -> Solver.new_var s) in
+      Cardinality.at_most s (List.map Lit.pos vars) k;
+      let models = all_models s vars in
+      let expected = ref 0 in
+      (* Σ_{j≤min(k,n)} C(n,j) *)
+      let rec choose n j =
+        if j = 0 then 1 else if j > n then 0 else choose (n - 1) (j - 1) * n / j
+      in
+      for j = 0 to min k n do
+        expected := !expected + choose n j
+      done;
+      List.length models = !expected
+      && List.for_all (fun m -> count_true m <= k) models)
+
+(* {1 Totalizer (weighted PB)} *)
+
+let test_normalize () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  let terms = [ (Lit.pos a, 3); (Lit.pos b, -2); (Lit.pos a, 0) ] in
+  let pos, offset = Totalizer.normalize terms in
+  checki "offset from negative weight" (-2) offset;
+  checki "two live terms" 2 (List.length pos);
+  checkb "all weights positive" true (List.for_all (fun (_, w) -> w > 0) pos)
+
+let brute_force_max_under terms k =
+  (* max achievable Σ w·x with Σ w·x ≤ k over all boolean assignments *)
+  let arr = Array.of_list terms in
+  let n = Array.length arr in
+  let best = ref (-1) in
+  for mask = 0 to (1 lsl n) - 1 do
+    let sum = ref 0 in
+    Array.iteri (fun i (_, w) -> if mask land (1 lsl i) <> 0 then sum := !sum + w) arr;
+    if !sum <= k && !sum > !best then best := !sum
+  done;
+  !best
+
+let test_assume_at_most_blocks_violations () =
+  let s = Solver.create () in
+  let vars = List.init 4 (fun _ -> Solver.new_var s) in
+  let weights = [ 3; 5; 7; 9 ] in
+  let terms = List.map2 (fun v w -> (Lit.pos v, w)) vars weights in
+  match Totalizer.assume_at_most s terms 11 with
+  | None -> Alcotest.fail "constraint is not vacuous"
+  | Some a ->
+    (* enumerate models under the assumption; all must satisfy Σ ≤ 11 *)
+    let ok = ref true and best = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      match Solver.solve ~assumptions:[ a ] s with
+      | Solver.Unsat -> continue := false
+      | Solver.Sat ->
+        let sum =
+          List.fold_left2
+            (fun acc v w -> if Solver.value s v then acc + w else acc)
+            0 vars weights
+        in
+        if sum > 11 then ok := false;
+        if sum > !best then best := sum;
+        Solver.add_clause s
+          (List.map
+             (fun v -> if Solver.value s v then Lit.neg_of_var v else Lit.pos v)
+             vars)
+    done;
+    checkb "no violating model" true !ok;
+    checki "max under bound matches brute force" (brute_force_max_under terms 11) !best
+
+let test_assume_at_most_vacuous () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  checkb "vacuous returns None" true
+    (Totalizer.assume_at_most s [ (Lit.pos a, 5) ] 10 = None)
+
+let test_assume_at_most_infeasible () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  checkb "impossible bound raises" true
+    (try
+       ignore (Totalizer.assume_at_most s [ (Lit.negate (Lit.pos a), -5) ] (-10));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_totalizer_exact =
+  QCheck.Test.make ~name:"totalizer assumption = exact bound semantics" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 77) in
+      let n = 3 + Rng.int rng 4 in
+      let s = Solver.create () in
+      let vars = List.init n (fun _ -> Solver.new_var s) in
+      let weights = List.init n (fun _ -> 1 + Rng.int rng 12) in
+      let terms = List.map2 (fun v w -> (Lit.pos v, w)) vars weights in
+      let total = List.fold_left ( + ) 0 weights in
+      let k = Rng.int rng (total + 1) in
+      match Totalizer.assume_at_most s terms k with
+      | None ->
+        (* vacuous: total ≤ k must hold *)
+        total <= k
+      | Some a ->
+        (* (1) no model under assumption violates the bound;
+           (2) the bound is achievable tightly (completeness): max
+               reachable sum equals brute force *)
+        let ok = ref true and best = ref (-1) in
+        let continue = ref true in
+        while !continue do
+          match Solver.solve ~assumptions:[ a ] s with
+          | Solver.Unsat -> continue := false
+          | Solver.Sat ->
+            let sum =
+              List.fold_left2
+                (fun acc v w -> if Solver.value s v then acc + w else acc)
+                0 vars weights
+            in
+            if sum > k then ok := false;
+            if sum > !best then best := sum;
+            Solver.add_clause s
+              (List.map
+                 (fun v -> if Solver.value s v then Lit.neg_of_var v else Lit.pos v)
+                 vars)
+        done;
+        !ok && !best = brute_force_max_under terms k)
+
+let prop_totalizer_approx_admissible =
+  QCheck.Test.make
+    ~name:"approximate totalizer never blocks a satisfying assignment" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 123) in
+      let n = 3 + Rng.int rng 4 in
+      let s = Solver.create () in
+      let vars = List.init n (fun _ -> Solver.new_var s) in
+      let weights = List.init n (fun _ -> 50 + Rng.int rng 500) in
+      let terms = List.map2 (fun v w -> (Lit.pos v, w)) vars weights in
+      let total = List.fold_left ( + ) 0 weights in
+      let k = Rng.int rng (total + 1) in
+      match Totalizer.assume_at_most_approx ~resolution:4 s terms k with
+      | None -> true
+      | Some a ->
+        (* every assignment with exact Σ ≤ k must remain satisfiable
+           together with the assumption *)
+        let arr = Array.of_list (List.combine vars weights) in
+        let all_ok = ref true in
+        for mask = 0 to (1 lsl n) - 1 do
+          let sum = ref 0 in
+          Array.iteri
+            (fun i (_, w) -> if mask land (1 lsl i) <> 0 then sum := !sum + w)
+            arr;
+          if !sum <= k then begin
+            let assumptions =
+              a
+              :: List.mapi
+                   (fun i (v, _) ->
+                     if mask land (1 lsl i) <> 0 then Lit.pos v else Lit.neg_of_var v)
+                   (Array.to_list arr)
+            in
+            if Solver.solve ~assumptions s = Solver.Unsat then all_ok := false
+          end
+        done;
+        !all_ok)
+
+let test_enforce_at_most_hard () =
+  let s = Solver.create () in
+  let vars = List.init 3 (fun _ -> Solver.new_var s) in
+  let terms = List.map (fun v -> (Lit.pos v, 10)) vars in
+  Totalizer.enforce_at_most s terms 15;
+  (* at most one var can be true (20 > 15) *)
+  let models = all_models s vars in
+  List.iter (fun m -> checkb "≤ 1 true" true (count_true m <= 1)) models
+
+let suite =
+  [
+    ("at_most model count", `Quick, test_at_most_exact_model_count);
+    ("at_least model count", `Quick, test_at_least_model_count);
+    ("exactly_one", `Quick, test_exactly_one);
+    ("at_most zero", `Quick, test_at_most_zero);
+    ("at_least beyond n", `Quick, test_at_least_more_than_n);
+    QCheck_alcotest.to_alcotest prop_cardinality_bounds;
+    ("normalize", `Quick, test_normalize);
+    ("assume_at_most blocks violations", `Quick, test_assume_at_most_blocks_violations);
+    ("assume_at_most vacuous", `Quick, test_assume_at_most_vacuous);
+    ("assume_at_most infeasible", `Quick, test_assume_at_most_infeasible);
+    QCheck_alcotest.to_alcotest prop_totalizer_exact;
+    QCheck_alcotest.to_alcotest prop_totalizer_approx_admissible;
+    ("enforce_at_most", `Quick, test_enforce_at_most_hard);
+  ]

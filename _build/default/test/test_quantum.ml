@@ -1,0 +1,259 @@
+open Qca_linalg
+open Qca_quantum
+module Rng = Qca_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let quarter_pi = Float.pi /. 4.0
+
+let random_su2 rng =
+  Mat.mul3
+    (Gates.rz (Rng.float rng 6.28))
+    (Gates.ry (Rng.float rng 6.28))
+    (Gates.rz (Rng.float rng 6.28))
+
+let random_u4 rng =
+  let l = Mat.kron (random_su2 rng) (random_su2 rng) in
+  let r = Mat.kron (random_su2 rng) (random_su2 rng) in
+  let canon =
+    Gates.canonical (Rng.float rng Float.pi) (Rng.float rng Float.pi)
+      (Rng.float rng Float.pi)
+  in
+  Mat.scale (Cx.exp_i (Rng.float rng 6.28)) (Mat.mul3 l canon r)
+
+(* {1 Gate algebra} *)
+
+let test_all_gates_unitary () =
+  let singles =
+    [ Gates.id2; Gates.x; Gates.y; Gates.z; Gates.h; Gates.s; Gates.sdg;
+      Gates.t; Gates.tdg; Gates.sx; Gates.rx 0.7; Gates.ry 1.2; Gates.rz 2.3;
+      Gates.u3 0.4 0.5 0.6 ]
+  in
+  List.iter (fun g -> checkb "unitary 2x2" true (Mat.is_unitary g)) singles;
+  let twos =
+    [ Gates.cx; Gates.cz; Gates.swap; Gates.iswap; Gates.crx 0.9; Gates.cry 1.1;
+      Gates.crz 0.3; Gates.cphase 0.8; Gates.canonical 0.1 0.2 0.3 ]
+  in
+  List.iter (fun g -> checkb "unitary 4x4" true (Mat.is_unitary g)) twos
+
+let test_pauli_relations () =
+  let m2 a = Mat.mul a a in
+  checkb "X² = I" true (Mat.approx_equal (m2 Gates.x) Gates.id2);
+  checkb "Y² = I" true (Mat.approx_equal (m2 Gates.y) Gates.id2);
+  checkb "Z² = I" true (Mat.approx_equal (m2 Gates.z) Gates.id2);
+  checkb "H² = I" true (Mat.approx_equal (m2 Gates.h) Gates.id2);
+  checkb "S² = Z" true (Mat.approx_equal (m2 Gates.s) Gates.z);
+  checkb "T² = S" true (Mat.approx_equal (m2 Gates.t) Gates.s);
+  checkb "SX² = X" true (Mat.approx_equal (m2 Gates.sx) Gates.x);
+  checkb "XYZ = iI" true
+    (Mat.approx_equal (Mat.mul3 Gates.x Gates.y Gates.z)
+       (Mat.scale Cx.i Gates.id2))
+
+let test_hzh_is_x () =
+  checkb "HZH = X" true (Mat.approx_equal (Mat.mul3 Gates.h Gates.z Gates.h) Gates.x)
+
+let test_cx_from_cz () =
+  let ih = Mat.kron Gates.id2 Gates.h in
+  checkb "(I⊗H)CZ(I⊗H) = CX" true
+    (Mat.approx_equal (Mat.mul3 ih Gates.cz ih) Gates.cx)
+
+let test_cnot_from_crot () =
+  (* CNOT = (S⊗I)·CRX(π) — the conditional-rotation substitution rule *)
+  let lhs = Mat.mul (Mat.kron Gates.s Gates.id2) (Gates.crx Float.pi) in
+  checkb "CNOT = (S⊗I)CRX(π)" true (Mat.approx_equal ~tol:1e-12 lhs Gates.cx)
+
+let test_swap_from_cnots () =
+  let cx_rev =
+    (* CNOT with control q1, target q0: conjugate by swap or H⊗H *)
+    let hh = Mat.kron Gates.h Gates.h in
+    Mat.mul3 hh Gates.cx hh
+  in
+  checkb "3 alternating CNOTs = SWAP" true
+    (Mat.approx_equal (Mat.mul3 Gates.cx cx_rev Gates.cx) Gates.swap)
+
+let test_rotation_composition () =
+  checkb "Rz adds angles" true
+    (Mat.approx_equal (Mat.mul (Gates.rz 0.4) (Gates.rz 0.6)) (Gates.rz 1.0));
+  checkb "Rx(2π) = −I" true
+    (Mat.approx_equal (Gates.rx (2.0 *. Float.pi))
+       (Mat.scale (Cx.of_float (-1.0)) Gates.id2))
+
+let test_canonical_special_points () =
+  checkb "N(0,0,0) = I" true
+    (Mat.approx_equal (Gates.canonical 0.0 0.0 0.0) (Mat.identity 4));
+  (* N(π/4,0,0) is CNOT-class; check commutation structure instead of
+     exact equality: diag in Bell basis *)
+  checkb "N is unitary" true (Mat.is_unitary (Gates.canonical 0.3 0.2 0.1));
+  checkb "N factors commute" true
+    (Mat.approx_equal
+       (Gates.canonical 0.3 0.2 0.1)
+       (Mat.mul3
+          (Mat.add (Mat.scale (Cx.of_float (cos 0.1)) (Mat.identity 4))
+             (Mat.scale (Cx.make 0.0 (sin 0.1)) Gates.zz))
+          (Mat.add (Mat.scale (Cx.of_float (cos 0.2)) (Mat.identity 4))
+             (Mat.scale (Cx.make 0.0 (sin 0.2)) Gates.yy))
+          (Mat.add (Mat.scale (Cx.of_float (cos 0.3)) (Mat.identity 4))
+             (Mat.scale (Cx.make 0.0 (sin 0.3)) Gates.xx))))
+
+(* {1 ZYZ decomposition} *)
+
+let test_zyz_named_gates () =
+  List.iter
+    (fun g ->
+      let d = Su2.zyz g in
+      checkb "zyz rebuild" true (Mat.approx_equal ~tol:1e-9 (Su2.rebuild d) g))
+    [ Gates.id2; Gates.x; Gates.y; Gates.z; Gates.h; Gates.s; Gates.t; Gates.sx ]
+
+let prop_zyz_roundtrip =
+  QCheck.Test.make ~name:"zyz roundtrip on random SU(2)" ~count:200 QCheck.int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let u = random_su2 rng in
+      Mat.approx_equal ~tol:1e-8 (Su2.rebuild (Su2.zyz u)) u)
+
+let prop_to_u3 =
+  QCheck.Test.make ~name:"to_u3 reconstructs" ~count:200 QCheck.int (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let u = Mat.scale (Cx.exp_i (Rng.float rng 6.28)) (random_su2 rng) in
+      let theta, phi, lambda, phase = Su2.to_u3 u in
+      Mat.approx_equal ~tol:1e-8
+        (Mat.scale (Cx.exp_i phase) (Gates.u3 theta phi lambda))
+        u)
+
+let test_su2_is_identity () =
+  checkb "I is identity" true (Su2.is_identity Gates.id2);
+  checkb "phase·I is identity" true
+    (Su2.is_identity (Mat.scale (Cx.exp_i 0.9) Gates.id2));
+  checkb "X is not" false (Su2.is_identity Gates.x)
+
+(* {1 KAK decomposition} *)
+
+let test_kak_named_coords () =
+  let coords u = Kak.weyl_coordinates u in
+  let close (a, b, c) (x, y, z) =
+    Float.abs (a -. x) < 1e-7 && Float.abs (b -. y) < 1e-7 && Float.abs (c -. z) < 1e-7
+  in
+  checkb "CX" true (close (coords Gates.cx) (quarter_pi, 0.0, 0.0));
+  checkb "CZ" true (close (coords Gates.cz) (quarter_pi, 0.0, 0.0));
+  checkb "SWAP" true (close (coords Gates.swap) (quarter_pi, quarter_pi, quarter_pi));
+  checkb "iSWAP" true (close (coords Gates.iswap) (quarter_pi, quarter_pi, 0.0));
+  checkb "I" true (close (coords (Mat.identity 4)) (0.0, 0.0, 0.0));
+  checkb "CRX(θ)" true (close (coords (Gates.crx 1.0)) (0.25, 0.0, 0.0))
+
+let prop_kak_roundtrip =
+  QCheck.Test.make ~name:"kak rebuild on random U(4)" ~count:100 QCheck.int
+    (fun seed ->
+      let rng = Rng.create (seed + 17) in
+      let u = random_u4 rng in
+      let d = Kak.decompose u in
+      Mat.max_abs_diff (Kak.rebuild d) u < 1e-7)
+
+let prop_kak_locals_are_unitary =
+  QCheck.Test.make ~name:"kak local factors unitary" ~count:50 QCheck.int
+    (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      let d = Kak.decompose (random_u4 rng) in
+      Mat.is_unitary ~tol:1e-7 d.Kak.k1l
+      && Mat.is_unitary ~tol:1e-7 d.Kak.k1r
+      && Mat.is_unitary ~tol:1e-7 d.Kak.k2l
+      && Mat.is_unitary ~tol:1e-7 d.Kak.k2r)
+
+let prop_canonicalize_witness =
+  QCheck.Test.make ~name:"canonicalize witness identity" ~count:100 QCheck.int
+    (fun seed ->
+      let rng = Rng.create (seed + 57) in
+      let x = Rng.float rng 6.28 -. 3.14 in
+      let y = Rng.float rng 6.28 -. 3.14 in
+      let z = Rng.float rng 6.28 -. 3.14 in
+      let c = Kak.canonicalize x y z in
+      let lhs = Gates.canonical x y z in
+      let rhs =
+        Mat.scale (Cx.exp_i c.Kak.c_phase)
+          (Mat.mul3 c.Kak.cl (Gates.canonical c.Kak.cx c.Kak.cy c.Kak.cz) c.Kak.cr)
+      in
+      Mat.max_abs_diff lhs rhs < 1e-7)
+
+let prop_canonicalize_chamber =
+  QCheck.Test.make ~name:"canonical coords lie in the Weyl chamber" ~count:200
+    QCheck.int (fun seed ->
+      let rng = Rng.create (seed + 91) in
+      let c =
+        Kak.canonicalize
+          (Rng.float rng 10.0 -. 5.0)
+          (Rng.float rng 10.0 -. 5.0)
+          (Rng.float rng 10.0 -. 5.0)
+      in
+      c.Kak.cx <= quarter_pi +. 1e-9
+      && c.Kak.cx >= c.Kak.cy -. 1e-9
+      && c.Kak.cy >= Float.abs c.Kak.cz -. 1e-9
+      && c.Kak.cy >= -1e-9
+      && (c.Kak.cx < quarter_pi -. 1e-7 || c.Kak.cz >= -1e-7))
+
+let test_factor_tensor_product () =
+  let rng = Rng.create 5 in
+  let a = random_su2 rng and b = random_su2 rng in
+  (match Kak.factor_tensor_product (Mat.kron a b) with
+  | Some (a', b') ->
+    checkb "reconstructs" true
+      (Mat.approx_equal ~tol:1e-8 (Mat.kron a' b') (Mat.kron a b))
+  | None -> Alcotest.fail "should factor");
+  checkb "CX does not factor" true (Kak.factor_tensor_product Gates.cx = None)
+
+let test_makhlin_local_invariance () =
+  let rng = Rng.create 6 in
+  let u = random_u4 rng in
+  let l = Mat.kron (random_su2 rng) (random_su2 rng) in
+  let r = Mat.kron (random_su2 rng) (random_su2 rng) in
+  checkb "invariants stable under locals" true
+    (Kak.locally_equivalent u (Mat.mul3 l u r))
+
+let test_locally_equivalent_classes () =
+  checkb "CX ~ CZ" true (Kak.locally_equivalent Gates.cx Gates.cz);
+  checkb "CX ≁ SWAP" false (Kak.locally_equivalent Gates.cx Gates.swap);
+  checkb "CX ≁ I" false (Kak.locally_equivalent Gates.cx (Mat.identity 4));
+  checkb "iSWAP ≁ CX" false (Kak.locally_equivalent Gates.iswap Gates.cx)
+
+let test_cnot_cost () =
+  Alcotest.check Alcotest.int "I costs 0" 0 (Kak.cnot_cost (Mat.identity 4));
+  Alcotest.check Alcotest.int "local costs 0" 0
+    (Kak.cnot_cost (Mat.kron Gates.h Gates.t));
+  Alcotest.check Alcotest.int "CX costs 1" 1 (Kak.cnot_cost Gates.cx);
+  Alcotest.check Alcotest.int "CZ costs 1" 1 (Kak.cnot_cost Gates.cz);
+  Alcotest.check Alcotest.int "iSWAP costs 2" 2 (Kak.cnot_cost Gates.iswap);
+  Alcotest.check Alcotest.int "CRX costs 2" 2 (Kak.cnot_cost (Gates.crx 1.0));
+  Alcotest.check Alcotest.int "SWAP costs 3" 3 (Kak.cnot_cost Gates.swap);
+  Alcotest.check Alcotest.int "generic costs 3" 3
+    (Kak.cnot_cost (Gates.canonical 0.3 0.2 0.1))
+
+let test_magic_basis_properties () =
+  checkb "magic basis unitary" true (Mat.is_unitary Kak.magic_basis);
+  (* locals become real orthogonal in the magic basis *)
+  let rng = Rng.create 8 in
+  let l = Mat.kron (random_su2 rng) (random_su2 rng) in
+  let m = Mat.mul3 (Mat.adjoint Kak.magic_basis) l Kak.magic_basis in
+  checkb "local is real in magic basis" true (Mat.is_real ~tol:1e-8 m)
+
+let suite =
+  [
+    ("gates all unitary", `Quick, test_all_gates_unitary);
+    ("pauli relations", `Quick, test_pauli_relations);
+    ("HZH = X", `Quick, test_hzh_is_x);
+    ("CX from CZ", `Quick, test_cx_from_cz);
+    ("CNOT from CROT", `Quick, test_cnot_from_crot);
+    ("SWAP from CNOTs", `Quick, test_swap_from_cnots);
+    ("rotation composition", `Quick, test_rotation_composition);
+    ("canonical gate special points", `Quick, test_canonical_special_points);
+    ("zyz on named gates", `Quick, test_zyz_named_gates);
+    QCheck_alcotest.to_alcotest prop_zyz_roundtrip;
+    QCheck_alcotest.to_alcotest prop_to_u3;
+    ("su2 identity detection", `Quick, test_su2_is_identity);
+    ("kak coords of named gates", `Quick, test_kak_named_coords);
+    QCheck_alcotest.to_alcotest prop_kak_roundtrip;
+    QCheck_alcotest.to_alcotest prop_kak_locals_are_unitary;
+    QCheck_alcotest.to_alcotest prop_canonicalize_witness;
+    QCheck_alcotest.to_alcotest prop_canonicalize_chamber;
+    ("tensor factorization", `Quick, test_factor_tensor_product);
+    ("makhlin invariance", `Quick, test_makhlin_local_invariance);
+    ("local equivalence classes", `Quick, test_locally_equivalent_classes);
+    ("cnot cost", `Quick, test_cnot_cost);
+    ("magic basis properties", `Quick, test_magic_basis_properties);
+  ]

@@ -1,0 +1,259 @@
+open Qca_sat
+module Rng = Qca_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let result =
+  Alcotest.testable
+    (fun fmt r ->
+      Format.pp_print_string fmt
+        (match r with Solver.Sat -> "SAT" | Solver.Unsat -> "UNSAT"))
+    ( = )
+
+(* {1 Basics} *)
+
+let test_empty_problem () =
+  let s = Solver.create () in
+  Alcotest.check result "empty is SAT" Solver.Sat (Solver.solve s)
+
+let test_unit_clauses () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a ];
+  Solver.add_clause s [ Lit.neg_of_var b ];
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  checkb "a true" true (Solver.value s a);
+  checkb "b false" false (Solver.value s b)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s)
+
+let test_contradiction () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a ];
+  Solver.add_clause s [ Lit.neg_of_var a ];
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s)
+
+let test_tautology_dropped () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.neg_of_var a ];
+  checki "no clause stored" 0 (Solver.num_clauses s);
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s)
+
+let test_implication_chain () =
+  let s = Solver.create () in
+  let n = 50 in
+  let vars = Array.init n (fun _ -> Solver.new_var s) in
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ Lit.neg_of_var vars.(i); Lit.pos vars.(i + 1) ]
+  done;
+  Solver.add_clause s [ Lit.pos vars.(0) ];
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  for i = 0 to n - 1 do
+    checkb "chain propagated" true (Solver.value s vars.(i))
+  done
+
+(* {1 Pigeonhole} *)
+
+let pigeonhole ?options pigeons holes =
+  let s = Solver.create ?options () in
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s))
+  in
+  for i = 0 to pigeons - 1 do
+    Solver.add_clause s (Array.to_list (Array.map Lit.pos v.(i)))
+  done;
+  for j = 0 to holes - 1 do
+    for i1 = 0 to pigeons - 1 do
+      for i2 = i1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg_of_var v.(i1).(j); Lit.neg_of_var v.(i2).(j) ]
+      done
+    done
+  done;
+  Solver.solve s
+
+let test_pigeonhole_unsat () =
+  Alcotest.check result "PHP(5,4)" Solver.Unsat (pigeonhole 5 4);
+  Alcotest.check result "PHP(7,6)" Solver.Unsat (pigeonhole 7 6)
+
+let test_pigeonhole_sat () =
+  Alcotest.check result "PHP(4,4)" Solver.Sat (pigeonhole 4 4);
+  Alcotest.check result "PHP(3,5)" Solver.Sat (pigeonhole 3 5)
+
+let test_pigeonhole_ablations () =
+  let configs =
+    [
+      { Solver.default_options with use_vsids = false };
+      { Solver.default_options with use_restarts = false };
+      { Solver.default_options with use_clause_deletion = false };
+      {
+        Solver.default_options with
+        use_vsids = false;
+        use_restarts = false;
+        use_clause_deletion = false;
+      };
+    ]
+  in
+  List.iter
+    (fun options ->
+      Alcotest.check result "PHP(5,4) unsat in all configs" Solver.Unsat
+        (pigeonhole ~options 5 4))
+    configs
+
+(* {1 Random instances with model verification} *)
+
+let random_instance seed nvars nclauses =
+  let rng = Rng.create seed in
+  List.init nclauses (fun _ ->
+      List.init 3 (fun _ -> Lit.make (Rng.int rng nvars) (Rng.bool rng)))
+
+let solve_with ?options clauses nvars =
+  let s = Solver.create ?options () in
+  for _ = 1 to nvars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (Solver.add_clause s) clauses;
+  (s, Solver.solve s)
+
+let model_satisfies model clauses =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l -> if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l))
+        clause)
+    clauses
+
+let prop_models_are_valid =
+  QCheck.Test.make ~name:"returned models satisfy all clauses" ~count:100
+    QCheck.small_int (fun seed ->
+      let clauses = random_instance (seed + 1) 40 160 in
+      let s, r = solve_with clauses 40 in
+      match r with
+      | Solver.Sat -> model_satisfies (Solver.model s) clauses
+      | Solver.Unsat -> true)
+
+let prop_ablations_agree =
+  QCheck.Test.make ~name:"heuristic ablations agree on SAT/UNSAT" ~count:40
+    QCheck.small_int (fun seed ->
+      let clauses = random_instance (seed + 1000) 25 (25 * 5) in
+      let _, r1 = solve_with clauses 25 in
+      let _, r2 =
+        solve_with ~options:{ Solver.default_options with use_vsids = false }
+          clauses 25
+      in
+      let _, r3 =
+        solve_with
+          ~options:
+            {
+              Solver.default_options with
+              use_restarts = false;
+              use_clause_deletion = false;
+            }
+          clauses 25
+      in
+      r1 = r2 && r2 = r3)
+
+(* {1 Assumptions and cores} *)
+
+let test_assumptions_basic () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg_of_var a; Lit.pos b ];
+  Alcotest.check result "a ⇒ b, assume a" Solver.Sat
+    (Solver.solve ~assumptions:[ Lit.pos a ] s);
+  checkb "b forced" true (Solver.value s b);
+  Alcotest.check result "assume a ∧ ¬b" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.pos a; Lit.neg_of_var b ] s);
+  Alcotest.check result "still sat without assumptions" Solver.Sat (Solver.solve s)
+
+let test_unsat_core () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  let d = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg_of_var a; Lit.pos b ];
+  Solver.add_clause s [ Lit.neg_of_var b; Lit.pos c ];
+  match Solver.solve ~assumptions:[ Lit.pos d; Lit.pos a; Lit.neg_of_var c ] s with
+  | Solver.Unsat ->
+    let core = Solver.unsat_core s in
+    checkb "core excludes irrelevant assumption" true
+      (not (List.mem (Lit.pos d) core));
+    checkb "core nonempty" true (core <> []);
+    Alcotest.check result "core is itself unsat" Solver.Unsat
+      (Solver.solve ~assumptions:core s)
+  | Solver.Sat -> Alcotest.fail "expected UNSAT"
+
+let test_contradictory_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Alcotest.check result "a ∧ ¬a assumptions" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.pos a; Lit.neg_of_var a ] s)
+
+let test_incremental_clause_addition () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.pos b ];
+  Alcotest.check result "sat initially" Solver.Sat (Solver.solve s);
+  Solver.add_clause s [ Lit.neg_of_var a ];
+  Alcotest.check result "still sat" Solver.Sat (Solver.solve s);
+  checkb "b must hold now" true (Solver.value s b);
+  Solver.add_clause s [ Lit.neg_of_var b ];
+  Alcotest.check result "now unsat" Solver.Unsat (Solver.solve s)
+
+(* {1 Literals} *)
+
+let test_lit_representation () =
+  let l = Lit.pos 5 in
+  checki "var" 5 (Lit.var l);
+  checkb "sign" true (Lit.sign l);
+  let n = Lit.negate l in
+  checkb "negated sign" false (Lit.sign n);
+  checki "negation involution" l (Lit.negate n);
+  checki "dimacs roundtrip" l (Lit.of_int (Lit.to_int l));
+  checki "dimacs roundtrip neg" n (Lit.of_int (Lit.to_int n))
+
+let test_stats_counted () =
+  let s = Solver.create () in
+  let fresh = Solver.stats s in
+  checki "fresh solver: no conflicts" 0 fresh.Solver.conflicts;
+  (* PHP(4,3) forces at least one conflict *)
+  let v = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Solver.new_var s)) in
+  for i = 0 to 3 do
+    Solver.add_clause s (Array.to_list (Array.map Lit.pos v.(i)))
+  done;
+  for j = 0 to 2 do
+    for i1 = 0 to 3 do
+      for i2 = i1 + 1 to 3 do
+        Solver.add_clause s [ Lit.neg_of_var v.(i1).(j); Lit.neg_of_var v.(i2).(j) ]
+      done
+    done
+  done;
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s);
+  let st = Solver.stats s in
+  checkb "conflicts counted" true (st.Solver.conflicts > 0);
+  checkb "propagations counted" true (st.Solver.propagations > 0)
+
+let suite =
+  [
+    ("empty problem", `Quick, test_empty_problem);
+    ("unit clauses", `Quick, test_unit_clauses);
+    ("empty clause", `Quick, test_empty_clause);
+    ("contradiction", `Quick, test_contradiction);
+    ("tautology dropped", `Quick, test_tautology_dropped);
+    ("implication chain", `Quick, test_implication_chain);
+    ("pigeonhole unsat", `Quick, test_pigeonhole_unsat);
+    ("pigeonhole sat", `Quick, test_pigeonhole_sat);
+    ("pigeonhole under ablations", `Quick, test_pigeonhole_ablations);
+    QCheck_alcotest.to_alcotest prop_models_are_valid;
+    QCheck_alcotest.to_alcotest prop_ablations_agree;
+    ("assumptions", `Quick, test_assumptions_basic);
+    ("unsat core", `Quick, test_unsat_core);
+    ("contradictory assumptions", `Quick, test_contradictory_assumptions);
+    ("incremental clauses", `Quick, test_incremental_clause_addition);
+    ("literal representation", `Quick, test_lit_representation);
+    ("stats", `Quick, test_stats_counted);
+  ]

@@ -1,0 +1,164 @@
+(* ALAP scheduling / slack analysis, and the VSIDS heap. *)
+
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Schedule = Qca_circuit.Schedule
+module Heap = Qca_sat.Heap
+module Rng = Qca_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let dur = function Gate.Single _ -> 30 | Gate.Two _ -> 100
+
+(* {1 ALAP and slack} *)
+
+let test_alap_same_makespan () =
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Single (Gate.H, 0); Gate.Two (Gate.Cx, 0, 1); Gate.Single (Gate.T, 1) ]
+  in
+  let asap = Schedule.schedule ~dur c and late = Schedule.alap ~dur c in
+  checki "same makespan" asap.Schedule.makespan late.Schedule.makespan
+
+let test_alap_pushes_late () =
+  (* a lone leading single on q1 can slide right up against the cx *)
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Single (Gate.H, 1); Gate.Single (Gate.T, 0); Gate.Single (Gate.S, 0);
+        Gate.Two (Gate.Cx, 0, 1) ]
+  in
+  let asap = Schedule.schedule ~dur c and late = Schedule.alap ~dur c in
+  checki "asap H at 0" 0 asap.Schedule.starts.(0);
+  checki "alap H hugs the cx" 30 late.Schedule.starts.(0);
+  checki "cx unchanged" asap.Schedule.starts.(3) late.Schedule.starts.(3)
+
+let test_slack_and_critical () =
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Single (Gate.H, 1); Gate.Single (Gate.T, 0); Gate.Single (Gate.S, 0);
+        Gate.Two (Gate.Cx, 0, 1) ]
+  in
+  let slack = Schedule.slack ~dur c in
+  checki "H has slack" 30 slack.(0);
+  checki "T critical" 0 slack.(1);
+  checki "S critical" 0 slack.(2);
+  checki "cx critical" 0 slack.(3);
+  Alcotest.check (Alcotest.list Alcotest.int) "critical set" [ 1; 2; 3 ]
+    (Schedule.critical_gates ~dur c)
+
+let prop_alap_valid_schedule =
+  QCheck.Test.make ~name:"alap respects wire ordering and the deadline" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 3) in
+      let n = 2 + Rng.int rng 3 in
+      let gates = ref [] in
+      for _ = 1 to 20 do
+        if Rng.bool rng then gates := Gate.Single (Gate.H, Rng.int rng n) :: !gates
+        else begin
+          let a = Rng.int rng (n - 1) in
+          gates := Gate.Two (Gate.Cx, a, a + 1) :: !gates
+        end
+      done;
+      let c = Circuit.of_gates n (List.rev !gates) in
+      let asap = Schedule.schedule ~dur c and late = Schedule.alap ~dur c in
+      let arr = Circuit.gates c in
+      let ok = ref (asap.Schedule.makespan = late.Schedule.makespan) in
+      (* per-qubit, gate order must be respected by both schedules, and
+         slack must be non-negative *)
+      Array.iteri
+        (fun i g ->
+          if late.Schedule.starts.(i) < asap.Schedule.starts.(i) then ok := false;
+          if late.Schedule.finishes.(i) > late.Schedule.makespan then ok := false;
+          Array.iteri
+            (fun j g' ->
+              if j > i then begin
+                let shared =
+                  List.exists (fun q -> List.mem q (Gate.qubits g')) (Gate.qubits g)
+                in
+                if shared && late.Schedule.starts.(j) < late.Schedule.finishes.(i)
+                then ok := false
+              end)
+            arr)
+        arr;
+      !ok)
+
+(* {1 Heap} *)
+
+let test_heap_pop_order () =
+  let h = Heap.create () in
+  Heap.grow_to h 5;
+  List.iter
+    (fun (v, a) ->
+      Heap.bump h v a;
+      Heap.insert h v)
+    [ (0, 1.0); (1, 5.0); (2, 3.0); (3, 4.0); (4, 2.0) ];
+  let order = List.init 5 (fun _ -> Option.get (Heap.pop_max h)) in
+  Alcotest.check (Alcotest.list Alcotest.int) "by activity" [ 1; 3; 2; 4; 0 ] order;
+  checkb "then empty" true (Heap.pop_max h = None)
+
+let test_heap_bump_reorders () =
+  let h = Heap.create () in
+  Heap.grow_to h 3;
+  List.iter (fun v -> Heap.insert h v) [ 0; 1; 2 ];
+  Heap.bump h 0 1.0;
+  Heap.bump h 2 0.5;
+  Heap.bump h 2 1.0;
+  checki "bumped to top" 2 (Option.get (Heap.pop_max h))
+
+let test_heap_reinsert () =
+  let h = Heap.create () in
+  Heap.grow_to h 2;
+  Heap.insert h 0;
+  Heap.insert h 0;
+  checki "no duplicates" 0 (Option.get (Heap.pop_max h));
+  checkb "singleton" true (Heap.pop_max h = None);
+  Heap.insert h 0;
+  checkb "back in heap" true (Heap.in_heap h 0)
+
+let test_heap_rescale () =
+  let h = Heap.create () in
+  Heap.grow_to h 2;
+  Heap.bump h 0 1e100;
+  Heap.bump h 1 2e100;
+  Heap.rescale h 1e-100;
+  checkb "order preserved" true (Heap.activity h 1 > Heap.activity h 0);
+  Heap.insert h 0;
+  Heap.insert h 1;
+  checki "max is still 1" 1 (Option.get (Heap.pop_max h))
+
+let prop_heap_is_max_heap =
+  QCheck.Test.make ~name:"heap pops in non-increasing activity order" ~count:100
+    QCheck.(list (pair (int_bound 30) (float_bound_inclusive 100.0)))
+    (fun bumps ->
+      let h = Heap.create () in
+      Heap.grow_to h 31;
+      List.iter
+        (fun (v, a) ->
+          Heap.bump h v a;
+          Heap.insert h v)
+        bumps;
+      let rec drain acc =
+        match Heap.pop_max h with
+        | None -> List.rev acc
+        | Some v -> drain (Heap.activity h v :: acc)
+      in
+      let acts = drain [] in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a >= b && sorted rest
+        | [ _ ] | [] -> true
+      in
+      sorted acts)
+
+let suite =
+  [
+    ("alap same makespan", `Quick, test_alap_same_makespan);
+    ("alap pushes gates late", `Quick, test_alap_pushes_late);
+    ("slack and critical gates", `Quick, test_slack_and_critical);
+    QCheck_alcotest.to_alcotest prop_alap_valid_schedule;
+    ("heap pop order", `Quick, test_heap_pop_order);
+    ("heap bump reorders", `Quick, test_heap_bump_reorders);
+    ("heap reinsert", `Quick, test_heap_reinsert);
+    ("heap rescale", `Quick, test_heap_rescale);
+    QCheck_alcotest.to_alcotest prop_heap_is_max_heap;
+  ]

@@ -1,0 +1,197 @@
+open Qca_linalg
+open Qca_quantum
+open Qca_sim
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf tol = Alcotest.check (Alcotest.float tol)
+
+(* {1 Channels} *)
+
+let test_channels_trace_preserving () =
+  List.iter
+    (fun (name, chan) ->
+      checkb name true (Channels.is_trace_preserving chan))
+    [
+      ("depolarizing 1q", Channels.depolarizing ~num_qubits:1 ~p:0.3);
+      ("depolarizing 2q", Channels.depolarizing ~num_qubits:2 ~p:0.7);
+      ("depolarizing p=0", Channels.depolarizing ~num_qubits:1 ~p:0.0);
+      ("depolarizing p=1", Channels.depolarizing ~num_qubits:1 ~p:1.0);
+      ("amplitude damping", Channels.amplitude_damping ~gamma:0.4);
+      ("phase damping", Channels.phase_damping ~lambda:0.2);
+      ( "thermal relaxation",
+        Channels.thermal_relaxation ~t1:2.9e6 ~t2:2900.0 ~duration:500.0 );
+      ( "composition",
+        Channels.compose
+          (Channels.amplitude_damping ~gamma:0.1)
+          (Channels.phase_damping ~lambda:0.3) );
+    ]
+
+let test_depolarizing_identity_at_zero () =
+  match Channels.depolarizing ~num_qubits:1 ~p:0.0 with
+  | [ k0 ] -> checkb "only identity Kraus" true (Mat.approx_equal k0 Gates.id2)
+  | ks ->
+    List.iteri
+      (fun i k ->
+        if i > 0 then checkb "zero weight" true (Mat.frobenius_norm k < 1e-12))
+      ks
+
+let test_depolarizing_fidelity_relation () =
+  let f = 0.99 in
+  let chan = Channels.depolarizing_of_fidelity ~num_qubits:1 ~fidelity:f in
+  let rho = Density.init 1 in
+  let rho = Density.apply_channel rho chan [ 0 ] in
+  let p = (1.0 -. f) *. 2.0 in
+  checkf 1e-9 "population" (1.0 -. (p /. 2.0)) (Density.probabilities rho).(0)
+
+let test_amplitude_damping_decays_to_ground () =
+  let rho = Density.init 1 in
+  let rho = Density.apply_gate rho (Gate.Single (Gate.X, 0)) in
+  let rho = Density.apply_channel rho (Channels.amplitude_damping ~gamma:0.9) [ 0 ] in
+  let p = Density.probabilities rho in
+  checkf 1e-9 "ground population" 0.9 p.(0)
+
+let test_phase_damping_kills_coherence () =
+  let rho = Density.init 1 in
+  let rho = Density.apply_gate rho (Gate.Single (Gate.H, 0)) in
+  let before = Cx.norm (Mat.get (Density.matrix rho) 0 1) in
+  let rho' = Density.apply_channel rho (Channels.phase_damping ~lambda:0.99) [ 0 ] in
+  let after = Cx.norm (Mat.get (Density.matrix rho') 0 1) in
+  checkb "coherence shrinks" true (after < 0.2 *. before);
+  let p = Density.probabilities rho' in
+  checkf 1e-9 "populations untouched" 0.5 p.(0)
+
+let test_thermal_relaxation_t2_cap () =
+  checkb "T2 > 2·T1 rejected" true
+    (try
+       ignore (Channels.thermal_relaxation ~t1:1.0 ~t2:3.0 ~duration:1.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 Density matrix simulator} *)
+
+let test_init_state () =
+  let rho = Density.init 2 in
+  checkf 1e-12 "trace" 1.0 (Density.trace rho);
+  checkf 1e-12 "p(00)" 1.0 (Density.probabilities rho).(0);
+  checkf 1e-12 "purity" 1.0 (Density.purity rho)
+
+let test_bell_probabilities () =
+  let bell =
+    Circuit.of_gates 2 [ Gate.Single (Gate.H, 0); Gate.Two (Gate.Cx, 0, 1) ]
+  in
+  let rho = Density.run_ideal bell in
+  let p = Density.probabilities rho in
+  checkf 1e-9 "p(00)" 0.5 p.(0);
+  checkf 1e-9 "p(11)" 0.5 p.(3);
+  checkf 1e-9 "p(01)" 0.0 p.(1);
+  checkf 1e-12 "purity stays 1" 1.0 (Density.purity rho)
+
+let test_run_ideal_matches_unitary () =
+  let c =
+    Circuit.of_gates 3
+      [
+        Gate.Single (Gate.H, 0);
+        Gate.Two (Gate.Cx, 0, 2);
+        Gate.Single (Gate.T, 2);
+        Gate.Two (Gate.Cz, 1, 2);
+        Gate.Single (Gate.Sx, 1);
+      ]
+  in
+  let rho = Density.run_ideal c in
+  let u = Circuit.unitary c in
+  let psi = Array.init 8 (fun i -> Mat.get u i 0) in
+  checkf 1e-9 "expectation is 1" 1.0 (Density.fidelity_to_pure rho psi)
+
+let noiseless = {
+  Density.gate_fidelity = (fun _ -> 1.0);
+  duration = (fun _ -> 10);
+  t1 = 1e18;
+  t2 = 1e18;
+}
+
+let test_noisy_with_no_noise_is_ideal () =
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Single (Gate.H, 0); Gate.Two (Gate.Cx, 0, 1); Gate.Single (Gate.T, 1) ]
+  in
+  let ideal = Density.run_ideal c in
+  let noisy = Density.run_noisy noiseless c in
+  checkb "identical states" true
+    (Mat.approx_equal ~tol:1e-7 (Density.matrix ideal) (Density.matrix noisy))
+
+let test_noisy_purity_decreases () =
+  let c =
+    Circuit.of_gates 2 [ Gate.Single (Gate.H, 0); Gate.Two (Gate.Cx, 0, 1) ]
+  in
+  let noise =
+    { noiseless with Density.gate_fidelity = (fun _ -> 0.98) }
+  in
+  let noisy = Density.run_noisy noise c in
+  checkb "purity < 1" true (Density.purity noisy < 0.999);
+  checkf 1e-9 "trace preserved" 1.0 (Density.trace noisy)
+
+let test_idle_relaxation_applied () =
+  let c =
+    Circuit.of_gates 2
+      [
+        Gate.Single (Gate.X, 1);
+        Gate.Single (Gate.Rz 0.1, 0);
+        Gate.Single (Gate.Rz 0.1, 0);
+        Gate.Single (Gate.Rz 0.1, 0);
+      ]
+  in
+  let noise =
+    { noiseless with Density.t1 = 20.0; t2 = 30.0; duration = (fun _ -> 10) }
+  in
+  let rho = Density.run_noisy noise c in
+  let p = Density.probabilities rho in
+  checkb "idling qubit decayed toward ground" true (p.(0) > 0.3)
+
+let test_hellinger_basics () =
+  let p = [| 0.5; 0.5; 0.0; 0.0 |] and q = [| 0.5; 0.5; 0.0; 0.0 |] in
+  checkf 1e-12 "identical gives 1" 1.0 (Hellinger.fidelity p q);
+  let r = [| 0.0; 0.0; 0.5; 0.5 |] in
+  checkf 1e-12 "disjoint gives 0" 0.0 (Hellinger.fidelity p r);
+  checkf 1e-12 "tv identical" 0.0 (Hellinger.total_variation p q);
+  checkf 1e-12 "tv disjoint" 1.0 (Hellinger.total_variation p r);
+  checkb "distance symmetric" true
+    (Float.abs (Hellinger.distance p r -. Hellinger.distance r p) < 1e-12)
+
+let test_hellinger_normalizes () =
+  let p = [| 2.0; 2.0 |] and q = [| 1.0; 1.0 |] in
+  checkf 1e-12 "unnormalized inputs" 1.0 (Hellinger.fidelity p q)
+
+let test_hellinger_monotone_in_noise () =
+  (* use a circuit with a peaked ideal distribution (Bell state):
+     depolarization then provably pushes the Hellinger fidelity down *)
+  let c =
+    Circuit.of_gates 2 [ Gate.Single (Gate.H, 0); Gate.Two (Gate.Cx, 0, 1) ]
+  in
+  let ideal = Density.probabilities (Density.run_ideal c) in
+  let with_fid f =
+    let noise = { noiseless with Density.gate_fidelity = (fun _ -> f) } in
+    Hellinger.fidelity ideal (Density.probabilities (Density.run_noisy noise c))
+  in
+  let h999 = with_fid 0.999 and h85 = with_fid 0.85 in
+  checkb "less noise, higher fidelity" true (h999 > h85)
+
+let suite =
+  [
+    ("channels trace preserving", `Quick, test_channels_trace_preserving);
+    ("depolarizing p=0", `Quick, test_depolarizing_identity_at_zero);
+    ("depolarizing fidelity relation", `Quick, test_depolarizing_fidelity_relation);
+    ("amplitude damping decay", `Quick, test_amplitude_damping_decays_to_ground);
+    ("phase damping coherence", `Quick, test_phase_damping_kills_coherence);
+    ("thermal relaxation domain", `Quick, test_thermal_relaxation_t2_cap);
+    ("density init", `Quick, test_init_state);
+    ("bell probabilities", `Quick, test_bell_probabilities);
+    ("ideal run matches unitary", `Quick, test_run_ideal_matches_unitary);
+    ("noiseless noisy run", `Quick, test_noisy_with_no_noise_is_ideal);
+    ("noisy purity decreases", `Quick, test_noisy_purity_decreases);
+    ("idle relaxation applied", `Quick, test_idle_relaxation_applied);
+    ("hellinger basics", `Quick, test_hellinger_basics);
+    ("hellinger normalization", `Quick, test_hellinger_normalizes);
+    ("hellinger monotone in noise", `Quick, test_hellinger_monotone_in_noise);
+  ]

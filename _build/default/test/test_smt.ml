@@ -1,0 +1,165 @@
+open Qca_sat
+module Smt = Qca_smt.Smt
+module Rng = Qca_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let verdict =
+  Alcotest.testable
+    (fun fmt r ->
+      Format.pp_print_string fmt (match r with Smt.Sat -> "SAT" | Smt.Unsat -> "UNSAT"))
+    ( = )
+
+(* {1 Boolean-only problems pass through} *)
+
+let test_pure_boolean () =
+  let t = Smt.create () in
+  let a = Smt.new_bool t and b = Smt.new_bool t in
+  Smt.add_clause t [ Lit.pos a; Lit.pos b ];
+  Smt.add_clause t [ Lit.neg_of_var a ];
+  Alcotest.check verdict "sat" Smt.Sat (Smt.solve t);
+  checkb "b" true (Smt.bool_value t b);
+  checkb "a" false (Smt.bool_value t a)
+
+(* {1 Difference atoms} *)
+
+let test_chain_schedule () =
+  let t = Smt.create () in
+  let x = Smt.new_int t "x" and y = Smt.new_int t "y" and z = Smt.new_int t "z" in
+  let o = Smt.origin t in
+  (* x ≥ 0, y ≥ x + 10, z ≥ y + 5 *)
+  Smt.add_clause t [ Smt.atom_ge t x o 0 ];
+  Smt.add_clause t [ Smt.atom_ge t y x 10 ];
+  Smt.add_clause t [ Smt.atom_ge t z y 5 ];
+  Alcotest.check verdict "sat" Smt.Sat (Smt.solve t);
+  let xv = Smt.int_value t x and yv = Smt.int_value t y and zv = Smt.int_value t z in
+  checkb "x ≥ 0" true (xv >= 0);
+  checkb "y ≥ x+10" true (yv >= xv + 10);
+  checkb "z ≥ y+5" true (zv >= yv + 5)
+
+let test_infeasible_window () =
+  let t = Smt.create () in
+  let x = Smt.new_int t "x" and y = Smt.new_int t "y" in
+  let o = Smt.origin t in
+  Smt.add_clause t [ Smt.atom_ge t x o 0 ];
+  Smt.add_clause t [ Smt.atom_ge t y x 10 ];
+  (* y ≤ 5 contradicts y ≥ x + 10 ≥ 10 *)
+  Smt.add_clause t [ Smt.atom_le t y o 5 ];
+  Alcotest.check verdict "unsat" Smt.Unsat (Smt.solve t)
+
+let test_conditional_atoms () =
+  let t = Smt.create () in
+  let c = Smt.new_bool t in
+  let x = Smt.new_int t "x" in
+  let o = Smt.origin t in
+  Smt.add_clause t [ Smt.atom_ge t x o 0 ];
+  (* c → x ≥ 100; and x ≤ 50 *)
+  Smt.add_clause t [ Lit.neg_of_var c; Smt.atom_ge t x o 100 ];
+  Smt.add_clause t [ Smt.atom_le t x o 50 ];
+  Alcotest.check verdict "sat with c false" Smt.Sat (Smt.solve t);
+  checkb "c forced false" false (Smt.bool_value t c);
+  (* forcing c makes it unsat *)
+  Alcotest.check verdict "assuming c" Smt.Unsat
+    (Smt.solve ~assumptions:[ Lit.pos c ] t)
+
+let test_atom_memoization () =
+  let t = Smt.create () in
+  let x = Smt.new_int t "x" in
+  let o = Smt.origin t in
+  let a1 = Smt.atom_le t x o 5 and a2 = Smt.atom_le t x o 5 in
+  checki "same literal" a1 a2;
+  let g1 = Smt.atom_ge t x o 5 in
+  checkb "ge is a distinct atom" true (g1 <> a1)
+
+let test_makespan_style () =
+  (* two parallel chains joining; D ≥ both finish times *)
+  let t = Smt.create () in
+  let o = Smt.origin t in
+  let a = Smt.new_int t "a" and b = Smt.new_int t "b" and d = Smt.new_int t "D" in
+  Smt.add_clause t [ Smt.atom_ge t a o 30 ];
+  Smt.add_clause t [ Smt.atom_ge t b o 45 ];
+  Smt.add_clause t [ Smt.atom_ge t d a 0 ];
+  Smt.add_clause t [ Smt.atom_ge t d b 0 ];
+  (* D ≤ 44 impossible, D ≤ 45 fine *)
+  Alcotest.check verdict "tight" Smt.Sat
+    (Smt.solve ~assumptions:[ Smt.atom_le t d o 45 ] t);
+  Alcotest.check verdict "too tight" Smt.Unsat
+    (Smt.solve ~assumptions:[ Smt.atom_le t d o 44 ] t)
+
+(* {1 Optimization driver} *)
+
+let test_minimize_knapsack_like () =
+  (* choose subsets of items with exclusion pairs, minimize cost;
+     compare against brute force *)
+  let rng = Rng.create 99 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 5 in
+    let costs = Array.init n (fun _ -> Rng.int rng 41 - 20) in
+    let t = Smt.create () in
+    let vars = Array.init n (fun _ -> Smt.new_bool t) in
+    (* random exclusions *)
+    let exclusions =
+      List.init (Rng.int rng 4) (fun _ -> (Rng.int rng n, Rng.int rng n))
+      |> List.filter (fun (i, j) -> i <> j)
+    in
+    List.iter
+      (fun (i, j) ->
+        Smt.add_clause t [ Lit.neg_of_var vars.(i); Lit.neg_of_var vars.(j) ])
+      exclusions;
+    let eval_mask mask =
+      let sum = ref 0 in
+      Array.iteri (fun i c -> if mask land (1 lsl i) <> 0 then sum := !sum + c) costs;
+      !sum
+    in
+    let feasible mask =
+      List.for_all
+        (fun (i, j) ->
+          not (mask land (1 lsl i) <> 0 && mask land (1 lsl j) <> 0))
+        exclusions
+    in
+    let brute = ref max_int in
+    for mask = 0 to (1 lsl n) - 1 do
+      if feasible mask then brute := min !brute (eval_mask mask)
+    done;
+    let evaluate () =
+      let sum = ref 0 in
+      Array.iteri
+        (fun i v -> if Smt.bool_value t v then sum := !sum + costs.(i))
+        vars;
+      !sum
+    in
+    let block () =
+      Array.to_list
+        (Array.map
+           (fun v -> if Smt.bool_value t v then Lit.neg_of_var v else Lit.pos v)
+           vars)
+    in
+    let prune ~best:_ = [] in
+    (match Smt.minimize t ~evaluate ~prune ~block () with
+    | Some (v, _) -> checki "matches brute force" !brute v
+    | None -> Alcotest.fail "feasible problem")
+  done
+
+let test_minimize_unsat () =
+  let t = Smt.create () in
+  let a = Smt.new_bool t in
+  Smt.add_clause t [ Lit.pos a ];
+  Smt.add_clause t [ Lit.neg_of_var a ];
+  checkb "none on unsat" true
+    (Smt.minimize t ~evaluate:(fun () -> 0) ~prune:(fun ~best:_ -> [])
+       ~block:(fun () -> [])
+       ()
+    = None)
+
+let suite =
+  [
+    ("pure boolean", `Quick, test_pure_boolean);
+    ("chain schedule", `Quick, test_chain_schedule);
+    ("infeasible window", `Quick, test_infeasible_window);
+    ("conditional atoms", `Quick, test_conditional_atoms);
+    ("atom memoization", `Quick, test_atom_memoization);
+    ("makespan bounds", `Quick, test_makespan_style);
+    ("minimize vs brute force", `Quick, test_minimize_knapsack_like);
+    ("minimize unsat", `Quick, test_minimize_unsat);
+  ]

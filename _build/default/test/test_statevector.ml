@@ -1,0 +1,133 @@
+module Statevector = Qca_sim.Statevector
+module Density = Qca_sim.Density
+module Channels = Qca_sim.Channels
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Rng = Qca_util.Rng
+open Qca_linalg
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf tol = Alcotest.check (Alcotest.float tol)
+
+let test_init () =
+  let s = Statevector.init 3 in
+  let p = Statevector.probabilities s in
+  checkf 1e-12 "p(000)" 1.0 p.(0);
+  checkf 1e-12 "others" 0.0 (Array.fold_left ( +. ) 0.0 (Array.sub p 1 7))
+
+let test_x_flips () =
+  let s = Statevector.apply_gate (Statevector.init 2) (Gate.Single (Gate.X, 1)) in
+  checkf 1e-12 "p(01)" 1.0 (Statevector.probabilities s).(1)
+
+let test_bell () =
+  let c = Circuit.of_gates 2 [ Gate.Single (Gate.H, 0); Gate.Two (Gate.Cx, 0, 1) ] in
+  let s = Statevector.run c in
+  let p = Statevector.probabilities s in
+  checkf 1e-9 "p(00)" 0.5 p.(0);
+  checkf 1e-9 "p(11)" 0.5 p.(3)
+
+let test_matches_unitary_and_density () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10 do
+    let gates = ref [] in
+    for _ = 1 to 15 do
+      match Rng.int rng 4 with
+      | 0 -> gates := Gate.Single (Gate.H, Rng.int rng 3) :: !gates
+      | 1 -> gates := Gate.Single (Gate.Rz (Rng.float rng 6.0), Rng.int rng 3) :: !gates
+      | 2 -> gates := Gate.Two (Gate.Cx, 0, 1) :: !gates
+      | _ -> gates := Gate.Two (Gate.Cz, 1, 2) :: !gates
+    done;
+    let c = Circuit.of_gates 3 (List.rev !gates) in
+    let sv = Statevector.run c in
+    (* against the full unitary *)
+    let u = Circuit.unitary c in
+    let expect = Array.init 8 (fun i -> Mat.get u i 0) in
+    let direct = Statevector.of_amplitudes expect in
+    checkf 1e-9 "sv matches unitary column" 1.0 (Statevector.fidelity sv direct);
+    (* against the density-matrix simulator *)
+    let rho = Density.run_ideal c in
+    checkf 1e-9 "sv matches density" 1.0
+      (Density.fidelity_to_pure rho (Statevector.amplitudes sv))
+  done
+
+let test_inner_product_phase () =
+  let a = Statevector.init 1 in
+  let b = Statevector.apply_gate a (Gate.Single (Gate.Rz 1.0, 0)) in
+  (* Rz only adds phase to |0⟩: |⟨a|b⟩| = 1 *)
+  checkf 1e-9 "modulus one" 1.0 (Cx.norm (Statevector.inner_product a b))
+
+let test_expectation_z () =
+  let s = Statevector.init 2 in
+  checkf 1e-12 "⟨Z⟩ of |0⟩" 1.0 (Statevector.expectation_z s 0);
+  let s = Statevector.apply_gate s (Gate.Single (Gate.X, 0)) in
+  checkf 1e-12 "⟨Z⟩ of |1⟩" (-1.0) (Statevector.expectation_z s 0);
+  let s = Statevector.apply_gate s (Gate.Single (Gate.H, 1)) in
+  checkf 1e-9 "⟨Z⟩ of |+⟩" 0.0 (Statevector.expectation_z s 1)
+
+let test_validation () =
+  checkb "bad length rejected" true
+    (try
+       ignore (Statevector.of_amplitudes [| Cx.one; Cx.zero; Cx.zero |]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "unnormalized rejected" true
+    (try
+       ignore (Statevector.of_amplitudes [| Cx.one; Cx.one |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 New channels} *)
+
+let test_bit_flip () =
+  let rho = Density.init 1 in
+  let rho = Density.apply_channel rho (Channels.bit_flip ~p:0.3) [ 0 ] in
+  let p = Density.probabilities rho in
+  checkf 1e-9 "p(1) = 0.3" 0.3 p.(1)
+
+let test_phase_flip_preserves_populations () =
+  let rho = Density.init 1 in
+  let rho = Density.apply_gate rho (Gate.Single (Gate.H, 0)) in
+  let rho = Density.apply_channel rho (Channels.phase_flip ~p:0.5) [ 0 ] in
+  let p = Density.probabilities rho in
+  checkf 1e-9 "populations unchanged" 0.5 p.(0);
+  (* full dephasing at p = 1/2 *)
+  checkf 1e-9 "coherence gone" 0.0 (Cx.norm (Mat.get (Density.matrix rho) 0 1))
+
+let test_pauli_channel_trace_preserving () =
+  checkb "tp" true
+    (Channels.is_trace_preserving (Channels.pauli_channel ~px:0.1 ~py:0.2 ~pz:0.3));
+  checkb "rejects >1" true
+    (try
+       ignore (Channels.pauli_channel ~px:0.5 ~py:0.4 ~pz:0.3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_readout_error () =
+  (* |10⟩ with symmetric 10% flip probability *)
+  let dist = [| 0.0; 0.0; 1.0; 0.0 |] in
+  let out = Channels.apply_readout_error ~p01:0.1 ~p10:0.1 dist in
+  checkf 1e-9 "stays" (0.9 *. 0.9) out.(2);
+  checkf 1e-9 "first bit flips" (0.1 *. 0.9) out.(0);
+  checkf 1e-9 "both flip" (0.1 *. 0.1) out.(1);
+  checkf 1e-9 "normalized" 1.0 (Array.fold_left ( +. ) 0.0 out)
+
+let test_readout_error_identity () =
+  let dist = [| 0.25; 0.25; 0.25; 0.25 |] in
+  let out = Channels.apply_readout_error ~p01:0.0 ~p10:0.0 dist in
+  checkb "no-op" true (dist = out)
+
+let suite =
+  [
+    ("statevector init", `Quick, test_init);
+    ("statevector X", `Quick, test_x_flips);
+    ("statevector bell", `Quick, test_bell);
+    ("statevector vs unitary & density", `Quick, test_matches_unitary_and_density);
+    ("statevector inner product", `Quick, test_inner_product_phase);
+    ("statevector ⟨Z⟩", `Quick, test_expectation_z);
+    ("statevector validation", `Quick, test_validation);
+    ("channel bit flip", `Quick, test_bit_flip);
+    ("channel phase flip", `Quick, test_phase_flip_preserves_populations);
+    ("channel pauli mix", `Quick, test_pauli_channel_trace_preserving);
+    ("readout error", `Quick, test_readout_error);
+    ("readout identity", `Quick, test_readout_error_identity);
+  ]

@@ -1,0 +1,207 @@
+module Rng = Qca_util.Rng
+module Vec = Qca_util.Vec
+module Numeric = Qca_util.Numeric
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* {1 Rng} *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different seeds diverge" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_covers () =
+  let rng = Rng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  checkb "all residues reached" true (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    checkb "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bool_balance () =
+  let rng = Rng.create 5 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool rng then incr trues
+  done;
+  checkb "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let samples = List.init n (fun _ -> Rng.gaussian rng) in
+  let mean = Numeric.mean samples in
+  let var = Numeric.mean (List.map (fun x -> (x -. mean) ** 2.0) samples) in
+  checkb "mean near 0" true (Float.abs mean < 0.05);
+  checkb "variance near 1" true (Float.abs (var -. 1.0) < 0.05)
+
+let test_rng_shuffle_is_permutation () =
+  let rng = Rng.create 17 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let child = Rng.split a in
+  checkb "child differs from parent stream" true (Rng.int64 a <> Rng.int64 child)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+(* {1 Vec} *)
+
+let test_vec_push_pop () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  checki "length" 100 (Vec.length v);
+  for i = 100 downto 1 do
+    checki "pop order" i (Vec.pop v)
+  done;
+  checkb "empty" true (Vec.is_empty v)
+
+let test_vec_get_set () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  checki "set/get" 42 (Vec.get v 1);
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index 3 out of bounds (size 3)")
+    (fun () -> ignore (Vec.get v 3))
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+  Vec.swap_remove v 1;
+  checki "length" 3 (Vec.length v);
+  check (Alcotest.list Alcotest.int) "content" [ 1; 4; 3 ] (Vec.to_list v)
+
+let test_vec_shrink_clear () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5 ] in
+  Vec.shrink v 2;
+  check (Alcotest.list Alcotest.int) "shrunk" [ 1; 2 ] (Vec.to_list v);
+  Vec.clear v;
+  checki "cleared" 0 (Vec.length v)
+
+let test_vec_filter_in_place () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5; 6 ] in
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  check (Alcotest.list Alcotest.int) "evens kept in order" [ 2; 4; 6 ] (Vec.to_list v)
+
+let test_vec_sort () =
+  let v = Vec.of_list ~dummy:0 [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+let test_vec_fold_iter () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  checki "fold sum" 6 (Vec.fold ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "iteri"
+    [ (0, 1); (1, 2); (2, 3) ] (List.rev !acc)
+
+let prop_vec_matches_list =
+  QCheck.Test.make ~name:"vec push/to_list matches list" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let v = Vec.create ~dummy:0 () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs && Vec.length v = List.length xs)
+
+let prop_vec_filter =
+  QCheck.Test.make ~name:"vec filter_in_place = List.filter" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let v = Vec.of_list ~dummy:0 xs in
+      Vec.filter_in_place (fun x -> x mod 3 = 0) v;
+      Vec.to_list v = List.filter (fun x -> x mod 3 = 0) xs)
+
+(* {1 Numeric} *)
+
+let test_fixed_point_roundtrip () =
+  List.iter
+    (fun f ->
+      let back = Numeric.fidelity_of_fixed (Numeric.log_fidelity_fixed f) in
+      checkb "roundtrip close" true (Float.abs (back -. f) < 1e-5))
+    [ 1.0; 0.999; 0.994; 0.99; 0.9; 0.5 ]
+
+let test_fixed_point_monotone () =
+  checkb "monotone" true
+    (Numeric.log_fidelity_fixed 0.99 < Numeric.log_fidelity_fixed 0.999)
+
+let test_fixed_point_domain () =
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "log_fidelity_fixed: 0 not in (0, 1]") (fun () ->
+      ignore (Numeric.log_fidelity_fixed 0.0))
+
+let test_clamp () =
+  Alcotest.check (Alcotest.float 1e-12) "clamps low" 0.0 (Numeric.clamp 0.0 1.0 (-3.0));
+  Alcotest.check (Alcotest.float 1e-12) "clamps high" 1.0 (Numeric.clamp 0.0 1.0 3.0);
+  Alcotest.check (Alcotest.float 1e-12) "identity" 0.5 (Numeric.clamp 0.0 1.0 0.5)
+
+let test_percent_change () =
+  Alcotest.check (Alcotest.float 1e-9) "+50%" 50.0
+    (Numeric.percent_change ~baseline:2.0 3.0);
+  Alcotest.check (Alcotest.float 1e-9) "zero baseline" 0.0
+    (Numeric.percent_change ~baseline:0.0 3.0)
+
+let test_kahan_sum () =
+  let xs = List.init 10_000 (fun _ -> 0.1) in
+  checkb "compensated sum accurate" true
+    (Float.abs (Numeric.sum_floats xs -. 1000.0) < 1e-9)
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng int range", `Quick, test_rng_int_range);
+    ("rng int covers residues", `Quick, test_rng_int_covers);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng bool balance", `Quick, test_rng_bool_balance);
+    ("rng gaussian moments", `Quick, test_rng_gaussian_moments);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_is_permutation);
+    ("rng split independence", `Quick, test_rng_split_independent);
+    ("rng copy", `Quick, test_rng_copy);
+    ("vec push/pop", `Quick, test_vec_push_pop);
+    ("vec get/set bounds", `Quick, test_vec_get_set);
+    ("vec swap_remove", `Quick, test_vec_swap_remove);
+    ("vec shrink/clear", `Quick, test_vec_shrink_clear);
+    ("vec filter_in_place", `Quick, test_vec_filter_in_place);
+    ("vec sort", `Quick, test_vec_sort);
+    ("vec fold/iteri", `Quick, test_vec_fold_iter);
+    QCheck_alcotest.to_alcotest prop_vec_matches_list;
+    QCheck_alcotest.to_alcotest prop_vec_filter;
+    ("numeric fixed-point roundtrip", `Quick, test_fixed_point_roundtrip);
+    ("numeric fixed-point monotone", `Quick, test_fixed_point_monotone);
+    ("numeric fixed-point domain", `Quick, test_fixed_point_domain);
+    ("numeric clamp", `Quick, test_clamp);
+    ("numeric percent change", `Quick, test_percent_change);
+    ("numeric kahan sum", `Quick, test_kahan_sum);
+  ]

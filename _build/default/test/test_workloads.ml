@@ -1,0 +1,83 @@
+open Qca_workloads
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Basis = Qca_adapt.Basis
+module Rng = Qca_util.Rng
+open Qca_linalg
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let adjacent_only c =
+  Array.for_all
+    (function
+      | Gate.Two (_, a, b) -> abs (a - b) = 1
+      | Gate.Single _ -> true)
+    (Circuit.gates c)
+
+let test_qv_determinism () =
+  let a = Workloads.quantum_volume ~seed:7 ~num_qubits:3 ~layers:4 in
+  let b = Workloads.quantum_volume ~seed:7 ~num_qubits:3 ~layers:4 in
+  checki "same length" (Circuit.length a) (Circuit.length b);
+  checkb "same gates" true
+    (List.for_all2 Gate.equal_structure
+       (Array.to_list (Circuit.gates a))
+       (Array.to_list (Circuit.gates b)))
+
+let test_qv_seed_sensitivity () =
+  let a = Workloads.quantum_volume ~seed:7 ~num_qubits:3 ~layers:4 in
+  let b = Workloads.quantum_volume ~seed:8 ~num_qubits:3 ~layers:4 in
+  checkb "different circuits" false
+    (Circuit.length a = Circuit.length b
+    && List.for_all2 Gate.equal_structure
+         (Array.to_list (Circuit.gates a))
+         (Array.to_list (Circuit.gates b)))
+
+let test_qv_ibm_basis_and_topology () =
+  let c = Workloads.quantum_volume ~seed:3 ~num_qubits:4 ~layers:3 in
+  checkb "IBM basis" true (Array.for_all Basis.ibm_gate (Circuit.gates c));
+  checkb "line topology" true (adjacent_only c);
+  checkb "nonempty" true (Circuit.count_two_qubit c > 0)
+
+let test_random_template_depth () =
+  let c = Workloads.random_template ~seed:4 ~num_qubits:3 ~depth:25 in
+  checki "two-qubit count is the depth" 25 (Circuit.count_two_qubit c);
+  checkb "IBM basis" true (Array.for_all Basis.ibm_gate (Circuit.gates c));
+  checkb "line topology" true (adjacent_only c)
+
+let test_suites_well_formed () =
+  List.iter
+    (fun kase ->
+      checkb (kase.Workloads.label ^ " nonempty") true
+        (Circuit.length kase.Workloads.circuit > 0);
+      checkb (kase.Workloads.label ^ " ibm") true
+        (Array.for_all Basis.ibm_gate (Circuit.gates kase.Workloads.circuit)))
+    (Workloads.evaluation_suite () @ Workloads.simulation_suite ())
+
+let test_haar_unitary () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10 do
+    let u = Random_unitary.haar rng 4 in
+    checkb "unitary" true (Mat.is_unitary ~tol:1e-8 u)
+  done;
+  let s = Random_unitary.su4 rng in
+  checkb "special" true (Cx.approx_equal ~tol:1e-8 (Mat.det4 s) Cx.one)
+
+let test_haar_spread () =
+  (* entries should not concentrate: crude spread check on the first
+     entry over draws *)
+  let rng = Rng.create 6 in
+  let samples = List.init 200 (fun _ -> Cx.norm (Mat.get (Random_unitary.haar rng 2) 0 0)) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. 200.0 in
+  checkb "mean modulus away from extremes" true (mean > 0.4 && mean < 0.95)
+
+let suite =
+  [
+    ("qv determinism", `Quick, test_qv_determinism);
+    ("qv seed sensitivity", `Quick, test_qv_seed_sensitivity);
+    ("qv basis and topology", `Quick, test_qv_ibm_basis_and_topology);
+    ("random template depth", `Quick, test_random_template_depth);
+    ("suites well formed", `Quick, test_suites_well_formed);
+    ("haar unitarity", `Quick, test_haar_unitary);
+    ("haar spread", `Quick, test_haar_spread);
+  ]
