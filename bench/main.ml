@@ -5,8 +5,9 @@
    runs one Bechamel micro-benchmark per experiment plus the ablation
    benchmarks called out in DESIGN.md section 7.
 
-     dune exec bench/main.exe            # full evaluation (several minutes)
-     dune exec bench/main.exe -- --fast  # reduced suite, for development *)
+     dune exec bench/main.exe                    # full evaluation (several minutes)
+     dune exec bench/main.exe -- --fast          # reduced suite, for development
+     dune exec bench/main.exe -- --json out.json # also dump the Bechamel rows *)
 
 open Bechamel
 module E = Qca_experiments.Experiments
@@ -22,6 +23,15 @@ module Density = Qca_sim.Density
 
 let fmt = Format.std_formatter
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
+
+let json_file =
+  let file = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then
+        file := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !file
 
 (* {1 Experiment regeneration (Table I, Eq. 11, Figs. 5-7)} *)
 
@@ -177,7 +187,22 @@ let run_benchmarks () =
   List.iter
     (fun (name, ns) -> Format.fprintf fmt "%-42s %16s@." name (pp_time ns))
     rows;
-  Format.pp_print_flush fmt ()
+  Format.pp_print_flush fmt ();
+  match json_file with
+  | None -> ()
+  | Some file ->
+    (* flat object: benchmark name -> nanoseconds per run *)
+    let oc = open_out file in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "  %S: %s%s\n" name
+          (if Float.is_nan ns then "null" else Printf.sprintf "%.2f" ns)
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    output_string oc "}\n";
+    close_out oc;
+    Format.fprintf fmt "json rows written to %s@." file
 
 let () =
   run_experiments ();

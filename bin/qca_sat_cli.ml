@@ -31,7 +31,10 @@ let run input no_vsids no_restarts stats =
       Printf.printf "c propagations %d\n" st.Solver.propagations;
       Printf.printf "c restarts     %d\n" st.Solver.restarts;
       Printf.printf "c learnt       %d (deleted %d)\n" st.Solver.learnt_clauses
-        st.Solver.deleted_clauses
+        st.Solver.deleted_clauses;
+      Printf.printf "c minimized    %d literals\n" st.Solver.minimized_literals;
+      Printf.printf "c arena gcs    %d\n" st.Solver.arena_gcs;
+      Printf.printf "c avg lbd      %.2f\n" st.Solver.avg_lbd
     end;
     match result with
     | Solver.Unsat ->

@@ -206,6 +206,8 @@ let verify_schedule t chosen_mask makespan =
   | Dl.Consistent _ -> true
   | Dl.Negative_cycle _ -> false
 
+let sat_stats t = Smt.sat_stats t.smt
+
 let default_round_budget = 120
 
 let optimize ?round_budget t obj =

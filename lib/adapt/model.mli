@@ -53,3 +53,8 @@ val optimize : ?round_budget:int -> t -> objective -> solution
 val evaluate_choice : t -> objective -> Rules.t list -> int
 (** Exact integer objective of an arbitrary conflict-free choice of
     substitutions (used by tests and the greedy heuristic). *)
+
+val sat_stats : t -> Solver.stats
+(** Counters of the CDCL solver underlying the model's SMT instance
+    (conflicts, propagations, learnt-clause minimization, arena
+    GCs, ...). Valid before and after {!optimize}. *)

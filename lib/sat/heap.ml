@@ -29,10 +29,18 @@ let swap t i j =
   t.index.(vi) <- j;
   t.index.(vj) <- i
 
+(* Order: higher activity first; ties broken toward the smaller variable
+   index. The tie-break makes decisions deterministic and, before any
+   conflicts have separated the activities, equal to lowest-index-first
+   order, which is a much better start than insertion order. *)
+let[@inline] before t vi vj =
+  let ai = Array.unsafe_get t.act vi and aj = Array.unsafe_get t.act vj in
+  ai > aj || (ai = aj && vi < vj)
+
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.act.(t.heap.(i)) > t.act.(t.heap.(parent)) then begin
+    if before t t.heap.(i) t.heap.(parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -41,8 +49,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let best = ref i in
-  if l < t.size && t.act.(t.heap.(l)) > t.act.(t.heap.(!best)) then best := l;
-  if r < t.size && t.act.(t.heap.(r)) > t.act.(t.heap.(!best)) then best := r;
+  if l < t.size && before t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.size && before t t.heap.(r) t.heap.(!best) then best := r;
   if !best <> i then begin
     swap t i !best;
     sift_down t !best
@@ -62,8 +70,8 @@ let insert t v =
     sift_up t (t.size - 1)
   end
 
-let pop_max t =
-  if t.size = 0 then None
+let pop t =
+  if t.size = 0 then -1
   else begin
     let v = t.heap.(0) in
     t.size <- t.size - 1;
@@ -73,8 +81,10 @@ let pop_max t =
       sift_down t 0
     end;
     t.index.(v) <- -1;
-    Some v
+    v
   end
+
+let pop_max t = match pop t with -1 -> None | v -> Some v
 
 let bump t v inc =
   grow_to t (v + 1);

@@ -1,4 +1,9 @@
-(** Indexed max-heap over variable activities (the VSIDS order). *)
+(** Indexed max-heap over variable activities (the VSIDS order).
+
+    Ties break toward the smaller variable index, so pop order is
+    deterministic. The solver inlines its own copy of this structure
+    for speed (see DESIGN.md section 7.1); this module is the
+    standalone, tested reference of the same order. *)
 
 type t
 
@@ -15,6 +20,9 @@ val in_heap : t -> int -> bool
 
 val pop_max : t -> int option
 (** Remove and return the variable with the highest activity. *)
+
+val pop : t -> int
+(** Allocation-free {!pop_max}: returns [-1] when the heap is empty. *)
 
 val bump : t -> int -> float -> unit
 (** Increase a variable's activity by the given increment, restoring the

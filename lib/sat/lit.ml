@@ -1,12 +1,12 @@
 type var = int
 type t = int
 
-let make v polarity = (2 * v) + if polarity then 0 else 1
-let pos v = 2 * v
-let neg_of_var v = (2 * v) + 1
-let var l = l lsr 1
-let sign l = l land 1 = 0
-let negate l = l lxor 1
+let[@inline] make v polarity = (2 * v) + if polarity then 0 else 1
+let[@inline] pos v = 2 * v
+let[@inline] neg_of_var v = (2 * v) + 1
+let[@inline] var l = l lsr 1
+let[@inline] sign l = l land 1 = 0
+let[@inline] negate l = l lxor 1
 let to_int l = if sign l then var l + 1 else -(var l + 1)
 
 let of_int n =

@@ -1,18 +1,10 @@
 module Vec = Qca_util.Vec
 
-type clause = {
-  mutable lits : int array;
-  mutable activity : float;
-  learnt : bool;
-  mutable deleted : bool;
-}
-
-let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = true }
-
 type options = {
   use_vsids : bool;
   use_restarts : bool;
   use_clause_deletion : bool;
+  use_minimization : bool;
   var_decay : float;
   clause_decay : float;
   restart_base : int;
@@ -24,6 +16,7 @@ let default_options =
     use_vsids = true;
     use_restarts = true;
     use_clause_deletion = true;
+    use_minimization = true;
     var_decay = 0.95;
     clause_decay = 0.999;
     restart_base = 64;
@@ -39,23 +32,61 @@ type stats = {
   restarts : int;
   learnt_clauses : int;
   deleted_clauses : int;
+  minimized_literals : int;
+  arena_gcs : int;
+  avg_lbd : float;
 }
+
+(* No reason (decision / root-level fact). *)
+let no_reason = -1
+
+(* Clause header layout (see Arena): lits of clause [cr] start at
+   [cr + 3]; [data.(cr) lsr 3] is the size. The inner loops below index
+   the arena array directly instead of going through the Arena
+   accessors — without flambda each accessor is an out-of-line call,
+   which dominates the cost of a watched-literal visit. *)
+let hdr = 3
 
 type t = {
   opts : options;
   mutable nvars : int;
-  clauses : clause Vec.t;
-  learnts : clause Vec.t;
-  mutable watches : clause Vec.t array;  (* literal -> watching clauses *)
+  mutable arena : Arena.t;
+  clauses : int Vec.t;  (* crefs of problem clauses *)
+  learnts : int Vec.t;  (* crefs of learnt clauses *)
+  (* Watch lists: per literal, a flat array of (blocker, word) pairs
+     where word = cref lsl 1 lor is_binary. For binary clauses the
+     blocker is the other literal, so propagation never reads the
+     arena. *)
+  mutable wdata : int array array;
+  mutable wsize : int array;
   mutable assigns : int array;  (* var -> -1 undef / 1 true / 0 false *)
   mutable phase : bool array;  (* saved phases *)
-  mutable reason : clause array;  (* var -> implying clause or dummy *)
+  mutable reason : int array;  (* var -> implying cref or no_reason *)
   mutable level : int array;
   mutable seen : bool array;
-  trail : int Vec.t;  (* literals, in assignment order *)
-  trail_lim : int Vec.t;  (* trail size at each decision level *)
+  mutable trail : int array;  (* literals, in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;  (* trail size at each decision level *)
+  mutable trail_lim_size : int;
   mutable qhead : int;
-  order : Heap.t;
+  (* VSIDS order: binary max-heap over activities, ties toward the
+     smaller variable index (deterministic, and equal to index order
+     until conflicts separate the activities). *)
+  mutable hheap : int array;  (* heap position -> var *)
+  mutable hsize : int;
+  mutable hindex : int array;  (* var -> heap position, -1 if absent *)
+  mutable hact : float array;  (* var -> activity *)
+  (* scratch for analyze / minimization / add_clause *)
+  mutable learnt_buf : int array;
+  mutable learnt_len : int;
+  mutable astack : int array;
+  mutable astack_size : int;
+  mutable toclear : int array;
+  mutable toclear_size : int;
+  mutable lmark : int array;  (* lit -> tick, for add_clause dedup *)
+  mutable lmark_tick : int;
+  mutable lbd_stamp : int array;  (* level -> tick, for LBD counting *)
+  mutable lbd_tick : int;
   mutable var_inc : float;
   mutable cla_inc : float;
   mutable ok : bool;
@@ -67,24 +98,46 @@ type t = {
   mutable n_restarts : int;
   mutable n_learnt : int;
   mutable n_deleted : int;
+  mutable n_minimized : int;
+  mutable n_gcs : int;
+  mutable lbd_sum : int;
 }
+
+let initial_cap = 64
 
 let create ?(options = default_options) () =
   {
     opts = options;
     nvars = 0;
-    clauses = Vec.create ~dummy:dummy_clause ();
-    learnts = Vec.create ~dummy:dummy_clause ();
-    watches = Array.init 2 (fun _ -> Vec.create ~dummy:dummy_clause ());
-    assigns = Array.make 1 (-1);
-    phase = Array.make 1 false;
-    reason = Array.make 1 dummy_clause;
-    level = Array.make 1 0;
-    seen = Array.make 1 false;
-    trail = Vec.create ~dummy:0 ();
-    trail_lim = Vec.create ~dummy:0 ();
+    arena = Arena.create ();
+    clauses = Vec.create ~dummy:0 ();
+    learnts = Vec.create ~dummy:0 ();
+    wdata = Array.make (2 * initial_cap) [||];
+    wsize = Array.make (2 * initial_cap) 0;
+    assigns = Array.make initial_cap (-1);
+    phase = Array.make initial_cap false;
+    reason = Array.make initial_cap no_reason;
+    level = Array.make initial_cap 0;
+    seen = Array.make initial_cap false;
+    trail = Array.make initial_cap 0;
+    trail_size = 0;
+    trail_lim = Array.make (initial_cap + 1) 0;
+    trail_lim_size = 0;
     qhead = 0;
-    order = Heap.create ();
+    hheap = Array.make initial_cap 0;
+    hsize = 0;
+    hindex = Array.make initial_cap (-1);
+    hact = Array.make initial_cap 0.0;
+    learnt_buf = Array.make (initial_cap + 1) 0;
+    learnt_len = 0;
+    astack = Array.make (initial_cap + 1) 0;
+    astack_size = 0;
+    toclear = Array.make (initial_cap + 1) 0;
+    toclear_size = 0;
+    lmark = Array.make (2 * initial_cap) 0;
+    lmark_tick = 0;
+    lbd_stamp = Array.make (initial_cap + 1) (-1);
+    lbd_tick = 0;
     var_inc = 1.0;
     cla_inc = 1.0;
     ok = true;
@@ -96,6 +149,9 @@ let create ?(options = default_options) () =
     n_restarts = 0;
     n_learnt = 0;
     n_deleted = 0;
+    n_minimized = 0;
+    n_gcs = 0;
+    lbd_sum = 0;
   }
 
 let num_vars t = t.nvars
@@ -112,204 +168,462 @@ let grow_arrays t n =
     in
     t.assigns <- copy_arr t.assigns (-1);
     t.phase <- copy_arr t.phase false;
-    t.reason <- copy_arr t.reason dummy_clause;
+    t.reason <- copy_arr t.reason no_reason;
     t.level <- copy_arr t.level 0;
     t.seen <- copy_arr t.seen false;
-    let oldw = Array.length t.watches in
-    let watches = Array.init (2 * cap) (fun i ->
-        if i < oldw then t.watches.(i) else Vec.create ~dummy:dummy_clause ())
+    t.trail <- copy_arr t.trail 0;
+    t.hheap <- copy_arr t.hheap 0;
+    t.hindex <- copy_arr t.hindex (-1);
+    let hact = Array.make cap 0.0 in
+    Array.blit t.hact 0 hact 0 old;
+    t.hact <- hact;
+    let copy_plus a fill =
+      (* [solve] may have grown these beyond cap+1 for assumption
+         levels; never shrink *)
+      let fresh = Array.make (max (cap + 1) (Array.length a)) fill in
+      Array.blit a 0 fresh 0 (Array.length a);
+      fresh
     in
-    t.watches <- watches
+    t.trail_lim <- copy_plus t.trail_lim 0;
+    t.learnt_buf <- copy_plus t.learnt_buf 0;
+    t.astack <- copy_plus t.astack 0;
+    t.toclear <- copy_plus t.toclear 0;
+    t.lbd_stamp <- copy_plus t.lbd_stamp (-1);
+    let oldw = Array.length t.wsize in
+    let wdata = Array.make (2 * cap) [||] in
+    Array.blit t.wdata 0 wdata 0 oldw;
+    t.wdata <- wdata;
+    let wsize = Array.make (2 * cap) 0 in
+    Array.blit t.wsize 0 wsize 0 oldw;
+    t.wsize <- wsize;
+    let lmark = Array.make (2 * cap) 0 in
+    Array.blit t.lmark 0 lmark 0 (Array.length t.lmark);
+    t.lmark <- lmark
+  end
+
+(* --- VSIDS heap (inlined; see Heap for the standalone variant) --- *)
+
+let[@inline] heap_before t vi vj =
+  let ai = Array.unsafe_get t.hact vi and aj = Array.unsafe_get t.hact vj in
+  ai > aj || (ai = aj && vi < vj)
+
+let rec heap_sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let v = Array.unsafe_get t.hheap i
+    and p = Array.unsafe_get t.hheap parent in
+    if heap_before t v p then begin
+      Array.unsafe_set t.hheap i p;
+      Array.unsafe_set t.hheap parent v;
+      Array.unsafe_set t.hindex p i;
+      Array.unsafe_set t.hindex v parent;
+      heap_sift_up t parent
+    end
+  end
+
+let rec heap_sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.hsize && heap_before t t.hheap.(l) t.hheap.(!best) then best := l;
+  if r < t.hsize && heap_before t t.hheap.(r) t.hheap.(!best) then best := r;
+  if !best <> i then begin
+    let b = !best in
+    let v = t.hheap.(i) and w = t.hheap.(b) in
+    t.hheap.(i) <- w;
+    t.hheap.(b) <- v;
+    t.hindex.(w) <- i;
+    t.hindex.(v) <- b;
+    heap_sift_down t b
+  end
+
+let[@inline] heap_insert t v =
+  if Array.unsafe_get t.hindex v < 0 then begin
+    let i = t.hsize in
+    Array.unsafe_set t.hheap i v;
+    Array.unsafe_set t.hindex v i;
+    t.hsize <- i + 1;
+    heap_sift_up t i
+  end
+
+let heap_pop t =
+  if t.hsize = 0 then -1
+  else begin
+    let v = t.hheap.(0) in
+    let n = t.hsize - 1 in
+    t.hsize <- n;
+    if n > 0 then begin
+      let w = t.hheap.(n) in
+      t.hheap.(0) <- w;
+      t.hindex.(w) <- 0;
+      heap_sift_down t 0
+    end;
+    t.hindex.(v) <- -1;
+    v
   end
 
 let new_var t =
   let v = t.nvars in
   t.nvars <- v + 1;
   grow_arrays t t.nvars;
-  Heap.grow_to t.order t.nvars;
-  Heap.insert t.order v;
+  heap_insert t v;
   v
 
 (* -1 undef / 1 true / 0 false *)
-let var_value t v = t.assigns.(v)
+let[@inline] var_value t v = t.assigns.(v)
 
-let lit_value_raw t l =
-  let a = t.assigns.(Lit.var l) in
+let[@inline] lit_value_raw t l =
+  let a = Array.unsafe_get t.assigns (l lsr 1) in
   if a < 0 then -1 else a lxor (l land 1)
 
-let decision_level t = Vec.length t.trail_lim
+let[@inline] decision_level t = t.trail_lim_size
 
-let enqueue t l reason =
-  t.assigns.(Lit.var l) <- 1 lxor (l land 1);
-  t.phase.(Lit.var l) <- Lit.sign l;
-  t.reason.(Lit.var l) <- reason;
-  t.level.(Lit.var l) <- decision_level t;
-  Vec.push t.trail l
+let[@inline] new_level t =
+  Array.unsafe_set t.trail_lim t.trail_lim_size t.trail_size;
+  t.trail_lim_size <- t.trail_lim_size + 1
 
-let attach_clause t c =
-  Vec.push t.watches.(c.lits.(0)) c;
-  Vec.push t.watches.(c.lits.(1)) c
+let[@inline] enqueue t l reason =
+  let v = l lsr 1 in
+  Array.unsafe_set t.assigns v (1 lxor (l land 1));
+  Array.unsafe_set t.phase v (l land 1 = 0);
+  Array.unsafe_set t.reason v reason;
+  Array.unsafe_set t.level v t.trail_lim_size;
+  Array.unsafe_set t.trail t.trail_size l;
+  t.trail_size <- t.trail_size + 1
 
-(* Two-watched-literal propagation. Returns the conflicting clause if
-   any. *)
+let push_watch_grow t l =
+  let d = t.wdata.(l) in
+  let d' = Array.make (max 4 (2 * Array.length d)) 0 in
+  Array.blit d 0 d' 0 t.wsize.(l);
+  t.wdata.(l) <- d';
+  d'
+
+let[@inline] push_watch t l blocker word =
+  let n = Array.unsafe_get t.wsize l in
+  let d = Array.unsafe_get t.wdata l in
+  let d = if n + 2 > Array.length d then push_watch_grow t l else d in
+  Array.unsafe_set d n blocker;
+  Array.unsafe_set d (n + 1) word;
+  Array.unsafe_set t.wsize l (n + 2)
+
+let attach_clause t cr =
+  let ad = t.arena.Arena.data in
+  let l0 = ad.(cr + hdr) and l1 = ad.(cr + hdr + 1) in
+  let word = (cr lsl 1) lor (if ad.(cr) lsr 3 = 2 then 1 else 0) in
+  push_watch t l0 l1 word;
+  push_watch t l1 l0 word
+
+(* Two-watched-literal propagation with blocker literals: each watcher
+   caches one literal of its clause, and a satisfied blocker skips the
+   clause without touching arena memory. Binary clauses are resolved
+   entirely inside the watch list. Returns the conflicting cref or
+   [no_reason]. *)
 let propagate t =
-  let conflict = ref None in
-  while !conflict = None && t.qhead < Vec.length t.trail do
-    let p = Vec.get t.trail t.qhead in
+  let confl = ref no_reason in
+  let ad = t.arena.Arena.data in
+  let nprops = ref 0 in
+  while !confl < 0 && t.qhead < t.trail_size do
+    let p = Array.unsafe_get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
-    t.n_propagations <- t.n_propagations + 1;
-    let false_lit = Lit.negate p in
-    let ws = t.watches.(false_lit) in
-    let n = Vec.length ws in
-    let j = ref 0 in
+    incr nprops;
+    let false_lit = p lxor 1 in
+    let wd = Array.unsafe_get t.wdata false_lit in
+    let n = Array.unsafe_get t.wsize false_lit in
     let i = ref 0 in
+    let j = ref 0 in
     while !i < n do
-      let c = Vec.get ws !i in
-      incr i;
-      if c.deleted then () (* drop lazily *)
-      else if !conflict <> None then begin
-        (* conflict found: keep remaining watches untouched *)
-        Vec.set ws !j c;
-        incr j
+      let blocker = Array.unsafe_get wd !i in
+      let word = Array.unsafe_get wd (!i + 1) in
+      i := !i + 2;
+      if lit_value_raw t blocker = 1 then begin
+        (* clause satisfied: keep the watcher, skip the clause *)
+        Array.unsafe_set wd !j blocker;
+        Array.unsafe_set wd (!j + 1) word;
+        j := !j + 2
+      end
+      else if word land 1 = 1 then begin
+        (* binary fast path: the blocker is the other literal *)
+        Array.unsafe_set wd !j blocker;
+        Array.unsafe_set wd (!j + 1) word;
+        j := !j + 2;
+        if lit_value_raw t blocker = 0 then begin
+          confl := word lsr 1;
+          Array.blit wd !i wd !j (n - !i);
+          j := !j + (n - !i);
+          i := n
+        end
+        else enqueue t blocker (word lsr 1)
       end
       else begin
+        let cr = word lsr 1 in
         (* ensure the false literal is at position 1 *)
-        if c.lits.(0) = false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
+        if Array.unsafe_get ad (cr + hdr) = false_lit then begin
+          Array.unsafe_set ad (cr + hdr) (Array.unsafe_get ad (cr + hdr + 1));
+          Array.unsafe_set ad (cr + hdr + 1) false_lit
         end;
-        if lit_value_raw t c.lits.(0) = 1 then begin
-          (* satisfied: keep watching *)
-          Vec.set ws !j c;
-          incr j
+        let first = Array.unsafe_get ad (cr + hdr) in
+        if first <> blocker && lit_value_raw t first = 1 then begin
+          Array.unsafe_set wd !j first;
+          Array.unsafe_set wd (!j + 1) word;
+          j := !j + 2
         end
         else begin
-          (* search replacement watch *)
-          let len = Array.length c.lits in
-          let k = ref 2 in
-          while !k < len && lit_value_raw t c.lits.(!k) = 0 do
+          (* search a replacement watch *)
+          let stop = cr + hdr + (Array.unsafe_get ad cr lsr 3) in
+          let k = ref (cr + hdr + 2) in
+          while !k < stop && lit_value_raw t (Array.unsafe_get ad !k) = 0 do
             incr k
           done;
-          if !k < len then begin
-            (* move watch *)
-            c.lits.(1) <- c.lits.(!k);
-            c.lits.(!k) <- false_lit;
-            Vec.push t.watches.(c.lits.(1)) c
-          end
-          else if lit_value_raw t c.lits.(0) = 0 then begin
-            (* conflict *)
-            Vec.set ws !j c;
-            incr j;
-            conflict := Some c
+          if !k < stop then begin
+            (* move the watch; the other watched literal becomes the
+               blocker on the new list *)
+            let lk = Array.unsafe_get ad !k in
+            Array.unsafe_set ad (cr + hdr + 1) lk;
+            Array.unsafe_set ad !k false_lit;
+            push_watch t lk first word
           end
           else begin
-            (* unit *)
-            Vec.set ws !j c;
-            incr j;
-            enqueue t c.lits.(0) c
+            Array.unsafe_set wd !j first;
+            Array.unsafe_set wd (!j + 1) word;
+            j := !j + 2;
+            if lit_value_raw t first = 0 then begin
+              (* conflict: keep the remaining watchers untouched *)
+              confl := cr;
+              Array.blit wd !i wd !j (n - !i);
+              j := !j + (n - !i);
+              i := n
+            end
+            else enqueue t first cr
           end
         end
       end
     done;
-    Vec.shrink ws !j
+    Array.unsafe_set t.wsize false_lit !j
   done;
-  !conflict
+  t.n_propagations <- t.n_propagations + !nprops;
+  !confl
 
 let var_bump t v =
-  Heap.bump t.order v t.var_inc;
-  if Heap.activity t.order v > 1e100 then begin
-    Heap.rescale t.order 1e-100;
+  let a = Array.unsafe_get t.hact v +. t.var_inc in
+  Array.unsafe_set t.hact v a;
+  if Array.unsafe_get t.hindex v >= 0 then
+    heap_sift_up t (Array.unsafe_get t.hindex v);
+  if a > 1e100 then begin
+    for i = 0 to Array.length t.hact - 1 do
+      t.hact.(i) <- t.hact.(i) *. 1e-100
+    done;
     t.var_inc <- t.var_inc *. 1e-100
   end
 
 let var_decay_tick t = t.var_inc <- t.var_inc /. t.opts.var_decay
 
-let clause_bump t c =
-  c.activity <- c.activity +. t.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun cl -> cl.activity <- cl.activity *. 1e-20) t.learnts;
+(* One unpack and one repack of the packed activity float (the Arena
+   accessors would do three round-trips through boxed Int64s). *)
+let clause_bump t cr =
+  let ad = t.arena.Arena.data in
+  let a =
+    Int64.float_of_bits
+      (Int64.shift_left (Int64.of_int (Array.unsafe_get ad (cr + 2))) 1)
+    +. t.cla_inc
+  in
+  Array.unsafe_set ad (cr + 2)
+    (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float a) 1));
+  if a > 1e20 then begin
+    let arena = t.arena in
+    Vec.iter
+      (fun c -> Arena.set_activity arena c (Arena.activity arena c *. 1e-20))
+      t.learnts;
     t.cla_inc <- t.cla_inc *. 1e-20
   end
 
 let clause_decay_tick t = t.cla_inc <- t.cla_inc /. t.opts.clause_decay
 
 let backtrack_to t lvl =
-  if decision_level t > lvl then begin
-    let bound = Vec.get t.trail_lim lvl in
-    for i = Vec.length t.trail - 1 downto bound do
-      let l = Vec.get t.trail i in
-      let v = Lit.var l in
-      t.assigns.(v) <- -1;
-      t.reason.(v) <- dummy_clause;
-      if not (Heap.in_heap t.order v) then Heap.insert t.order v
+  if t.trail_lim_size > lvl then begin
+    let bound = Array.unsafe_get t.trail_lim lvl in
+    let vsids = t.opts.use_vsids in
+    for i = t.trail_size - 1 downto bound do
+      let v = Array.unsafe_get t.trail i lsr 1 in
+      Array.unsafe_set t.assigns v (-1);
+      Array.unsafe_set t.reason v no_reason;
+      if vsids then heap_insert t v
     done;
-    Vec.shrink t.trail bound;
-    Vec.shrink t.trail_lim lvl;
-    t.qhead <- Vec.length t.trail
+    t.trail_size <- bound;
+    t.trail_lim_size <- lvl;
+    t.qhead <- bound
   end
 
-(* First-UIP conflict analysis. Returns (learnt literals with the
-   asserting literal first, backtrack level). *)
+(* The binary fast path enqueues without normalizing the clause, so a
+   binary reason may still hold the implied literal at index 1. *)
+let[@inline] fix_binary_reason t cr pivot_var =
+  let ad = t.arena.Arena.data in
+  if ad.(cr) lsr 3 = 2 && ad.(cr + hdr) lsr 1 <> pivot_var then begin
+    let tmp = ad.(cr + hdr) in
+    ad.(cr + hdr) <- ad.(cr + hdr + 1);
+    ad.(cr + hdr + 1) <- tmp
+  end
+
+let[@inline] abstract_level t v = 1 lsl (Array.unsafe_get t.level v land 31)
+
+exception Not_redundant
+
+(* MiniSat's deep redundancy check (ccmin-mode 2): a learnt literal is
+   redundant if every path from it through reasons ends in literals
+   already present in the learnt clause. [ab_lvl] over-approximates the
+   levels in the clause so most failures exit without the walk. *)
+let lit_redundant t p ab_lvl =
+  let ad = t.arena.Arena.data in
+  t.astack.(0) <- p;
+  t.astack_size <- 1;
+  let top = t.toclear_size in
+  try
+    while t.astack_size > 0 do
+      t.astack_size <- t.astack_size - 1;
+      let q = Array.unsafe_get t.astack t.astack_size in
+      let vq = q lsr 1 in
+      let cr = Array.unsafe_get t.reason vq in
+      let stop = cr + hdr + (Array.unsafe_get ad cr lsr 3) in
+      for k = cr + hdr to stop - 1 do
+        let l = Array.unsafe_get ad k in
+        let v = l lsr 1 in
+        if
+          v <> vq
+          && (not (Array.unsafe_get t.seen v))
+          && Array.unsafe_get t.level v > 0
+        then begin
+          if Array.unsafe_get t.reason v >= 0 && abstract_level t v land ab_lvl <> 0
+          then begin
+            Array.unsafe_set t.seen v true;
+            Array.unsafe_set t.astack t.astack_size l;
+            t.astack_size <- t.astack_size + 1;
+            Array.unsafe_set t.toclear t.toclear_size l;
+            t.toclear_size <- t.toclear_size + 1
+          end
+          else begin
+            (* a decision or an out-of-clause level: not redundant *)
+            for m = top to t.toclear_size - 1 do
+              t.seen.(t.toclear.(m) lsr 1) <- false
+            done;
+            t.toclear_size <- top;
+            raise Not_redundant
+          end
+        end
+      done
+    done;
+    true
+  with Not_redundant -> false
+
+(* First-UIP conflict analysis into [t.learnt_buf] (asserting literal
+   first, second watch at index 1), with recursive learnt-clause
+   minimization. Returns the backtrack level; the clause length is left
+   in [t.learnt_len]. *)
 let analyze t conflict =
-  let learnt = ref [] in
+  let ad = t.arena.Arena.data in
+  let buf = t.learnt_buf in
+  buf.(0) <- 0 (* room for the asserting literal *);
+  let buf_len = ref 1 in
   let counter = ref 0 in
   let p = ref (-1) in
   let c = ref conflict in
-  let index = ref (Vec.length t.trail - 1) in
+  let index = ref (t.trail_size - 1) in
+  let dl = t.trail_lim_size in
   let continue = ref true in
   while !continue do
-    clause_bump t !c;
-    let lits = !c.lits in
-    let start = if !p = -1 then 0 else 1 in
-    for k = start to Array.length lits - 1 do
-      let q = lits.(k) in
-      let v = Lit.var q in
-      if (not t.seen.(v)) && t.level.(v) > 0 then begin
-        t.seen.(v) <- true;
+    let cr = !c in
+    if Array.unsafe_get ad cr land 4 <> 0 then clause_bump t cr;
+    if !p >= 0 then fix_binary_reason t cr (!p lsr 1);
+    let stop = cr + hdr + (Array.unsafe_get ad cr lsr 3) in
+    for k = (if !p < 0 then cr + hdr else cr + hdr + 1) to stop - 1 do
+      let q = Array.unsafe_get ad k in
+      let v = q lsr 1 in
+      if (not (Array.unsafe_get t.seen v)) && Array.unsafe_get t.level v > 0
+      then begin
+        Array.unsafe_set t.seen v true;
         var_bump t v;
-        if t.level.(v) >= decision_level t then incr counter
-        else learnt := q :: !learnt
+        if Array.unsafe_get t.level v >= dl then incr counter
+        else begin
+          Array.unsafe_set buf !buf_len q;
+          incr buf_len
+        end
       end
     done;
     (* pick the next seen literal from the trail *)
-    while not t.seen.(Lit.var (Vec.get t.trail !index)) do
+    while not (Array.unsafe_get t.seen (Array.unsafe_get t.trail !index lsr 1)) do
       decr index
     done;
-    p := Vec.get t.trail !index;
+    p := Array.unsafe_get t.trail !index;
     decr index;
-    let v = Lit.var !p in
-    t.seen.(v) <- false;
+    let v = !p lsr 1 in
+    Array.unsafe_set t.seen v false;
     decr counter;
-    if !counter = 0 then continue := false else c := t.reason.(v)
+    if !counter = 0 then continue := false else c := Array.unsafe_get t.reason v
   done;
-  let learnt_lits = Lit.negate !p :: !learnt in
-  (* clear seen flags *)
-  List.iter (fun q -> t.seen.(Lit.var q) <- false) !learnt;
-  let back_level =
-    List.fold_left (fun acc q -> max acc t.level.(Lit.var q)) 0 !learnt
+  buf.(0) <- !p lxor 1;
+  let len = !buf_len in
+  (* minimization: drop literals implied by the rest of the clause *)
+  Array.blit buf 0 t.toclear 0 len;
+  t.toclear_size <- len;
+  let keep =
+    if t.opts.use_minimization && len > 1 then begin
+      let ab_lvl = ref 0 in
+      for i = 1 to len - 1 do
+        ab_lvl := !ab_lvl lor abstract_level t (buf.(i) lsr 1)
+      done;
+      let j = ref 1 in
+      for i = 1 to len - 1 do
+        let q = buf.(i) in
+        if t.reason.(q lsr 1) < 0 || not (lit_redundant t q !ab_lvl) then begin
+          buf.(!j) <- q;
+          incr j
+        end
+      done;
+      !j
+    end
+    else len
   in
-  (learnt_lits, back_level)
+  t.n_minimized <- t.n_minimized + (len - keep);
+  t.learnt_len <- keep;
+  for i = 0 to t.toclear_size - 1 do
+    t.seen.(t.toclear.(i) lsr 1) <- false
+  done;
+  (* move a literal of the backtrack level into the watch position *)
+  if keep = 1 then 0
+  else begin
+    let best = ref 1 in
+    for i = 2 to keep - 1 do
+      if t.level.(buf.(i) lsr 1) > t.level.(buf.(!best) lsr 1) then best := i
+    done;
+    let tmp = buf.(1) in
+    buf.(1) <- buf.(!best);
+    buf.(!best) <- tmp;
+    t.level.(buf.(1) lsr 1)
+  end
 
 (* A new assumption [failed] is already false: collect the subset of
    earlier assumptions (plus [failed] itself) that is jointly
    unsatisfiable with the clauses. *)
 let analyze_final t failed =
   let core = ref [ failed ] in
-  if decision_level t > 0 then begin
+  if t.trail_lim_size > 0 then begin
+    let ad = t.arena.Arena.data in
     t.seen.(Lit.var failed) <- true;
-    let bound = Vec.get t.trail_lim 0 in
-    for i = Vec.length t.trail - 1 downto bound do
-      let l = Vec.get t.trail i in
-      let v = Lit.var l in
+    let bound = t.trail_lim.(0) in
+    for i = t.trail_size - 1 downto bound do
+      let l = t.trail.(i) in
+      let v = l lsr 1 in
       if t.seen.(v) then begin
-        if t.reason.(v) == dummy_clause then
+        let r = t.reason.(v) in
+        if r < 0 then
           (* a decision: decisions below assumption levels are exactly
              the assumption literals as they were enqueued *)
           core := l :: !core
-        else
-          Array.iter
-            (fun q -> if t.level.(Lit.var q) > 0 then t.seen.(Lit.var q) <- true)
-            t.reason.(v).lits;
+        else begin
+          let stop = r + hdr + (ad.(r) lsr 3) in
+          for k = r + hdr to stop - 1 do
+            let q = ad.(k) in
+            let vq = q lsr 1 in
+            if vq <> v && t.level.(vq) > 0 then t.seen.(vq) <- true
+          done
+        end;
         t.seen.(v) <- false
       end
     done;
@@ -317,114 +631,156 @@ let analyze_final t failed =
   end;
   !core
 
-let record_learnt t lits =
-  match lits with
-  | [] -> t.ok <- false
-  | [ l ] ->
-    backtrack_to t 0;
-    if lit_value_raw t l = 0 then t.ok <- false
-    else if lit_value_raw t l = -1 then enqueue t l dummy_clause
-  | first :: _ ->
-    let arr = Array.of_list lits in
-    (* watch the asserting literal and a literal from the backtrack
-       level (the second highest level in the clause) *)
-    let best = ref 1 in
-    for k = 2 to Array.length arr - 1 do
-      if t.level.(Lit.var arr.(k)) > t.level.(Lit.var arr.(!best)) then best := k
-    done;
-    let tmp = arr.(1) in
-    arr.(1) <- arr.(!best);
-    arr.(!best) <- tmp;
-    let c = { lits = arr; activity = 0.0; learnt = true; deleted = false } in
-    Vec.push t.learnts c;
-    t.n_learnt <- t.n_learnt + 1;
-    attach_clause t c;
-    clause_bump t c;
-    enqueue t first c
+(* Number of distinct decision levels in the learnt clause (the "glue"
+   of Glucose); low-LBD clauses are the ones worth keeping. *)
+let learnt_lbd t =
+  t.lbd_tick <- t.lbd_tick + 1;
+  let tick = t.lbd_tick in
+  let n = ref 0 in
+  for i = 0 to t.learnt_len - 1 do
+    let lvl = t.level.(t.learnt_buf.(i) lsr 1) in
+    if t.lbd_stamp.(lvl) <> tick then begin
+      t.lbd_stamp.(lvl) <- tick;
+      incr n
+    end
+  done;
+  !n
 
+(* Record [t.learnt_buf] as a learnt clause (backtracking already done;
+   the asserting literal is at index 0, the second watch at index 1). *)
+let record_learnt t =
+  match t.learnt_len with
+  | 0 -> t.ok <- false
+  | 1 ->
+    let l = t.learnt_buf.(0) in
+    if lit_value_raw t l = 0 then t.ok <- false
+    else if lit_value_raw t l = -1 then enqueue t l no_reason
+  | len ->
+    let lits = Array.sub t.learnt_buf 0 len in
+    let cr = Arena.alloc t.arena ~learnt:true lits in
+    let glue = learnt_lbd t in
+    Arena.set_lbd t.arena cr glue;
+    t.lbd_sum <- t.lbd_sum + glue;
+    Vec.push t.learnts cr;
+    t.n_learnt <- t.n_learnt + 1;
+    attach_clause t cr;
+    clause_bump t cr;
+    enqueue t lits.(0) cr
+
+let locked t cr =
+  let v = Lit.var (Arena.lit t.arena cr 0) in
+  var_value t v >= 0 && t.reason.(v) = cr
+
+(* Compact the arena: copy live clauses into a fresh one, forward every
+   stored cref (clause lists, reasons of assigned variables), and rebuild
+   the watch lists. Deleted clauses are dropped for good — propagation
+   never has to skip tombstones. *)
+let garbage_collect t =
+  let a = t.arena in
+  let live = Arena.used_words a - Arena.wasted_words a in
+  let into = Arena.create ~capacity:(max 1024 live) () in
+  for i = 0 to Vec.length t.clauses - 1 do
+    Vec.set t.clauses i (Arena.reloc a ~into (Vec.get t.clauses i))
+  done;
+  for i = 0 to Vec.length t.learnts - 1 do
+    Vec.set t.learnts i (Arena.reloc a ~into (Vec.get t.learnts i))
+  done;
+  for i = 0 to t.trail_size - 1 do
+    let v = t.trail.(i) lsr 1 in
+    if t.reason.(v) >= 0 then t.reason.(v) <- Arena.reloc a ~into t.reason.(v)
+  done;
+  t.arena <- into;
+  Array.fill t.wsize 0 (Array.length t.wsize) 0;
+  Vec.iter (fun cr -> attach_clause t cr) t.clauses;
+  Vec.iter (fun cr -> attach_clause t cr) t.learnts;
+  t.n_gcs <- t.n_gcs + 1
+
+(* Halve the learnt database, keeping low-LBD / high-activity clauses
+   (binary and "glue" clauses are never dropped), then garbage-collect
+   the arena so the survivors are packed contiguously again. *)
 let reduce_db t =
   let n = Vec.length t.learnts in
   if n > 10 then begin
-    Vec.sort (fun a b -> Float.compare b.activity a.activity) t.learnts;
-    let keep = n / 2 in
-    for i = keep to n - 1 do
-      let c = Vec.get t.learnts i in
-      (* don't delete reason clauses or binary clauses *)
-      let is_reason =
-        Array.length c.lits > 0
-        &&
-        let v = Lit.var c.lits.(0) in
-        var_value t v >= 0 && t.reason.(v) == c
-      in
-      if (not is_reason) && Array.length c.lits > 2 then begin
-        c.deleted <- true;
-        t.n_deleted <- t.n_deleted + 1
+    let a = t.arena in
+    Vec.sort
+      (fun c1 c2 ->
+        let g = compare (Arena.lbd a c1) (Arena.lbd a c2) in
+        if g <> 0 then g
+        else Float.compare (Arena.activity a c2) (Arena.activity a c1))
+      t.learnts;
+    let deleted = ref 0 in
+    for i = n / 2 to n - 1 do
+      let cr = Vec.get t.learnts i in
+      if (not (locked t cr)) && Arena.size a cr > 2 && Arena.lbd a cr > 2 then begin
+        Arena.delete a cr;
+        incr deleted
       end
     done;
-    Vec.filter_in_place (fun c -> not c.deleted) t.learnts
+    if !deleted > 0 then begin
+      t.n_deleted <- t.n_deleted + !deleted;
+      Vec.filter_in_place (fun cr -> not (Arena.deleted a cr)) t.learnts;
+      garbage_collect t
+    end
   end
 
 let add_clause t lits =
   backtrack_to t 0;
   t.has_model <- false;
   if t.ok then begin
-    (* normalize: sort, dedupe, drop false lits, detect tautology *)
-    let lits = List.sort_uniq compare lits in
-    let tautology =
-      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
-    in
-    if not tautology then begin
-      List.iter
-        (fun l ->
-          if Lit.var l >= t.nvars then
-            invalid_arg "Solver.add_clause: unknown variable")
-        lits;
-      let lits = List.filter (fun l -> lit_value_raw t l <> 0) lits in
-      let already_sat = List.exists (fun l -> lit_value_raw t l = 1) lits in
-      if not already_sat then
-        match lits with
-        | [] -> t.ok <- false
-        | [ l ] ->
-          enqueue t l dummy_clause;
-          if propagate t <> None then t.ok <- false
-        | _ ->
-          let c =
-            { lits = Array.of_list lits; activity = 0.0; learnt = false; deleted = false }
-          in
-          Vec.push t.clauses c;
-          attach_clause t c
+    List.iter
+      (fun l ->
+        if Lit.var l >= t.nvars then
+          invalid_arg "Solver.add_clause: unknown variable")
+      lits;
+    (* one pass over the literals: dedupe and detect tautologies with a
+       per-literal mark, drop root-false literals, and notice clauses
+       that are already satisfied at the root *)
+    t.lmark_tick <- t.lmark_tick + 1;
+    let tick = t.lmark_tick in
+    let mark = t.lmark in
+    let buf = t.astack in
+    let n = ref 0 in
+    let tautology = ref false in
+    let already_sat = ref false in
+    List.iter
+      (fun l ->
+        if not !tautology then begin
+          if mark.(l lxor 1) = tick then tautology := true
+          else if mark.(l) <> tick then begin
+            mark.(l) <- tick;
+            match lit_value_raw t l with
+            | 1 -> already_sat := true
+            | 0 -> ()
+            | _ ->
+              buf.(!n) <- l;
+              incr n
+          end
+        end)
+      lits;
+    if not (!tautology || !already_sat) then begin
+      match !n with
+      | 0 -> t.ok <- false
+      | 1 ->
+        enqueue t buf.(0) no_reason;
+        if propagate t >= 0 then t.ok <- false
+      | n ->
+        let cr = Arena.alloc t.arena ~learnt:false (Array.sub buf 0 n) in
+        Vec.push t.clauses cr;
+        attach_clause t cr
     end
   end
-
-(* Luby sequence 1 1 2 1 1 2 4 1 1 2 ... (0-indexed), after MiniSat. *)
-let luby x =
-  let size = ref 1 and seq = ref 0 in
-  while !size < x + 1 do
-    incr seq;
-    size := (2 * !size) + 1
-  done;
-  let x = ref x in
-  while !size - 1 <> !x do
-    size := (!size - 1) / 2;
-    decr seq;
-    x := !x mod !size
-  done;
-  1 lsl !seq
 
 let pick_branch_var t =
   if t.opts.use_vsids then begin
     let rec pop () =
-      match Heap.pop_max t.order with
-      | None -> None
-      | Some v -> if var_value t v < 0 then Some v else pop ()
+      let v = heap_pop t in
+      if v < 0 then -1 else if var_value t v < 0 then v else pop ()
     in
     pop ()
   end
   else begin
     let rec scan v =
-      if v >= t.nvars then None
-      else if var_value t v < 0 then Some v
-      else scan (v + 1)
+      if v >= t.nvars then -1 else if var_value t v < 0 then v else scan (v + 1)
     in
     scan 0
   end
@@ -436,77 +792,97 @@ let solve ?(assumptions = []) t =
   t.core <- [];
   backtrack_to t 0;
   if not t.ok then Unsat
-  else if propagate t <> None then begin
+  else if propagate t >= 0 then begin
     t.ok <- false;
     Unsat
   end
   else begin
     let assumptions = Array.of_list assumptions in
-    let restart_count = ref 0 in
+    (* decision levels are bounded by nvars plus one (possibly empty)
+       level per assumption *)
+    let lim_cap = t.nvars + Array.length assumptions + 1 in
+    if lim_cap > Array.length t.trail_lim then begin
+      let fresh = Array.make lim_cap 0 in
+      Array.blit t.trail_lim 0 fresh 0 (Array.length t.trail_lim);
+      t.trail_lim <- fresh
+    end;
+    if lim_cap > Array.length t.lbd_stamp then begin
+      let fresh = Array.make lim_cap (-1) in
+      Array.blit t.lbd_stamp 0 fresh 0 (Array.length t.lbd_stamp);
+      t.lbd_stamp <- fresh
+    end;
+    (* Knuth's O(1) Luby generator: [v] runs 1 1 2 1 1 2 4 ... *)
+    let luby_u = ref 1 and luby_v = ref 1 in
+    let next_luby () =
+      let r = !luby_v in
+      if !luby_u land - !luby_u = !luby_v then begin
+        incr luby_u;
+        luby_v := 1
+      end
+      else luby_v := 2 * !luby_v;
+      r
+    in
     let conflicts_until_restart =
-      ref (if t.opts.use_restarts then t.opts.restart_base * luby 0 else max_int)
+      ref (if t.opts.use_restarts then t.opts.restart_base * next_luby () else max_int)
     in
     let learnt_limit = ref (max 1000 (2 * Vec.length t.clauses)) in
     try
       while true do
-        match propagate t with
-        | Some conflict ->
+        let conflict = propagate t in
+        if conflict >= 0 then begin
           t.n_conflicts <- t.n_conflicts + 1;
           decr conflicts_until_restart;
           if decision_level t = 0 then begin
             t.ok <- false;
             raise (Answered Unsat)
           end;
-          let learnt, back_level = analyze t conflict in
+          let back_level = analyze t conflict in
           backtrack_to t back_level;
-          record_learnt t learnt;
+          record_learnt t;
           if not t.ok then raise (Answered Unsat);
           var_decay_tick t;
           clause_decay_tick t
-        | None ->
-          if t.opts.use_restarts && !conflicts_until_restart <= 0 then begin
-            incr restart_count;
-            t.n_restarts <- t.n_restarts + 1;
-            conflicts_until_restart :=
-              t.opts.restart_base * luby !restart_count;
-            backtrack_to t 0
-          end
-          else if
-            t.opts.use_clause_deletion && Vec.length t.learnts > !learnt_limit
-          then begin
-            learnt_limit := !learnt_limit + (!learnt_limit / 2);
-            reduce_db t
-          end
-          else if decision_level t < Array.length assumptions then begin
-            (* assumption decisions come first *)
-            let a = assumptions.(decision_level t) in
-            match lit_value_raw t a with
-            | 1 ->
-              (* already true: open an empty decision level *)
-              Vec.push t.trail_lim (Vec.length t.trail)
-            | 0 ->
-              t.core <- analyze_final t a;
-              raise (Answered Unsat)
-            | _ ->
-              Vec.push t.trail_lim (Vec.length t.trail);
-              t.n_decisions <- t.n_decisions + 1;
-              enqueue t a dummy_clause
+        end
+        else if t.opts.use_restarts && !conflicts_until_restart <= 0 then begin
+          t.n_restarts <- t.n_restarts + 1;
+          conflicts_until_restart := t.opts.restart_base * next_luby ();
+          backtrack_to t 0
+        end
+        else if t.opts.use_clause_deletion && Vec.length t.learnts > !learnt_limit
+        then begin
+          learnt_limit := !learnt_limit + (!learnt_limit / 2);
+          reduce_db t
+        end
+        else if decision_level t < Array.length assumptions then begin
+          (* assumption decisions come first *)
+          let a = assumptions.(decision_level t) in
+          match lit_value_raw t a with
+          | 1 ->
+            (* already true: open an empty decision level *)
+            new_level t
+          | 0 ->
+            t.core <- analyze_final t a;
+            raise (Answered Unsat)
+          | _ ->
+            new_level t;
+            t.n_decisions <- t.n_decisions + 1;
+            enqueue t a no_reason
+        end
+        else begin
+          let v = pick_branch_var t in
+          if v < 0 then begin
+            t.has_model <- true;
+            raise (Answered Sat)
           end
           else begin
-            match pick_branch_var t with
-            | None ->
-              t.has_model <- true;
-              raise (Answered Sat)
-            | Some v ->
-              t.n_decisions <- t.n_decisions + 1;
-              Vec.push t.trail_lim (Vec.length t.trail);
-              enqueue t (Lit.make v t.phase.(v)) dummy_clause
+            t.n_decisions <- t.n_decisions + 1;
+            new_level t;
+            enqueue t (Lit.make v t.phase.(v)) no_reason
           end
+        end
       done;
       assert false
-    with Answered r ->
-      if r = Sat then () else ();
-      r
+    with Answered r -> r
   end
 
 let value t v =
@@ -528,4 +904,7 @@ let stats t =
     restarts = t.n_restarts;
     learnt_clauses = t.n_learnt;
     deleted_clauses = t.n_deleted;
+    minimized_literals = t.n_minimized;
+    arena_gcs = t.n_gcs;
+    avg_lbd = (if t.n_learnt = 0 then 0.0 else float_of_int t.lbd_sum /. float_of_int t.n_learnt);
   }

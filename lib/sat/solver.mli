@@ -2,11 +2,17 @@
 
     A MiniSat-style conflict-driven clause-learning solver: two-watched-
     literal propagation, first-UIP clause learning, VSIDS decision
-    order with phase saving, Luby restarts, and activity-based learnt
-    clause deletion. Incremental use is supported through
+    order with phase saving, Luby restarts, and LBD/activity-based
+    learnt clause deletion. Incremental use is supported through
     [solve ~assumptions] and adding clauses between calls; an
     unsatisfiable core over the assumptions is available after an UNSAT
     answer.
+
+    Clause storage is a flat integer arena ({!Arena}): clauses are
+    addressed by integer reference, watch lists carry blocker literals,
+    binary clauses are propagated without touching clause memory, and
+    the learnt database is compacted by garbage collection after each
+    reduction (see DESIGN.md section 7 for the internals).
 
     The heuristic components can be switched off individually (see
     {!options}) — the evaluation harness uses this for the solver
@@ -18,6 +24,7 @@ type options = {
   use_vsids : bool;  (** VSIDS decision order (else lowest-index-first) *)
   use_restarts : bool;
   use_clause_deletion : bool;
+  use_minimization : bool;  (** recursive learnt-clause minimization *)
   var_decay : float;  (** VSIDS decay, e.g. 0.95 *)
   clause_decay : float;
   restart_base : int;  (** conflicts per Luby unit *)
@@ -60,6 +67,10 @@ type stats = {
   restarts : int;
   learnt_clauses : int;
   deleted_clauses : int;
+  minimized_literals : int;
+      (** literals removed from learnt clauses by minimization *)
+  arena_gcs : int;  (** clause-arena compactions *)
+  avg_lbd : float;  (** mean literal-block-distance of learnt clauses *)
 }
 
 val stats : t -> stats

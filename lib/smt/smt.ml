@@ -38,6 +38,7 @@ let create ?options () =
   t
 
 let solver t = t.sat
+let sat_stats t = Solver.stats t.sat
 let new_bool t = Solver.new_var t.sat
 let add_clause t lits = Solver.add_clause t.sat lits
 

@@ -82,3 +82,7 @@ val minimize :
 
 val stats : t -> opt_stats
 (** Cumulative counters from the last [solve]/[minimize]. *)
+
+val sat_stats : t -> Solver.stats
+(** Counters of the underlying CDCL solver (conflicts, propagations,
+    learnt-clause minimization, arena GCs, ...). *)

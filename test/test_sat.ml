@@ -204,6 +204,144 @@ let test_incremental_clause_addition () =
   Solver.add_clause s [ Lit.neg_of_var b ];
   Alcotest.check result "now unsat" Solver.Unsat (Solver.solve s)
 
+(* {1 Differential testing against a reference DPLL} *)
+
+(* A deliberately naive solver — DPLL with unit propagation, no
+   learning, no heuristics — used as an executable specification for
+   the arena-based CDCL solver on small random instances. *)
+module Ref_dpll = struct
+  let lit_val assign l =
+    let a = assign.(Lit.var l) in
+    if a < 0 then -1 else if Lit.sign l then a else 1 - a
+
+  (* false on conflict *)
+  let rec unit_propagate assign clauses =
+    let changed = ref false in
+    let conflict = ref false in
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let sat = ref false in
+          List.iter
+            (fun l ->
+              match lit_val assign l with
+              | 1 -> sat := true
+              | -1 -> unassigned := l :: !unassigned
+              | _ -> ())
+            clause;
+          if not !sat then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ l ] ->
+              assign.(Lit.var l) <- (if Lit.sign l then 1 else 0);
+              changed := true
+            | _ -> ()
+        end)
+      clauses;
+    if !conflict then false
+    else if !changed then unit_propagate assign clauses
+    else true
+
+  let rec search assign nvars clauses =
+    if not (unit_propagate assign clauses) then false
+    else begin
+      let v = ref (-1) in
+      (try
+         for i = 0 to nvars - 1 do
+           if assign.(i) < 0 then begin
+             v := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !v < 0 then true
+      else begin
+        let saved = Array.copy assign in
+        assign.(!v) <- 1;
+        if search assign nvars clauses then true
+        else begin
+          Array.blit saved 0 assign 0 nvars;
+          assign.(!v) <- 0;
+          search assign nvars clauses
+        end
+      end
+    end
+
+  let solve nvars clauses =
+    if search (Array.make nvars (-1)) nvars clauses then Solver.Sat
+    else Solver.Unsat
+end
+
+let prop_matches_reference =
+  QCheck.Test.make ~name:"CDCL verdict matches reference DPLL" ~count:80
+    QCheck.small_int (fun seed ->
+      (* 3-SAT near the phase transition, so both verdicts occur *)
+      let nvars = 12 in
+      let clauses = random_instance (seed + 7000) nvars 52 in
+      let s, r = solve_with clauses nvars in
+      r = Ref_dpll.solve nvars clauses
+      &&
+      match r with
+      | Solver.Sat -> model_satisfies (Solver.model s) clauses
+      | Solver.Unsat -> true)
+
+let prop_core_sound =
+  QCheck.Test.make ~name:"assumption cores are sound and minimal-ish" ~count:80
+    QCheck.small_int (fun seed ->
+      let nvars = 12 in
+      let clauses = random_instance (seed + 8000) nvars 40 in
+      let rng = Rng.create (seed + 9000) in
+      let assumptions =
+        List.init 6 (fun _ -> Lit.make (Rng.int rng nvars) (Rng.bool rng))
+      in
+      let s, base = solve_with clauses nvars in
+      match base with
+      | Solver.Unsat -> Ref_dpll.solve nvars clauses = Solver.Unsat
+      | Solver.Sat -> (
+        match Solver.solve ~assumptions s with
+        | Solver.Sat ->
+          (* the model must satisfy clauses and assumptions alike *)
+          let m = Solver.model s in
+          model_satisfies m clauses
+          && List.for_all
+               (fun l -> if Lit.sign l then m.(Lit.var l) else not m.(Lit.var l))
+               assumptions
+        | Solver.Unsat ->
+          (* a base-SAT formula only becomes UNSAT through the
+             assumptions, so the core is non-empty, drawn from the
+             assumptions, and refutable on its own *)
+          let core = Solver.unsat_core s in
+          core <> []
+          && List.for_all (fun l -> List.mem l assumptions) core
+          && Solver.solve ~assumptions:core s = Solver.Unsat
+          && Ref_dpll.solve nvars
+               (List.map (fun l -> [ l ]) core @ clauses)
+             = Solver.Unsat))
+
+let test_reduce_db_and_gc () =
+  (* PHP(8,7) is hard enough to overflow the learnt limit: the clause
+     database is reduced and the arena compacted several times *)
+  Alcotest.check result "PHP(8,7)" Solver.Unsat (pigeonhole 8 7);
+  let s = Solver.create () in
+  let v = Array.init 8 (fun _ -> Array.init 7 (fun _ -> Solver.new_var s)) in
+  for i = 0 to 7 do
+    Solver.add_clause s (Array.to_list (Array.map Lit.pos v.(i)))
+  done;
+  for j = 0 to 6 do
+    for i1 = 0 to 7 do
+      for i2 = i1 + 1 to 7 do
+        Solver.add_clause s [ Lit.neg_of_var v.(i1).(j); Lit.neg_of_var v.(i2).(j) ]
+      done
+    done
+  done;
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s);
+  let st = Solver.stats s in
+  checkb "clauses were deleted" true (st.Solver.deleted_clauses > 0);
+  checkb "arena was compacted" true (st.Solver.arena_gcs > 0);
+  checkb "literals were minimized" true (st.Solver.minimized_literals > 0);
+  checkb "lbd tracked" true (st.Solver.avg_lbd > 0.0)
+
 (* {1 Literals} *)
 
 let test_lit_representation () =
@@ -250,6 +388,9 @@ let suite =
     ("pigeonhole under ablations", `Quick, test_pigeonhole_ablations);
     QCheck_alcotest.to_alcotest prop_models_are_valid;
     QCheck_alcotest.to_alcotest prop_ablations_agree;
+    QCheck_alcotest.to_alcotest prop_matches_reference;
+    QCheck_alcotest.to_alcotest prop_core_sound;
+    ("clause deletion and arena gc", `Quick, test_reduce_db_and_gc);
     ("assumptions", `Quick, test_assumptions_basic);
     ("unsat core", `Quick, test_unsat_core);
     ("contradictory assumptions", `Quick, test_contradictory_assumptions);
