@@ -151,6 +151,39 @@ let tests =
              ignore (Pipeline.adapt hw (Pipeline.Greedy Model.Sat_p) bench_circuit)));
     ]
 
+(* {1 Governed adaptation rows}
+
+   One unbudgeted and one deliberately starved run of the governed
+   pipeline, so the JSON report records both the full-service cost and
+   the degradation behavior under a 1 ms deadline. *)
+
+type json_row = {
+  ns : float;  (** time per run (microbench) or total elapsed (governed) *)
+  budget_exhausted : bool;
+  degraded_tier : string option;  (** serving tier when degraded *)
+}
+
+let deep_circuit =
+  lazy (Workloads.random_template ~seed:160 ~num_qubits:3 ~depth:160)
+
+let governed_rows () =
+  let run ?(circuit = bench_circuit) name budget =
+    let o = Pipeline.adapt_governed ~budget hw (Pipeline.Sat Model.Sat_p) circuit in
+    ( "qca/governed/" ^ name,
+      {
+        ns = o.Pipeline.spent.Pipeline.elapsed_ms *. 1e6;
+        budget_exhausted = o.Pipeline.reason <> None;
+        degraded_tier =
+          (if Pipeline.degraded o then Some (Pipeline.tier_name o.Pipeline.tier)
+           else None);
+      } )
+  in
+  [
+    run "sat-p-unbudgeted" (Sat.budget ());
+    run "sat-p-deep-1ms" ~circuit:(Lazy.force deep_circuit)
+      (Sat.budget ~timeout_ms:1.0 ());
+  ]
+
 let run_benchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
@@ -187,19 +220,39 @@ let run_benchmarks () =
   List.iter
     (fun (name, ns) -> Format.fprintf fmt "%-42s %16s@." name (pp_time ns))
     rows;
+  let governed = governed_rows () in
+  Format.fprintf fmt "== Governed adaptation (degradation ladder) ==@.";
+  List.iter
+    (fun (name, r) ->
+      Format.fprintf fmt "%-42s %16s  %s@." name (pp_time r.ns)
+        (match r.degraded_tier with
+        | None -> "full service"
+        | Some t -> "degraded -> " ^ t))
+    governed;
   Format.pp_print_flush fmt ();
   match json_file with
   | None -> ()
   | Some file ->
-    (* flat object: benchmark name -> nanoseconds per run *)
+    (* object per row: { ns, budget_exhausted, degraded_tier } *)
+    let all =
+      List.map
+        (fun (name, ns) ->
+          (name, { ns; budget_exhausted = false; degraded_tier = None }))
+        rows
+      @ governed
+    in
     let oc = open_out file in
     output_string oc "{\n";
     List.iteri
-      (fun i (name, ns) ->
-        Printf.fprintf oc "  %S: %s%s\n" name
-          (if Float.is_nan ns then "null" else Printf.sprintf "%.2f" ns)
-          (if i = List.length rows - 1 then "" else ","))
-      rows;
+      (fun i (name, r) ->
+        Printf.fprintf oc
+          "  %S: {\"ns\": %s, \"budget_exhausted\": %b, \"degraded_tier\": %s}%s\n"
+          name
+          (if Float.is_nan r.ns then "null" else Printf.sprintf "%.2f" r.ns)
+          r.budget_exhausted
+          (match r.degraded_tier with None -> "null" | Some t -> Printf.sprintf "%S" t)
+          (if i = List.length all - 1 then "" else ","))
+      all;
     output_string oc "}\n";
     close_out oc;
     Format.fprintf fmt "json rows written to %s@." file

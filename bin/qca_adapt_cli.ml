@@ -1,11 +1,15 @@
 (* Command-line circuit adaptation: read a circuit in the textual
    format (see lib/circuit/parse.mli), adapt it to the spin-qubit
    hardware with the chosen method, print the adapted circuit and the
-   before/after metrics. *)
+   before/after metrics.
+
+   Exit codes: 0 full service, 2 degraded (a budget tripped and a
+   fallback tier or incumbent served the request), 3 invalid input. *)
 
 open Cmdliner
 module Circuit = Qca_circuit.Circuit
 module Parse = Qca_circuit.Parse
+module Solver = Qca_sat.Solver
 open Qca_adapt
 
 let method_of_string = function
@@ -26,33 +30,60 @@ let hw_of_string = function
   | other -> Error (Printf.sprintf "unknown hardware variant %S" other)
 
 let read_input = function
-  | "-" -> In_channel.input_all stdin
-  | path -> In_channel.with_open_text path In_channel.input_all
+  | "-" -> Ok (In_channel.input_all stdin)
+  | path -> (
+    try Ok (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error msg -> Error msg)
 
-let run method_name hw_name input show_circuit =
+let run method_name hw_name input show_circuit timeout_ms max_conflicts =
   let ( let* ) = Result.bind in
-  let* method_ = method_of_string method_name in
-  let* hw = hw_of_string hw_name in
-  let* circuit =
-    match Parse.parse (read_input input) with
-    | Ok c -> Ok c
-    | Error msg -> Error ("parse error: " ^ msg)
+  let result =
+    let* method_ = method_of_string method_name in
+    let* hw = hw_of_string hw_name in
+    let* text = read_input input in
+    let* circuit =
+      match Parse.parse text with
+      | Ok c -> Ok c
+      | Error msg -> Error ("parse error: " ^ msg)
+    in
+    let budget =
+      Solver.budget ?timeout_ms
+        ?max_conflicts:(Option.map (fun n -> max 0 n) max_conflicts)
+        ()
+    in
+    let o = Pipeline.adapt_governed ~budget hw method_ circuit in
+    let baseline =
+      Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit)
+    in
+    let s = Metrics.summarize hw o.Pipeline.circuit in
+    if show_circuit then print_string (Parse.to_text o.Pipeline.circuit);
+    Format.printf "method       : %s (hardware %s)@."
+      (Pipeline.method_name method_) hw.Hardware.name;
+    Format.printf "served       : tier %s%s@."
+      (Pipeline.tier_name o.Pipeline.tier)
+      (match o.Pipeline.reason with
+      | None -> ""
+      | Some r -> Printf.sprintf " (%s)" (Solver.string_of_stop_reason r));
+    Format.printf "budget spent : %d conflicts, %d propagations, %.1f ms@."
+      o.Pipeline.spent.Pipeline.conflicts
+      o.Pipeline.spent.Pipeline.propagations
+      o.Pipeline.spent.Pipeline.elapsed_ms;
+    Format.printf "adapted      : %a@." Metrics.pp s;
+    Format.printf "vs direct    : fidelity %+.2f%%, idle time %+.2f%%@."
+      (Metrics.fidelity_change_pct ~baseline s)
+      (-.Metrics.idle_decrease_pct ~baseline s);
+    let info = o.Pipeline.info in
+    if info.Pipeline.substitutions_considered > 0 then
+      Format.printf "substitutions: %d considered, %d chosen (%d OMT rounds)@."
+        info.Pipeline.substitutions_considered
+        info.Pipeline.substitutions_chosen info.Pipeline.omt_rounds;
+    Ok (if Pipeline.degraded o then 2 else 0)
   in
-  let adapted, info = Pipeline.adapt_with_info hw method_ circuit in
-  let baseline = Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit) in
-  let s = Metrics.summarize hw adapted in
-  if show_circuit then print_string (Parse.to_text adapted);
-  Format.printf "method       : %s (hardware %s)@."
-    (Pipeline.method_name method_) hw.Hardware.name;
-  Format.printf "adapted      : %a@." Metrics.pp s;
-  Format.printf "vs direct    : fidelity %+.2f%%, idle time %+.2f%%@."
-    (Metrics.fidelity_change_pct ~baseline s)
-    (-.Metrics.idle_decrease_pct ~baseline s);
-  if info.Pipeline.substitutions_considered > 0 then
-    Format.printf "substitutions: %d considered, %d chosen (%d OMT rounds)@."
-      info.Pipeline.substitutions_considered info.Pipeline.substitutions_chosen
-      info.Pipeline.omt_rounds;
-  Ok ()
+  match result with
+  | Ok code -> code
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    3
 
 let method_arg =
   let doc =
@@ -73,17 +104,22 @@ let show_arg =
   let doc = "Print the adapted circuit." in
   Arg.(value & flag & info [ "c"; "circuit" ] ~doc)
 
+let timeout_arg =
+  let doc =
+    "Wall-clock budget in milliseconds. On exhaustion the degradation \
+     ladder serves the request from a cheaper tier (exit code 2)."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
+let conflicts_arg =
+  let doc = "Cap on CDCL conflicts across all solver calls." in
+  Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "adapt a quantum circuit to the spin-qubit gate set" in
-  let term =
-    Term.(const run $ method_arg $ hw_arg $ input_arg $ show_arg)
-  in
-  let exit_of = function
-    | Ok () -> 0
-    | Error msg ->
-      prerr_endline ("error: " ^ msg);
-      1
-  in
-  Cmd.v (Cmd.info "qca-adapt" ~doc) Term.(const exit_of $ term)
+  Cmd.v (Cmd.info "qca-adapt" ~doc)
+    Term.(
+      const run $ method_arg $ hw_arg $ input_arg $ show_arg $ timeout_arg
+      $ conflicts_arg)
 
 let () = exit (Cmd.eval' cmd)

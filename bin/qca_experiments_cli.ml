@@ -1,4 +1,7 @@
-(* Regenerate the paper's evaluation artifacts from the command line. *)
+(* Regenerate the paper's evaluation artifacts from the command line.
+
+   Exit codes: 0 full service, 2 at least one row was served degraded
+   under --timeout-ms, 3 invalid input (unknown artifact/hardware). *)
 
 open Cmdliner
 module E = Qca_experiments.Experiments
@@ -12,32 +15,55 @@ let hw_of_string = function
   | "d1" -> Ok Hardware.d1
   | other -> Error (Printf.sprintf "unknown hardware variant %S" other)
 
+let artifacts = [ "table1"; "eq11"; "fig5"; "fig6"; "fig7"; "all" ]
+
 let suite fast =
   if fast then Workloads.simulation_suite () else Workloads.evaluation_suite ()
 
-let run what hw_name fast =
-  match hw_of_string hw_name with
+let run what hw_name fast timeout_ms =
+  let checked =
+    if List.mem what artifacts then hw_of_string hw_name
+    else
+      Error
+        (Printf.sprintf "unknown artifact %S (expected %s)" what
+           (String.concat ", " artifacts))
+  in
+  match checked with
   | Error msg ->
     prerr_endline ("error: " ^ msg);
-    1
+    3
   | Ok hw ->
-    let figs56 () = E.fig5_fig6 hw (suite fast) in
+    let some_degraded = ref false in
+    let note rows =
+      if List.exists (fun r -> r.E.degraded) rows then some_degraded := true;
+      rows
+    in
+    let note_sim rows =
+      if List.exists (fun r -> r.E.sim_degraded) rows then some_degraded := true;
+      rows
+    in
+    let figs56 () = note (E.fig5_fig6 ?timeout_ms hw (suite fast)) in
+    let sim () = note_sim (E.fig7 ?timeout_ms hw (Workloads.simulation_suite ())) in
     (match what with
     | "table1" -> E.print_table1 fmt
     | "eq11" -> E.print_eq11_example fmt
     | "fig5" -> E.print_fig5 fmt (figs56 ())
     | "fig6" -> E.print_fig6 fmt (figs56 ())
-    | "fig7" -> E.print_fig7 fmt (E.fig7 hw (Workloads.simulation_suite ()))
-    | "all" | _ ->
+    | "fig7" -> E.print_fig7 fmt (sim ())
+    | _ ->
       E.print_table1 fmt;
       E.print_eq11_example fmt;
       let rows = figs56 () in
       E.print_fig5 fmt rows;
       E.print_fig6 fmt rows;
-      let sim_rows = E.fig7 hw (Workloads.simulation_suite ()) in
+      let sim_rows = sim () in
       E.print_fig7 fmt sim_rows;
       E.print_headline fmt (E.headline_of rows sim_rows));
-    0
+    if !some_degraded then begin
+      prerr_endline "warning: some rows were served degraded under the budget";
+      2
+    end
+    else 0
 
 let what_arg =
   let doc = "Artifact: table1, eq11, fig5, fig6, fig7, or all." in
@@ -51,10 +77,17 @@ let fast_arg =
   let doc = "Use the smaller simulation suite for fig5/fig6 too." in
   Arg.(value & flag & info [ "fast" ] ~doc)
 
+let timeout_arg =
+  let doc =
+    "Per-adaptation wall-clock budget in milliseconds; degraded rows \
+     are flagged and the exit code becomes 2."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
 let cmd =
   let doc = "regenerate the evaluation tables and figures" in
   Cmd.v
     (Cmd.info "qca-experiments" ~doc)
-    Term.(const run $ what_arg $ hw_arg $ fast_arg)
+    Term.(const run $ what_arg $ hw_arg $ fast_arg $ timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,19 +1,24 @@
 (* Stand-alone DIMACS front end for the CDCL solver, with
-   SAT-competition-style output. *)
+   SAT-competition-style output.
+
+   Exit codes: 10 SAT, 20 UNSAT, 2 unknown (budget exhausted),
+   3 invalid input. *)
 
 open Cmdliner
 module Dimacs = Qca_sat.Dimacs
 module Solver = Qca_sat.Solver
 
 let read_input = function
-  | "-" -> In_channel.input_all stdin
-  | path -> In_channel.with_open_text path In_channel.input_all
+  | "-" -> Ok (In_channel.input_all stdin)
+  | path -> (
+    try Ok (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error msg -> Error msg)
 
-let run input no_vsids no_restarts stats =
-  match Dimacs.parse (read_input input) with
+let run input no_vsids no_restarts stats timeout_ms max_conflicts =
+  match Result.bind (read_input input) Dimacs.parse with
   | Error msg ->
     prerr_endline ("c parse error: " ^ msg);
-    1
+    3
   | Ok problem -> (
     let options =
       {
@@ -22,8 +27,13 @@ let run input no_vsids no_restarts stats =
         use_restarts = not no_restarts;
       }
     in
+    let budget =
+      Solver.budget ?timeout_ms
+        ?max_conflicts:(Option.map (fun n -> max 0 n) max_conflicts)
+        ()
+    in
     let solver = Dimacs.load ~options problem in
-    let result = Solver.solve solver in
+    let result = Solver.solve ~budget solver in
     if stats then begin
       let st = Solver.stats solver in
       Printf.printf "c conflicts    %d\n" st.Solver.conflicts;
@@ -51,7 +61,11 @@ let run input no_vsids no_restarts stats =
         model;
       Buffer.add_string buf " 0";
       print_endline (Buffer.contents buf);
-      10)
+      10
+    | Solver.Unknown reason ->
+      Printf.printf "c stopped: %s\n" (Solver.string_of_stop_reason reason);
+      print_endline "s UNKNOWN";
+      2)
 
 let input_arg =
   let doc = "DIMACS CNF file, or - for stdin." in
@@ -61,9 +75,19 @@ let no_vsids = Arg.(value & flag & info [ "no-vsids" ] ~doc:"Disable VSIDS.")
 let no_restarts = Arg.(value & flag & info [ "no-restarts" ] ~doc:"Disable restarts.")
 let stats = Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print solver statistics.")
 
+let timeout_arg =
+  let doc = "Wall-clock budget in milliseconds (exit 2 on exhaustion)." in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
+let conflicts_arg =
+  let doc = "Cap on CDCL conflicts (exit 2 on exhaustion)." in
+  Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "CDCL SAT solver (DIMACS CNF)" in
   Cmd.v (Cmd.info "qca-sat" ~doc)
-    Term.(const run $ input_arg $ no_vsids $ no_restarts $ stats)
+    Term.(
+      const run $ input_arg $ no_vsids $ no_restarts $ stats $ timeout_arg
+      $ conflicts_arg)
 
 let () = exit (Cmd.eval' cmd)

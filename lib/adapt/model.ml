@@ -4,6 +4,7 @@ open Qca_sat
 module Smt = Qca_smt.Smt
 module Totalizer = Qca_pseudo_bool.Totalizer
 module Dl = Qca_diff_logic.Dl
+module Fault = Qca_util.Fault
 
 type objective = Sat_f | Sat_r | Sat_p
 
@@ -179,7 +180,11 @@ type solution = {
   rounds : int;
   theory_conflicts : int;
   proven_optimal : bool;
+  stopped : Solver.stop_reason option;
 }
+
+type error =
+  [ `Already_consumed | `Budget_exhausted of Solver.stop_reason ]
 
 (* Verify the chosen schedule with the independent difference-logic
    solver: start times obeying Eq. 2 with the chosen durations must be
@@ -210,8 +215,9 @@ let sat_stats t = Smt.sat_stats t.smt
 
 let default_round_budget = 120
 
-let optimize ?round_budget t obj =
-  if t.consumed then failwith "Model.optimize: model already consumed";
+let optimize ?round_budget ?(budget = Solver.no_budget) t obj =
+  if t.consumed then Error `Already_consumed
+  else begin
   t.consumed <- true;
   (* anytime budget scales inversely with instance size so that deep
      circuits stay tractable; small instances still close with a proof *)
@@ -285,8 +291,22 @@ let optimize ?round_budget t obj =
       Totalizer.enforce_at_most ~resolution:48 sat cut_terms bound
     end
   in
+  (* Fault/budget consultation shared by the warm start and the OMT
+     rounds; the deadline/cancel checks make a 1 ms deadline observable
+     before any solving starts on deep circuits. *)
+  let governed site exhaust_reason =
+    match Solver.budget_status budget with
+    | Some r -> Some r
+    | None -> (
+      match Fault.check budget.Solver.fault site with
+      | Some Fault.Exhaust -> Some exhaust_reason
+      | Some Fault.Cancel -> Some Solver.Cancelled
+      | Some Fault.Spurious_conflict | None -> None)
+  in
   (* Greedy warm start: a good incumbent keeps the first pruning
-     encoding small and tight. *)
+     encoding small and tight. Budget-governed per sweep: an
+     interruption here means no incumbent exists yet, which the
+     pipeline's degradation ladder turns into the greedy fallback. *)
   let warm_start () =
     let mask = Array.make n false in
     let compatible s =
@@ -301,32 +321,39 @@ let optimize ?round_budget t obj =
     in
     let current = ref (obj mask) in
     let improved = ref true in
-    while !improved do
-      improved := false;
-      let best_s = ref (-1) and best_v = ref !current in
-      for s = 0 to n - 1 do
-        if (not mask.(s)) && compatible s then begin
-          mask.(s) <- true;
-          let v = obj mask in
-          mask.(s) <- false;
-          if v < !best_v then begin
-            best_v := v;
-            best_s := s
+    let stop = ref None in
+    while !improved && !stop = None do
+      match governed Fault.Warm_start Solver.Deadline with
+      | Some r -> stop := Some r
+      | None ->
+        improved := false;
+        let best_s = ref (-1) and best_v = ref !current in
+        for s = 0 to n - 1 do
+          if (not mask.(s)) && compatible s then begin
+            mask.(s) <- true;
+            let v = obj mask in
+            mask.(s) <- false;
+            if v < !best_v then begin
+              best_v := v;
+              best_s := s
+            end
           end
+        done;
+        if !best_s >= 0 then begin
+          mask.(!best_s) <- true;
+          current := !best_v;
+          improved := true
         end
-      done;
-      if !best_s >= 0 then begin
-        mask.(!best_s) <- true;
-        current := !best_v;
-        improved := true
-      end
     done;
-    let v, d, _ = exact_objective t terms mask in
-    ignore v;
-    (!current, mask, d)
+    match !stop with
+    | Some r -> Error r
+    | None ->
+      let _, d, _ = exact_objective t terms mask in
+      Ok (!current, mask, d)
   in
   let rounds = ref 0 and cuts = ref 0 in
   let proven = ref true in
+  let stopped = ref None in
   let rec improve best =
     incr rounds;
     if !rounds > round_budget then begin
@@ -335,9 +362,19 @@ let optimize ?round_budget t obj =
       best
     end
     else begin
+    match governed Fault.Omt_round Solver.Out_of_rounds with
+    | Some r ->
+      proven := false;
+      stopped := Some r;
+      best
+    | None ->
     let assumptions = match best with None -> [] | Some (b, _, _) -> prune b in
-    match Solver.solve ~assumptions sat with
+    match Solver.solve ~assumptions ~budget sat with
     | Solver.Unsat -> best
+    | Solver.Unknown r ->
+      proven := false;
+      stopped := Some r;
+      best
     | Solver.Sat ->
       let mask = Array.init n (fun i -> Solver.lit_value sat t.choice.(i)) in
       let v, d, path = exact_objective t terms mask in
@@ -360,18 +397,25 @@ let optimize ?round_budget t obj =
       improve best'
     end
   in
-  match improve (Some (warm_start ())) with
-  | None -> failwith "Model.optimize: model unsatisfiable (bug)"
-  | Some (v, mask, d) ->
-    assert (verify_schedule t mask d);
-    {
-      chosen = Array.to_list t.subs |> List.filter (fun s -> mask.(s.Rules.id));
-      objective_value = v;
-      makespan = d;
-      rounds = !rounds;
-      theory_conflicts = !cuts;
-      proven_optimal = !proven;
-    }
+  match warm_start () with
+  | Error r -> Error (`Budget_exhausted r)
+  | Ok warm ->
+    (match improve (Some warm) with
+    | None -> assert false (* the warm start is an incumbent *)
+    | Some (v, mask, d) ->
+      assert (verify_schedule t mask d);
+      Ok
+        {
+          chosen =
+            Array.to_list t.subs |> List.filter (fun s -> mask.(s.Rules.id));
+          objective_value = v;
+          makespan = d;
+          rounds = !rounds;
+          theory_conflicts = !cuts;
+          proven_optimal = !proven;
+          stopped = !stopped;
+        })
+  end
 
 let evaluate_choice t obj chosen =
   let terms = objective_terms t obj in

@@ -40,15 +40,35 @@ type solution = {
   proven_optimal : bool;
       (** true when the search closed with an UNSAT certificate; false
           when the anytime round budget stopped it at the incumbent *)
+  stopped : Solver.stop_reason option;
+      (** set when the resource budget (or an injected fault) stopped
+          the search at the incumbent; [None] for a normal anytime stop
+          on the driver's own round budget *)
 }
 
-val optimize : ?round_budget:int -> t -> objective -> solution
+type error =
+  [ `Already_consumed  (** the one-shot model was optimized before *)
+  | `Budget_exhausted of Solver.stop_reason
+    (** the budget tripped before any incumbent existed (during the
+        warm start) — no solution at all is available from this tier *)
+  ]
+
+val optimize :
+  ?round_budget:int ->
+  ?budget:Solver.budget ->
+  t ->
+  objective ->
+  (solution, error) result
 (** Optimizes the objective: greedy warm start, then branch-and-bound
     over the CDCL solver with admissible pseudo-Boolean pruning and
     lazily generated critical-path lemmas. Solves to proven optimality
     unless the round budget (default 120) runs out first, in which case
-    the incumbent is returned with [proven_optimal = false]. Raises
-    [Failure] if the model was already consumed. *)
+    the incumbent is returned with [proven_optimal = false]. A resource
+    [budget] governs the warm start, the OMT rounds and every CDCL call
+    (fault sites {!Qca_util.Fault.Warm_start}, [Omt_round] and
+    [Sat_step]); when it trips after an incumbent exists the incumbent
+    is returned with [stopped] set, before one exists the typed
+    [`Budget_exhausted] error is returned. Never raises. *)
 
 val evaluate_choice : t -> objective -> Rules.t list -> int
 (** Exact integer objective of an arbitrary conflict-free choice of

@@ -2,6 +2,8 @@ module Circuit = Qca_circuit.Circuit
 module Block = Qca_circuit.Block
 module Gate = Qca_circuit.Gate
 module Synth = Qca_circuit.Synth
+module Solver = Qca_sat.Solver
+module Fault = Qca_util.Fault
 
 type method_ =
   | Direct
@@ -118,8 +120,9 @@ let template_choose metric subs =
 
 (* The future-work heuristic: repeatedly add the substitution (from the
    full space, KAK included) that improves the exact global objective
-   the most. *)
-let greedy_choose model obj subs =
+   the most. Governed per refinement step; an interruption keeps the
+   substitutions chosen so far (still conflict-free, still valid). *)
+let greedy_choose_governed ?(budget = Solver.no_budget) model obj subs =
   let compatible chosen s =
     not
       (List.exists
@@ -127,24 +130,43 @@ let greedy_choose model obj subs =
            List.exists (fun i -> List.mem i s'.Rules.substituted) s.Rules.substituted)
          chosen)
   in
-  let rec refine chosen current =
-    let candidates =
-      List.filter (fun s -> compatible chosen s) subs
-      |> List.map (fun s -> (s, Model.evaluate_choice model obj (s :: chosen)))
-      |> List.filter (fun (_, v) -> v < current)
-    in
-    match candidates with
-    | [] -> chosen
-    | _ ->
-      let s, v =
-        List.fold_left
-          (fun (bs, bv) (s, v) -> if v < bv then (s, v) else (bs, bv))
-          (List.hd candidates)
-          (List.tl candidates)
-      in
-      refine (s :: chosen) v
+  let governed () =
+    match Solver.budget_status budget with
+    | Some r -> Some r
+    | None -> (
+      match Fault.check budget.Solver.fault Fault.Greedy_step with
+      | Some Fault.Exhaust -> Some Solver.Deadline
+      | Some Fault.Cancel -> Some Solver.Cancelled
+      | Some Fault.Spurious_conflict | None -> None)
   in
-  refine [] (Model.evaluate_choice model obj [])
+  let stop = ref None in
+  let rec refine chosen current =
+    match governed () with
+    | Some r ->
+      stop := Some r;
+      chosen
+    | None -> (
+      let candidates =
+        List.filter (fun s -> compatible chosen s) subs
+        |> List.map (fun s -> (s, Model.evaluate_choice model obj (s :: chosen)))
+        |> List.filter (fun (_, v) -> v < current)
+      in
+      match candidates with
+      | [] -> chosen
+      | _ ->
+        let s, v =
+          List.fold_left
+            (fun (bs, bv) (s, v) -> if v < bv then (s, v) else (bs, bv))
+            (List.hd candidates)
+            (List.tl candidates)
+        in
+        refine (s :: chosen) v)
+  in
+  let chosen = refine [] (Model.evaluate_choice model obj []) in
+  (chosen, !stop)
+
+let greedy_choose model obj subs =
+  fst (greedy_choose_governed model obj subs)
 
 let adapt_with_info ?options hw method_ circuit =
   let part = Block.partition circuit in
@@ -170,7 +192,13 @@ let adapt_with_info ?options hw method_ circuit =
   | Sat obj ->
     let subs = Rules.find_all hw part in
     let model = Model.build ?options hw part subs in
-    let sol = Model.optimize model obj in
+    let sol =
+      match Model.optimize model obj with
+      | Ok sol -> sol
+      | Error (`Already_consumed | `Budget_exhausted _) ->
+        (* fresh model, unlimited budget: neither error can occur *)
+        assert false
+    in
     ( apply_substitutions part sol.Model.chosen,
       {
         substitutions_considered = List.length subs;
@@ -190,3 +218,121 @@ let adapt_with_info ?options hw method_ circuit =
       } )
 
 let adapt ?options hw method_ circuit = fst (adapt_with_info ?options hw method_ circuit)
+
+(* {1 Resource-governed adaptation} *)
+
+type tier = Full | Incumbent | Greedy_fallback | Direct_fallback
+
+let tier_name = function
+  | Full -> "full"
+  | Incumbent -> "incumbent"
+  | Greedy_fallback -> "greedy"
+  | Direct_fallback -> "direct"
+
+type spent = { conflicts : int; propagations : int; elapsed_ms : float }
+
+type outcome = {
+  circuit : Circuit.t;
+  requested : method_;
+  tier : tier;
+  reason : Solver.stop_reason option;
+  spent : spent;
+  info : info;
+}
+
+let degraded o = o.tier <> Full || o.reason <> None
+
+(* The degradation ladder for the SMT method:
+
+     Sat obj  →  incumbent  →  Greedy obj  →  Direct
+
+   Every rung always terminates (the lower rungs are polynomial), so a
+   governed request never hangs and never raises: the worst case is the
+   direct basis translation, which is always a valid adapted circuit. *)
+let adapt_governed ?options ?budget hw method_ circuit =
+  let budget = match budget with Some b -> b | None -> Solver.budget () in
+  let finish ~tier ~reason ~info circuit =
+    {
+      circuit;
+      requested = method_;
+      tier;
+      reason;
+      spent =
+        {
+          conflicts = budget.Solver.conflicts_spent;
+          propagations = budget.Solver.propagations_spent;
+          elapsed_ms = Solver.budget_elapsed_ms budget;
+        };
+      info;
+    }
+  in
+  let direct ~reason =
+    finish ~tier:Direct_fallback ~reason ~info:no_info (Basis.direct circuit)
+  in
+  match method_ with
+  | Sat obj -> (
+    match Solver.budget_status budget with
+    | Some r -> direct ~reason:(Some r)
+    | None -> (
+      let part = Block.partition circuit in
+      let subs = Rules.find_all hw part in
+      let model = Model.build ?options hw part subs in
+      match Model.optimize ~budget model obj with
+      | Ok sol ->
+        let info =
+          {
+            substitutions_considered = List.length subs;
+            substitutions_chosen = List.length sol.Model.chosen;
+            omt_rounds = sol.Model.rounds;
+            theory_conflicts = sol.Model.theory_conflicts;
+          }
+        in
+        let tier, reason =
+          match sol.Model.stopped with
+          | None -> (Full, None)
+          | Some r -> (Incumbent, Some r)
+        in
+        finish ~tier ~reason ~info (apply_substitutions part sol.Model.chosen)
+      | Error `Already_consumed -> assert false (* model is fresh *)
+      | Error (`Budget_exhausted r) -> (
+        (* no incumbent from the SMT tier; try the greedy heuristic if
+           the budget still has headroom (a fault-injected stop leaves
+           it intact, a real deadline does not) *)
+        match Solver.budget_status budget with
+        | Some r2 -> direct ~reason:(Some r2)
+        | None -> (
+          (* evaluate_choice is pure — the consumed model still serves *)
+          match greedy_choose_governed ~budget model obj subs with
+          | [], Some r2 -> direct ~reason:(Some r2)
+          | chosen, _ ->
+            let info =
+              {
+                no_info with
+                substitutions_considered = List.length subs;
+                substitutions_chosen = List.length chosen;
+              }
+            in
+            finish ~tier:Greedy_fallback ~reason:(Some r) ~info
+              (apply_substitutions part chosen)))))
+  | Greedy obj -> (
+    match Solver.budget_status budget with
+    | Some r -> direct ~reason:(Some r)
+    | None -> (
+      let part = Block.partition circuit in
+      let subs = Rules.find_all hw part in
+      let model = Model.build ?options hw part subs in
+      match greedy_choose_governed ~budget model obj subs with
+      | [], Some r -> direct ~reason:(Some r)
+      | chosen, stop ->
+        let info =
+          {
+            no_info with
+            substitutions_considered = List.length subs;
+            substitutions_chosen = List.length chosen;
+          }
+        in
+        finish ~tier:Full ~reason:stop ~info (apply_substitutions part chosen)))
+  | Direct | Kak_only_cz | Kak_only_cz_db | Template_f | Template_r ->
+    (* polynomial methods: always complete, no ladder needed *)
+    let c, info = adapt_with_info ?options hw method_ circuit in
+    finish ~tier:Full ~reason:None ~info c

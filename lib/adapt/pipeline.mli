@@ -56,3 +56,56 @@ val apply_substitutions :
     replacements are spliced in, all remaining gates go through direct
     basis translation, blocks are emitted in dependency order, and
     single-qubit runs are merged. *)
+
+(** {1 Resource-governed adaptation}
+
+    {!adapt_governed} wraps adaptation in a degradation ladder so a
+    request under a {!Solver.budget} never hangs and never raises:
+
+    - [Sat obj] is attempted first (budget-governed OMT);
+    - if the budget stops the search after an incumbent exists, the
+      incumbent is served ({!Incumbent});
+    - if it stops before any incumbent exists, the greedy heuristic
+      over the same substitution space runs with the remaining budget
+      ({!Greedy_fallback});
+    - if even that is impossible, direct basis translation — always
+      valid, always fast — serves the request ({!Direct_fallback}).
+
+    Each rung is exercised deterministically in the test suite through
+    {!Qca_util.Fault} injection. *)
+
+type tier = Full | Incumbent | Greedy_fallback | Direct_fallback
+
+val tier_name : tier -> string
+
+type spent = {
+  conflicts : int;  (** CDCL conflicts charged to the budget *)
+  propagations : int;
+  elapsed_ms : float;  (** wall-clock since the budget was created *)
+}
+
+type outcome = {
+  circuit : Circuit.t;  (** the adapted circuit (always valid) *)
+  requested : method_;
+  tier : tier;  (** which rung of the ladder served the request *)
+  reason : Solver.stop_reason option;
+      (** why the request degraded (or, for a partially-run [Greedy]
+          request, why it stopped early); [None] = full service *)
+  spent : spent;
+  info : info;
+}
+
+val degraded : outcome -> bool
+(** [true] when the request was not served at full fidelity. *)
+
+val adapt_governed :
+  ?options:Solver.options ->
+  ?budget:Solver.budget ->
+  Hardware.t ->
+  method_ ->
+  Circuit.t ->
+  outcome
+(** Adapt under a resource budget (default: a fresh unlimited budget,
+    so [spent] is still reported). With an unlimited budget the served
+    circuit is identical to {!adapt}'s. Total: never raises, never
+    hangs — see the ladder above. *)

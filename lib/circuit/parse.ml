@@ -72,7 +72,7 @@ let parse text =
         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
         | [ "qubits"; n ] -> (
           match int_of_string_opt n with
-          | Some n when n >= 1 -> go (lineno + 1) (Some n) gates rest
+          | Some n when n >= 1 && n <= 4096 -> go (lineno + 1) (Some n) gates rest
           | Some _ | None -> err "invalid qubit count")
         | token :: wire_tokens -> (
           match split_mnemonic token with

@@ -155,12 +155,16 @@ let eval_angle s =
 
 let qubit_re = Str.regexp "q\\[\\([0-9]+\\)\\]"
 
+(* Reject absurd declared register widths before anything downstream
+   allocates per-qubit state for them. *)
+let max_register_width = 4096
+
 let parse_operands s =
   let parts = String.split_on_char ',' s in
   let parse_one part =
     let part = String.trim part in
     if Str.string_match qubit_re part 0 && Str.match_end () = String.length part
-    then Some (int_of_string (Str.matched_group 1 part))
+    then int_of_string_opt (Str.matched_group 1 part)
     else None
   in
   let wires = List.map parse_one parts in
@@ -189,8 +193,13 @@ let of_qasm text =
     if !error <> None then ()
     else if Str.string_match (Str.regexp "OPENQASM") stmt 0 then ()
     else if Str.string_match (Str.regexp "include") stmt 0 then ()
-    else if Str.string_match (Str.regexp "qreg +q\\[\\([0-9]+\\)\\]") stmt 0 then
-      width := Some (int_of_string (Str.matched_group 1 stmt))
+    else if Str.string_match (Str.regexp "qreg +q\\[\\([0-9]+\\)\\]") stmt 0 then begin
+      match int_of_string_opt (Str.matched_group 1 stmt) with
+      | Some n when n >= 1 && n <= max_register_width -> width := Some n
+      | Some _ | None ->
+        fail stmt
+          (Printf.sprintf "register width outside [1, %d]" max_register_width)
+    end
     else if Str.string_match (Str.regexp "creg") stmt 0 then ()
     else if Str.string_match (Str.regexp "barrier") stmt 0 then ()
     else if Str.string_match (Str.regexp "measure") stmt 0 then ()

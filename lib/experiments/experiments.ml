@@ -9,6 +9,7 @@ module Rules = Qca_adapt.Rules
 module Workloads = Qca_workloads.Workloads
 module Density = Qca_sim.Density
 module Hellinger = Qca_sim.Hellinger
+module Solver = Qca_sat.Solver
 
 type row = {
   case : string;
@@ -19,15 +20,23 @@ type row = {
   fidelity : float;
   idle : int;
   two_qubit_gates : int;
+  degraded : bool;
 }
 
 let methods = Pipeline.all_methods
 
-let evaluate_case ?(methods = methods) hw kase =
+(* Each adaptation gets its own budget so one slow workload cannot
+   starve the rest of the matrix. *)
+let governed ?timeout_ms hw m circuit =
+  let budget = Solver.budget ?timeout_ms () in
+  Pipeline.adapt_governed ~budget hw m circuit
+
+let evaluate_case ?(methods = methods) ?timeout_ms hw kase =
   let circuit = kase.Workloads.circuit in
   let baseline = Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit) in
   let row_of m =
-    let s = Metrics.summarize hw (Pipeline.adapt hw m circuit) in
+    let o = governed ?timeout_ms hw m circuit in
+    let s = Metrics.summarize hw o.Pipeline.circuit in
     {
       case = kase.Workloads.label;
       method_ = Pipeline.method_name m;
@@ -37,12 +46,13 @@ let evaluate_case ?(methods = methods) hw kase =
       fidelity = s.Metrics.fidelity;
       idle = s.Metrics.idle_total;
       two_qubit_gates = s.Metrics.two_qubit_gates;
+      degraded = Pipeline.degraded o;
     }
   in
   List.map row_of methods
 
-let fig5_fig6 ?methods hw cases =
-  List.concat_map (fun kase -> evaluate_case ?methods hw kase) cases
+let fig5_fig6 ?methods ?timeout_ms hw cases =
+  List.concat_map (fun kase -> evaluate_case ?methods ?timeout_ms hw kase) cases
 
 type sim_row = {
   sim_case : string;
@@ -50,6 +60,7 @@ type sim_row = {
   hellinger_change : float;
   sim_idle_decrease : float;
   hellinger : float;
+  sim_degraded : bool;
 }
 
 let noise_of hw =
@@ -60,22 +71,23 @@ let noise_of hw =
     t2 = hw.Hardware.t2;
   }
 
-let fig7 ?(methods = methods) hw cases =
+let fig7 ?(methods = methods) ?timeout_ms hw cases =
   let noise = noise_of hw in
   List.concat_map
     (fun kase ->
       let circuit = kase.Workloads.circuit in
       let ideal = Density.probabilities (Density.run_ideal circuit) in
       let run m =
-        let adapted = Pipeline.adapt hw m circuit in
+        let o = governed ?timeout_ms hw m circuit in
+        let adapted = o.Pipeline.circuit in
         let noisy = Density.probabilities (Density.run_noisy noise adapted) in
         let s = Metrics.summarize hw adapted in
-        (Hellinger.fidelity ideal noisy, s.Metrics.idle_total)
+        (Hellinger.fidelity ideal noisy, s.Metrics.idle_total, Pipeline.degraded o)
       in
-      let h_direct, idle_direct = run Pipeline.Direct in
+      let h_direct, idle_direct, _ = run Pipeline.Direct in
       List.map
         (fun m ->
-          let h, idle = run m in
+          let h, idle, was_degraded = run m in
           {
             sim_case = kase.Workloads.label;
             sim_method = Pipeline.method_name m;
@@ -87,6 +99,7 @@ let fig7 ?(methods = methods) hw cases =
                  float_of_int (idle_direct - idle)
                  /. float_of_int idle_direct *. 100.0);
             hellinger = h;
+            sim_degraded = was_degraded;
           })
         methods)
     cases
@@ -213,7 +226,11 @@ let print_eq11_example fmt =
   List.iter
     (fun obj ->
       let model = Model.build hw part subs in
-      let sol = Model.optimize model obj in
+      let sol =
+        match Model.optimize model obj with
+        | Ok sol -> sol
+        | Error _ -> assert false (* fresh model, unlimited budget *)
+      in
       Format.fprintf fmt "%s chooses: %s (makespan %d ns%s)@,"
         (Model.objective_name obj)
         (match sol.Model.chosen with

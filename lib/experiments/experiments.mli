@@ -16,6 +16,10 @@ type row = {
   fidelity : float;
   idle : int;
   two_qubit_gates : int;
+  degraded : bool;
+      (** true when the governed adaptation for this row was served by
+          a fallback tier or stopped early (see
+          {!Pipeline.adapt_governed}); always false without a timeout *)
 }
 
 val methods : Pipeline.method_ list
@@ -23,14 +27,17 @@ val methods : Pipeline.method_ list
 
 val evaluate_case :
   ?methods:Pipeline.method_ list ->
+  ?timeout_ms:float ->
   Hardware.t ->
   Workloads.case ->
   row list
 (** Adapts one workload with every method and computes the Fig. 5/6
-    metrics against the direct-translation baseline. *)
+    metrics against the direct-translation baseline. [timeout_ms]
+    bounds each adaptation independently (degraded rows are flagged). *)
 
 val fig5_fig6 :
   ?methods:Pipeline.method_ list ->
+  ?timeout_ms:float ->
   Hardware.t ->
   Workloads.case list ->
   row list
@@ -42,10 +49,12 @@ type sim_row = {
   hellinger_change : float;  (** Fig. 7 x-axis: % change vs direct *)
   sim_idle_decrease : float;  (** Fig. 7 y-axis *)
   hellinger : float;
+  sim_degraded : bool;
 }
 
 val fig7 :
   ?methods:Pipeline.method_ list ->
+  ?timeout_ms:float ->
   Hardware.t ->
   Workloads.case list ->
   sim_row list

@@ -65,4 +65,4 @@ let solve ?options p =
   let s = load ?options p in
   match Solver.solve s with
   | Solver.Sat -> (Solver.Sat, Some (Solver.model s))
-  | Solver.Unsat -> (Solver.Unsat, None)
+  | (Solver.Unsat | Solver.Unknown _) as r -> (r, None)

@@ -1,4 +1,6 @@
 module Vec = Qca_util.Vec
+module Fault = Qca_util.Fault
+module Clock = Qca_util.Clock
 
 type options = {
   use_vsids : bool;
@@ -23,7 +25,83 @@ let default_options =
     seed = 0;
   }
 
-type result = Sat | Unsat
+type stop_reason =
+  | Out_of_conflicts
+  | Out_of_propagations
+  | Deadline
+  | Cancelled
+  | Out_of_rounds
+  | Theory_divergence
+
+let string_of_stop_reason = function
+  | Out_of_conflicts -> "conflict budget exhausted"
+  | Out_of_propagations -> "propagation budget exhausted"
+  | Deadline -> "deadline exceeded"
+  | Cancelled -> "cancelled"
+  | Out_of_rounds -> "optimization round budget exhausted"
+  | Theory_divergence -> "theory refinement did not converge"
+
+type result = Sat | Unsat | Unknown of stop_reason
+
+(* Resource budget shared by a whole request: the caps and the deadline
+   are fixed, the [*_spent] accounts accumulate across every solver call
+   that is handed the same budget (the OMT driver re-solves many times
+   against one budget). *)
+type budget = {
+  max_conflicts : int;
+  max_propagations : int;
+  deadline : float;  (* absolute Clock.now seconds; infinity = none *)
+  cancelled : unit -> bool;
+  fault : Fault.t;
+  created : float;
+  mutable conflicts_spent : int;
+  mutable propagations_spent : int;
+}
+
+let no_budget =
+  {
+    max_conflicts = max_int;
+    max_propagations = max_int;
+    deadline = infinity;
+    cancelled = (fun () -> false);
+    fault = Fault.none;
+    created = 0.0;
+    conflicts_spent = 0;
+    propagations_spent = 0;
+  }
+
+let budget ?timeout_ms ?(max_conflicts = max_int)
+    ?(max_propagations = max_int) ?(cancelled = fun () -> false)
+    ?(fault = Fault.none) () =
+  let created = Clock.now () in
+  let deadline =
+    match timeout_ms with
+    | None -> infinity
+    | Some ms -> created +. (ms /. 1000.0)
+  in
+  {
+    max_conflicts;
+    max_propagations;
+    deadline;
+    cancelled;
+    fault;
+    created;
+    conflicts_spent = 0;
+    propagations_spent = 0;
+  }
+
+(* Caps / deadline / cancellation only — fault plans are consulted at
+   their sites, not here, so a status poll never advances them. *)
+let budget_status b =
+  if b.conflicts_spent > b.max_conflicts then Some Out_of_conflicts
+  else if b.propagations_spent > b.max_propagations then
+    Some Out_of_propagations
+  else if b.deadline < infinity && Clock.now () > b.deadline then Some Deadline
+  else if b.cancelled () then Some Cancelled
+  else None
+
+let budget_elapsed_ms b =
+  if b.created = 0.0 then 0.0 else Clock.ms_between b.created (Clock.now ())
 
 type stats = {
   conflicts : int;
@@ -787,14 +865,55 @@ let pick_branch_var t =
 
 exception Answered of result
 
-let solve ?(assumptions = []) t =
+let solve ?(assumptions = []) ?(budget = no_budget) t =
   t.has_model <- false;
   t.core <- [];
   backtrack_to t 0;
-  if not t.ok then Unsat
+  (* Budget accounting: spent counters accumulate across calls sharing
+     one budget, so sync the deltas of this call's solver counters. *)
+  let budgeted = budget != no_budget in
+  let has_deadline = budget.deadline < infinity in
+  let has_fault = not (Fault.is_none budget.fault) in
+  let last_conf = ref t.n_conflicts and last_props = ref t.n_propagations in
+  let sync_budget () =
+    budget.conflicts_spent <-
+      budget.conflicts_spent + (t.n_conflicts - !last_conf);
+    budget.propagations_spent <-
+      budget.propagations_spent + (t.n_propagations - !last_props);
+    last_conf := t.n_conflicts;
+    last_props := t.n_propagations
+  in
+  let check_stop () =
+    sync_budget ();
+    let stop =
+      if budget.conflicts_spent > budget.max_conflicts then
+        Some Out_of_conflicts
+      else if budget.propagations_spent > budget.max_propagations then
+        Some Out_of_propagations
+      else if has_deadline && Clock.now () > budget.deadline then Some Deadline
+      else if budget.cancelled () then Some Cancelled
+      else if has_fault then
+        match Fault.check budget.fault Fault.Sat_step with
+        | Some Fault.Exhaust -> Some Out_of_conflicts
+        | Some Fault.Cancel -> Some Cancelled
+        | Some Fault.Spurious_conflict | None -> None
+      else None
+    in
+    match stop with
+    | Some reason ->
+      (* leave the solver reusable: no partial assignment survives *)
+      backtrack_to t 0;
+      raise (Answered (Unknown reason))
+    | None -> ()
+  in
+  let finish r =
+    if budgeted then sync_budget ();
+    r
+  in
+  if not t.ok then finish Unsat
   else if propagate t >= 0 then begin
     t.ok <- false;
-    Unsat
+    finish Unsat
   end
   else begin
     let assumptions = Array.of_list assumptions in
@@ -828,6 +947,7 @@ let solve ?(assumptions = []) t =
     let learnt_limit = ref (max 1000 (2 * Vec.length t.clauses)) in
     try
       while true do
+        if budgeted then check_stop ();
         let conflict = propagate t in
         if conflict >= 0 then begin
           t.n_conflicts <- t.n_conflicts + 1;
@@ -882,7 +1002,7 @@ let solve ?(assumptions = []) t =
         end
       done;
       assert false
-    with Answered r -> r
+    with Answered r -> finish r
   end
 
 let value t v =

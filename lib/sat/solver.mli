@@ -33,7 +33,64 @@ type options = {
 
 val default_options : options
 
-type result = Sat | Unsat
+(** {1 Resource governance}
+
+    A {!budget} bounds a whole request: a conflict cap, a propagation
+    cap, an absolute wall-clock deadline, a cooperative cancellation
+    flag, and a {!Qca_util.Fault} plan for deterministic fault
+    injection. The CDCL loop checks it once per iteration; when it
+    trips, {!solve} answers [Unknown reason] (and the partial
+    assignment is retracted, so the solver stays reusable). The
+    [_spent] accounts are cumulative across every call that shares the
+    budget — the OMT drivers re-solve many times against one budget.
+
+    Without a budget (the default) [solve] never answers [Unknown] and
+    behaves exactly as before the governance layer existed. *)
+
+type stop_reason =
+  | Out_of_conflicts
+  | Out_of_propagations
+  | Deadline
+  | Cancelled
+  | Out_of_rounds  (** an OMT round budget stopped the search *)
+  | Theory_divergence  (** the DPLL(T) refinement fuel ran out *)
+
+val string_of_stop_reason : stop_reason -> string
+
+type budget = {
+  max_conflicts : int;
+  max_propagations : int;
+  deadline : float;  (** absolute {!Qca_util.Clock.now} seconds; [infinity] = none *)
+  cancelled : unit -> bool;  (** polled cooperatively *)
+  fault : Qca_util.Fault.t;
+  created : float;
+  mutable conflicts_spent : int;
+  mutable propagations_spent : int;
+}
+
+val no_budget : budget
+(** Unlimited; shared constant ([solve]'s default — detected by
+    physical identity and never written to). *)
+
+val budget :
+  ?timeout_ms:float ->
+  ?max_conflicts:int ->
+  ?max_propagations:int ->
+  ?cancelled:(unit -> bool) ->
+  ?fault:Qca_util.Fault.t ->
+  unit ->
+  budget
+(** A fresh budget; [timeout_ms] is converted to an absolute deadline
+    at creation time. *)
+
+val budget_status : budget -> stop_reason option
+(** Caps, deadline and cancellation only; never advances the fault
+    plan. [None] means the budget still has headroom. *)
+
+val budget_elapsed_ms : budget -> float
+(** Milliseconds since the budget was created (0 for {!no_budget}). *)
+
+type result = Sat | Unsat | Unknown of stop_reason
 
 val create : ?options:options -> unit -> t
 
@@ -46,7 +103,12 @@ val add_clause : t -> Lit.t list -> unit
     literals merged. Adding the empty clause (or deriving a root-level
     conflict) makes every future {!solve} return [Unsat]. *)
 
-val solve : ?assumptions:Lit.t list -> t -> result
+val solve : ?assumptions:Lit.t list -> ?budget:budget -> t -> result
+(** Solves under the optional assumptions. With a [budget], may answer
+    [Unknown reason] when a cap, the deadline, the cancellation flag or
+    an injected fault stops the search; the partial assignment is
+    retracted and the solver can be reused. Without a budget the answer
+    is always [Sat] or [Unsat]. *)
 
 val value : t -> Lit.var -> bool
 (** Model value after [Sat]; raises [Invalid_argument] otherwise. *)

@@ -1,5 +1,6 @@
 open Qca_sat
 module Dl = Qca_diff_logic.Dl
+module Fault = Qca_util.Fault
 
 type ivar = int
 
@@ -63,7 +64,7 @@ let make_atom t x y k dir =
 let atom_le t x y k = make_atom t x y k Le
 let atom_ge t x y k = make_atom t x y k Ge
 
-type verdict = Sat | Unsat
+type verdict = Sat | Unsat | Unknown of Solver.stop_reason
 
 (* Atoms are monotone (one-sided): only atoms assigned true contribute a
    constraint; a false atom means nothing. This is sound because the
@@ -81,26 +82,38 @@ let theory_constraints t =
         | Ge -> Some { Dl.x = a.ay; y = a.ax; k = -a.ak; tag = a.lit })
     t.atom_list
 
-let rec solve_loop t assumptions fuel =
-  if fuel <= 0 then failwith "Smt.solve: theory refinement did not converge";
-  t.n_rounds <- t.n_rounds + 1;
-  match Solver.solve ~assumptions t.sat with
-  | Solver.Unsat -> Unsat
-  | Solver.Sat ->
-    let constraints = theory_constraints t in
-    (match Dl.check ~num_vars:t.num_ints constraints with
-    | Dl.Consistent values ->
-      t.int_model <- values;
-      Sat
-    | Dl.Negative_cycle blamed ->
-      t.n_theory_conflicts <- t.n_theory_conflicts + 1;
-      (* the conjunction of blamed literals is theory-inconsistent *)
-      Solver.add_clause t.sat (List.map Lit.negate blamed);
-      solve_loop t assumptions (fuel - 1))
+let rec solve_loop t assumptions budget fuel =
+  if fuel <= 0 then Unknown Solver.Theory_divergence
+  else begin
+    t.n_rounds <- t.n_rounds + 1;
+    match Solver.solve ~assumptions ~budget t.sat with
+    | Solver.Unsat -> Unsat
+    | Solver.Unknown r -> Unknown r
+    | Solver.Sat -> (
+      match Fault.check budget.Solver.fault Fault.Theory_check with
+      | Some Fault.Spurious_conflict ->
+        (* injected transient theory failure: burn fuel and re-check —
+           no clause is learnt, so soundness is untouched *)
+        t.n_theory_conflicts <- t.n_theory_conflicts + 1;
+        solve_loop t assumptions budget (fuel - 1)
+      | Some Fault.Cancel -> Unknown Solver.Cancelled
+      | Some Fault.Exhaust -> Unknown Solver.Theory_divergence
+      | None -> (
+        let constraints = theory_constraints t in
+        match Dl.check ~num_vars:t.num_ints constraints with
+        | Dl.Consistent values ->
+          t.int_model <- values;
+          Sat
+        | Dl.Negative_cycle blamed ->
+          t.n_theory_conflicts <- t.n_theory_conflicts + 1;
+          (* the conjunction of blamed literals is theory-inconsistent *)
+          Solver.add_clause t.sat (List.map Lit.negate blamed);
+          solve_loop t assumptions budget (fuel - 1)))
+  end
 
-let solve ?(assumptions = []) t =
+let solve ?(assumptions = []) ?(budget = Solver.no_budget) t =
   t.n_rounds <- 0;
-  solve_loop t assumptions 1_000_000
+  solve_loop t assumptions budget 1_000_000
 
 let bool_value t v = Solver.value t.sat v
 let lit_value t l = Solver.lit_value t.sat l
@@ -114,30 +127,47 @@ type opt_stats = { rounds : int; theory_conflicts : int }
 
 let stats t = { rounds = t.n_rounds; theory_conflicts = t.n_theory_conflicts }
 
+type minimize_outcome = {
+  best : (int * opt_stats) option;
+  complete : bool;
+  stopped : Solver.stop_reason option;
+}
+
 let minimize t ~evaluate ~prune ~block ?(assumptions = [])
-    ?(max_rounds = 100_000) () =
+    ?(max_rounds = 100_000) ?(budget = Solver.no_budget) () =
   let total_rounds = ref 0 in
   let conflicts_before = t.n_theory_conflicts in
-  let rec improve best rounds =
-    if rounds > max_rounds then failwith "Smt.minimize: round limit exhausted";
-    let extra = match best with None -> [] | Some b -> prune ~best:b in
-    match solve ~assumptions:(assumptions @ extra) t with
-    | Unsat -> best
-    | Sat ->
-      total_rounds := !total_rounds + 1;
-      let v = evaluate () in
-      let best' =
-        match best with Some b when b <= v -> best | _ -> Some v
-      in
-      add_clause t (block ());
-      improve best' (rounds + 1)
+  let finish best ~complete ~stopped =
+    {
+      best =
+        Option.map
+          (fun v ->
+            ( v,
+              {
+                rounds = !total_rounds;
+                theory_conflicts = t.n_theory_conflicts - conflicts_before;
+              } ))
+          best;
+      complete;
+      stopped;
+    }
   in
-  match improve None 0 with
-  | None -> None
-  | Some v ->
-    Some
-      ( v,
-        {
-          rounds = !total_rounds;
-          theory_conflicts = t.n_theory_conflicts - conflicts_before;
-        } )
+  let rec improve best rounds =
+    if rounds > max_rounds then
+      finish best ~complete:false ~stopped:(Some Solver.Out_of_rounds)
+    else begin
+      let extra = match best with None -> [] | Some b -> prune ~best:b in
+      match solve ~assumptions:(assumptions @ extra) ~budget t with
+      | Unsat -> finish best ~complete:true ~stopped:None
+      | Unknown r -> finish best ~complete:false ~stopped:(Some r)
+      | Sat ->
+        total_rounds := !total_rounds + 1;
+        let v = evaluate () in
+        let best' =
+          match best with Some b when b <= v -> best | _ -> Some v
+        in
+        add_clause t (block ());
+        improve best' (rounds + 1)
+    end
+  in
+  improve None 0

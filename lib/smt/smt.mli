@@ -46,9 +46,17 @@ val atom_ge : t -> ivar -> ivar -> int -> Lit.t
 (** [x − y ≥ k], a separate monotone atom (not the negation of
     {!atom_le}). *)
 
-type verdict = Sat | Unsat
+type verdict = Sat | Unsat | Unknown of Solver.stop_reason
 
-val solve : ?assumptions:Lit.t list -> t -> verdict
+val solve : ?assumptions:Lit.t list -> ?budget:Solver.budget -> t -> verdict
+(** Lazy DPLL(T). With a [budget], [Unknown reason] reports budget
+    exhaustion, cancellation or an injected fault; without one the only
+    [Unknown] is [Theory_divergence] when the refinement fuel
+    (1e6 rounds) runs out. The budget's {!Qca_util.Fault} plan is
+    consulted at {!Qca_util.Fault.Theory_check} before every
+    difference-logic check: an injected [Spurious_conflict] makes the
+    loop retry (consuming fuel) without learning a clause, so soundness
+    is preserved. *)
 
 val bool_value : t -> Lit.var -> bool
 (** After {!Sat}. *)
@@ -63,6 +71,17 @@ type opt_stats = {
   theory_conflicts : int;
 }
 
+type minimize_outcome = {
+  best : (int * opt_stats) option;
+      (** best (smallest) objective found, [None] when no model was seen *)
+  complete : bool;
+      (** the search closed with an UNSAT certificate (so [best] is the
+          proven optimum, or the problem is infeasible) *)
+  stopped : Solver.stop_reason option;
+      (** why an incomplete search stopped ([Out_of_rounds] for the
+          driver's own round limit, otherwise the budget's reason) *)
+}
+
 val minimize :
   t ->
   evaluate:(unit -> int) ->
@@ -70,15 +89,16 @@ val minimize :
   block:(unit -> Lit.t list) ->
   ?assumptions:Lit.t list ->
   ?max_rounds:int ->
+  ?budget:Solver.budget ->
   unit ->
-  (int * opt_stats) option
+  minimize_outcome
 (** Branch-and-bound minimization. Repeatedly solves; for each
     theory-consistent model calls [evaluate] (which may snapshot the
     model), then adds the [block] clause and re-solves under
     [prune ~best] assumptions. [prune] must be {e admissible}: it may
-    only exclude assignments whose objective is ≥ [best]. Returns the
-    optimal value, or [None] if the problem is unsatisfiable. Raises
-    [Failure] if [max_rounds] (default 100_000) is exhausted. *)
+    only exclude assignments whose objective is ≥ [best]. Stops early —
+    keeping the incumbent — when [max_rounds] (default 100_000) or the
+    [budget] is exhausted; never raises. *)
 
 val stats : t -> opt_stats
 (** Cumulative counters from the last [solve]/[minimize]. *)

@@ -1,0 +1,8 @@
+let last = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let ms_between t0 t1 = Float.max 0.0 ((t1 -. t0) *. 1000.0)

@@ -1,0 +1,11 @@
+(** Wall-clock time for deadlines.
+
+    [now] is based on [Unix.gettimeofday] but is guaranteed
+    non-decreasing within a process (a backwards step of the system
+    clock is clamped), which is the property budget deadlines need. *)
+
+val now : unit -> float
+(** Seconds since the epoch, monotone non-decreasing. *)
+
+val ms_between : float -> float -> float
+(** [ms_between t0 t1] is [(t1 - t0)] in milliseconds, clamped at 0. *)

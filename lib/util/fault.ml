@@ -1,0 +1,49 @@
+type site = Sat_step | Theory_check | Omt_round | Warm_start | Greedy_step
+
+type action = Exhaust | Spurious_conflict | Cancel
+
+let site_index = function
+  | Sat_step -> 0
+  | Theory_check -> 1
+  | Omt_round -> 2
+  | Warm_start -> 3
+  | Greedy_step -> 4
+
+let num_sites = 5
+
+type mode =
+  | Off
+  | Plan of (int * int * action) list  (* (site index, count, action) *)
+  | Random of Rng.t * float * action
+
+type t = { mode : mode; counts : int array }
+
+let none = { mode = Off; counts = Array.make num_sites 0 }
+
+let inject plan =
+  {
+    mode = Plan (List.map (fun (s, n, a) -> (site_index s, n, a)) plan);
+    counts = Array.make num_sites 0;
+  }
+
+let random ~seed ~p action =
+  { mode = Random (Rng.create seed, p, action); counts = Array.make num_sites 0 }
+
+let is_none t = t.mode = Off
+
+let check t site =
+  match t.mode with
+  | Off -> None
+  | Plan plan ->
+    let i = site_index site in
+    let n = t.counts.(i) + 1 in
+    t.counts.(i) <- n;
+    List.find_map
+      (fun (si, sn, a) -> if si = i && sn = n then Some a else None)
+      plan
+  | Random (rng, p, action) ->
+    let i = site_index site in
+    t.counts.(i) <- t.counts.(i) + 1;
+    if Rng.float rng 1.0 < p then Some action else None
+
+let consultations t site = t.counts.(site_index site)

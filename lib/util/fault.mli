@@ -1,0 +1,50 @@
+(** Deterministic fault injection for the solving stack.
+
+    The resource-governance layer (solver budget checks, the DPLL(T)
+    refinement loop, the OMT driver, and the adaptation pipeline's
+    degradation ladder) consults a fault plan at well-known sites. A
+    plan fires a chosen action at the [n]th consultation of a site —
+    fully deterministic — or, in random mode, with a seeded Bernoulli
+    coin. Production code passes {!none}, which is free.
+
+    Injected actions simulate the real failure, so every degradation
+    edge (budget exhaustion at each tier, spurious theory conflicts,
+    cancellation mid-search) can be exercised by tests instead of
+    relying on hitting real resource limits. *)
+
+type site =
+  | Sat_step  (** once per CDCL conflict/decision iteration *)
+  | Theory_check  (** before each difference-logic consistency check *)
+  | Omt_round  (** before each OMT improvement round *)
+  | Warm_start  (** before each greedy warm-start sweep in [Model.optimize] *)
+  | Greedy_step  (** before each refinement step of the greedy fallback *)
+
+type action =
+  | Exhaust  (** report budget exhaustion at this site *)
+  | Spurious_conflict
+      (** at {!Theory_check}: a transient theory conflict — the loop
+          must retry (consuming fuel) without learning a clause *)
+  | Cancel  (** behave as if the request was cancelled *)
+
+type t
+
+val none : t
+(** The empty plan: {!check} always answers [None]. *)
+
+val inject : (site * int * action) list -> t
+(** [inject plan] fires [action] at the [n]th consultation (1-based) of
+    [site], for each [(site, n, action)] entry. Several entries may
+    target the same site at different counts. *)
+
+val random : seed:int -> p:float -> action -> t
+(** A seeded Bernoulli plan: every consultation of every site fires
+    [action] with probability [p], reproducibly for a given [seed]. *)
+
+val check : t -> site -> action option
+(** Consult the plan (advances the site's consultation counter). *)
+
+val consultations : t -> site -> int
+(** How many times [site] has been consulted so far. *)
+
+val is_none : t -> bool
+(** [true] only for {!none} (checking it never fires and costs nothing). *)

@@ -214,7 +214,7 @@ let test_optimal_dominates_alternatives () =
       List.iter
         (fun obj ->
           let model = Model.build hw part subs in
-          let sol = Model.optimize model obj in
+          let sol = Result.get_ok (Model.optimize model obj) in
           let eval_model = Model.build hw part subs in
           (* empty choice and every single-substitution choice must not
              beat the optimum *)
@@ -233,7 +233,7 @@ let test_chosen_set_is_conflict_free () =
   let part = Block.partition paper_like_circuit in
   let subs = Rules.find_all hw part in
   let model = Model.build hw part subs in
-  let sol = Model.optimize model Model.Sat_p in
+  let sol = Result.get_ok (Model.optimize model Model.Sat_p) in
   let ids = List.map (fun s -> s.Rules.id) sol.Model.chosen in
   List.iter
     (fun (i, j) ->
@@ -244,9 +244,10 @@ let test_model_single_use () =
   let part = Block.partition paper_like_circuit in
   let subs = Rules.find_all hw part in
   let model = Model.build hw part subs in
-  ignore (Model.optimize model Model.Sat_f);
+  checkb "first optimize succeeds" true
+    (Result.is_ok (Model.optimize model Model.Sat_f));
   checkb "second optimize rejected" true
-    (try ignore (Model.optimize model Model.Sat_f); false with Failure _ -> true)
+    (Model.optimize model Model.Sat_f = Error `Already_consumed)
 
 (* {1 Pipeline} *)
 
@@ -321,10 +322,15 @@ let test_solver_options_threaded () =
   (* ablation hook: non-default solver options give the same optimum *)
   let part = Block.partition paper_like_circuit in
   let subs = Rules.find_all hw part in
-  let v1 = (Model.optimize (Model.build hw part subs) Model.Sat_p).Model.objective_value in
+  let v1 =
+    (Result.get_ok (Model.optimize (Model.build hw part subs) Model.Sat_p))
+      .Model.objective_value
+  in
   let opts = { Solver.default_options with use_vsids = false; use_restarts = false } in
   let v2 =
-    (Model.optimize (Model.build ~options:opts hw part subs) Model.Sat_p).Model.objective_value
+    (Result.get_ok
+       (Model.optimize (Model.build ~options:opts hw part subs) Model.Sat_p))
+      .Model.objective_value
   in
   checki "same optimum under ablation" v1 v2
 

@@ -223,7 +223,97 @@ let prop_dimacs_model_valid =
           (List.exists (fun l ->
                if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l)))
           clauses
-      | Solver.Sat, None -> false)
+      | Solver.Sat, None -> false
+      | Solver.Unknown _, _ -> false)
+
+(* {1 Malformed-input fuzzing}
+
+   Both front ends must map every malformed input to [Error _] —
+   never an exception, never a hang. Inputs are built from a seeded
+   pool of hostile fragments (overflowing integers, absurd register
+   widths, unbalanced parentheses, truncated statements, binary junk)
+   mutated and concatenated deterministically. *)
+
+let hostile_fragments =
+  [|
+    "qreg q[99999999999999999999];";
+    "qreg q[999999999];";
+    "qreg q[-3];";
+    "cx q[99999999999999999999],q[0];";
+    "rx(1e999999) q[0];";
+    "rx(1.2.3.4) q[0];";
+    "u3(pi,,pi) q[0];";
+    "rz((((pi) q[0];";
+    "rz(pi)) q[0];";
+    "h q[";
+    "h q[0";
+    "cx q[0] q[1];";
+    "bad_gate q[0];";
+    "OPENQASM banana;";
+    "qubits 99999999999999999999";
+    "qubits 999999999";
+    "qubits -1";
+    "qubits two";
+    "rz() 0";
+    "rz(0.5";
+    "h 99999999999999999999";
+    "cx 0 0";
+    "cx 0";
+    "h -1";
+    "swap 0 1 2";
+    "\x00\x01\xff\xfe";
+    "((((((((";
+    "pi pi pi";
+    ";;;;;;;;";
+    "measure q[0] -> c[0];";
+  |]
+
+let random_garbage rng =
+  String.init (1 + Rng.int rng 30) (fun _ -> Char.chr (Rng.int rng 256))
+
+let fuzz_input rng =
+  let n = 1 + Rng.int rng 4 in
+  let piece () =
+    if Rng.int rng 4 = 0 then random_garbage rng
+    else Rng.pick rng hostile_fragments
+  in
+  String.concat (if Rng.bool rng then "\n" else " ") (List.init n (fun _ -> piece ()))
+
+let test_fuzz_parsers_never_raise () =
+  let rng = Rng.create 20230321 in
+  let errors = ref 0 and total = 200 in
+  for i = 1 to total do
+    let input = fuzz_input rng in
+    let label fn = Printf.sprintf "input %d (%s): %S" i fn input in
+    (match Parse.parse input with
+    | Error _ -> incr errors
+    | Ok _ -> () (* some mutations are accidentally well-formed *)
+    | exception e ->
+      Alcotest.failf "%s raised %s" (label "Parse.parse") (Printexc.to_string e));
+    match Qasm.of_qasm input with
+    | Error _ | Ok _ -> ()
+    | exception e ->
+      Alcotest.failf "%s raised %s" (label "Qasm.of_qasm") (Printexc.to_string e)
+  done;
+  checkb "most inputs are rejected" true (!errors > total / 2)
+
+let test_hostile_fragments_rejected () =
+  (* each fragment alone must already be a typed error in at least one
+     front end, and crash neither *)
+  Array.iter
+    (fun frag ->
+      let p = try Parse.parse frag with e -> Alcotest.failf "Parse raised on %S: %s" frag (Printexc.to_string e) in
+      let q = try Qasm.of_qasm frag with e -> Alcotest.failf "Qasm raised on %S: %s" frag (Printexc.to_string e) in
+      checkb (Printf.sprintf "%S rejected somewhere" frag) true
+        (Result.is_error p || Result.is_error q))
+    hostile_fragments
+
+let test_qasm_width_cap () =
+  checkb "huge register rejected" true
+    (Result.is_error (Qasm.of_qasm "qreg q[999999999];"));
+  checkb "sane register accepted" true
+    (Result.is_ok (Qasm.of_qasm "qreg q[5]; h q[0];"));
+  checkb "huge qubits rejected" true (Result.is_error (Parse.parse "qubits 999999999"))
 
 let suite =
   [
@@ -248,4 +338,7 @@ let suite =
     ("dimacs roundtrip", `Quick, test_dimacs_roundtrip);
     ("dimacs rejects garbage", `Quick, test_dimacs_rejects_garbage);
     QCheck_alcotest.to_alcotest prop_dimacs_model_valid;
+    ("fuzz: parsers never raise", `Quick, test_fuzz_parsers_never_raise);
+    ("fuzz: hostile fragments rejected", `Quick, test_hostile_fragments_rejected);
+    ("fuzz: register width cap", `Quick, test_qasm_width_cap);
   ]

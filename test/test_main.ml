@@ -20,5 +20,6 @@ let () =
       ("mirror", Test_mirror.suite);
       ("fidelity", Test_fidelity.suite);
       ("schedule+heap", Test_schedule_heap.suite);
+      ("governance", Test_governance.suite);
       ("integration", Test_integration.suite);
     ]

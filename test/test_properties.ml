@@ -173,7 +173,7 @@ let test_verified_schedules () =
     let subs = Rules.find_all hw part in
     List.iter
       (fun obj ->
-        let sol = Model.optimize (Model.build hw part subs) obj in
+        let sol = Result.get_ok (Model.optimize (Model.build hw part subs) obj) in
         checkb "positive makespan" true (sol.Model.makespan >= 0))
       [ Model.Sat_f; Model.Sat_r; Model.Sat_p ]
   done

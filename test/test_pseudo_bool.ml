@@ -14,6 +14,7 @@ let all_models s vars =
   while !continue do
     match Solver.solve s with
     | Solver.Unsat -> continue := false
+    | Solver.Unknown _ -> Alcotest.fail "unexpected unknown"
     | Solver.Sat ->
       let m = List.map (fun v -> Solver.value s v) vars in
       models := m :: !models;
@@ -60,7 +61,7 @@ let test_at_most_zero () =
   Cardinality.at_most s (List.map Lit.pos vars) 0;
   (match Solver.solve s with
   | Solver.Sat -> List.iter (fun v -> checkb "all false" false (Solver.value s v)) vars
-  | Solver.Unsat -> Alcotest.fail "should be satisfiable");
+  | Solver.Unsat | Solver.Unknown _ -> Alcotest.fail "should be satisfiable");
   Cardinality.at_least s (List.map Lit.pos vars) 1;
   checkb "contradiction" true (Solver.solve s = Solver.Unsat)
 
@@ -128,6 +129,7 @@ let test_assume_at_most_blocks_violations () =
     while !continue do
       match Solver.solve ~assumptions:[ a ] s with
       | Solver.Unsat -> continue := false
+      | Solver.Unknown _ -> Alcotest.fail "unexpected unknown"
       | Solver.Sat ->
         let sum =
           List.fold_left2
@@ -183,6 +185,7 @@ let prop_totalizer_exact =
         while !continue do
           match Solver.solve ~assumptions:[ a ] s with
           | Solver.Unsat -> continue := false
+          | Solver.Unknown _ -> Alcotest.fail "unexpected unknown"
           | Solver.Sat ->
             let sum =
               List.fold_left2

@@ -8,7 +8,11 @@ let result =
   Alcotest.testable
     (fun fmt r ->
       Format.pp_print_string fmt
-        (match r with Solver.Sat -> "SAT" | Solver.Unsat -> "UNSAT"))
+        (match r with
+        | Solver.Sat -> "SAT"
+        | Solver.Unsat -> "UNSAT"
+        | Solver.Unknown reason ->
+          "UNKNOWN(" ^ Solver.string_of_stop_reason reason ^ ")"))
     ( = )
 
 (* {1 Basics} *)
@@ -135,7 +139,8 @@ let prop_models_are_valid =
       let s, r = solve_with clauses 40 in
       match r with
       | Solver.Sat -> model_satisfies (Solver.model s) clauses
-      | Solver.Unsat -> true)
+      | Solver.Unsat -> true
+      | Solver.Unknown _ -> false)
 
 let prop_ablations_agree =
   QCheck.Test.make ~name:"heuristic ablations agree on SAT/UNSAT" ~count:40
@@ -185,7 +190,7 @@ let test_unsat_core () =
     checkb "core nonempty" true (core <> []);
     Alcotest.check result "core is itself unsat" Solver.Unsat
       (Solver.solve ~assumptions:core s)
-  | Solver.Sat -> Alcotest.fail "expected UNSAT"
+  | Solver.Sat | Solver.Unknown _ -> Alcotest.fail "expected UNSAT"
 
 let test_contradictory_assumptions () =
   let s = Solver.create () in
@@ -284,7 +289,8 @@ let prop_matches_reference =
       &&
       match r with
       | Solver.Sat -> model_satisfies (Solver.model s) clauses
-      | Solver.Unsat -> true)
+      | Solver.Unsat -> true
+      | Solver.Unknown _ -> false)
 
 let prop_core_sound =
   QCheck.Test.make ~name:"assumption cores are sound and minimal-ish" ~count:80
@@ -297,6 +303,7 @@ let prop_core_sound =
       in
       let s, base = solve_with clauses nvars in
       match base with
+      | Solver.Unknown _ -> false
       | Solver.Unsat -> Ref_dpll.solve nvars clauses = Solver.Unsat
       | Solver.Sat -> (
         match Solver.solve ~assumptions s with
@@ -317,7 +324,8 @@ let prop_core_sound =
           && Solver.solve ~assumptions:core s = Solver.Unsat
           && Ref_dpll.solve nvars
                (List.map (fun l -> [ l ]) core @ clauses)
-             = Solver.Unsat))
+             = Solver.Unsat
+        | Solver.Unknown _ -> false))
 
 let test_reduce_db_and_gc () =
   (* PHP(8,7) is hard enough to overflow the learnt limit: the clause

@@ -8,7 +8,12 @@ let checki = Alcotest.check Alcotest.int
 let verdict =
   Alcotest.testable
     (fun fmt r ->
-      Format.pp_print_string fmt (match r with Smt.Sat -> "SAT" | Smt.Unsat -> "UNSAT"))
+      Format.pp_print_string fmt
+        (match r with
+        | Smt.Sat -> "SAT"
+        | Smt.Unsat -> "UNSAT"
+        | Smt.Unknown reason ->
+          "UNKNOWN(" ^ Qca_sat.Solver.string_of_stop_reason reason ^ ")"))
     ( = )
 
 (* {1 Boolean-only problems pass through} *)
@@ -136,7 +141,9 @@ let test_minimize_knapsack_like () =
            vars)
     in
     let prune ~best:_ = [] in
-    (match Smt.minimize t ~evaluate ~prune ~block () with
+    let outcome = Smt.minimize t ~evaluate ~prune ~block () in
+    checkb "search completed" true outcome.Smt.complete;
+    (match outcome.Smt.best with
     | Some (v, _) -> checki "matches brute force" !brute v
     | None -> Alcotest.fail "feasible problem")
   done
@@ -146,11 +153,13 @@ let test_minimize_unsat () =
   let a = Smt.new_bool t in
   Smt.add_clause t [ Lit.pos a ];
   Smt.add_clause t [ Lit.neg_of_var a ];
-  checkb "none on unsat" true
-    (Smt.minimize t ~evaluate:(fun () -> 0) ~prune:(fun ~best:_ -> [])
-       ~block:(fun () -> [])
-       ()
-    = None)
+  let outcome =
+    Smt.minimize t ~evaluate:(fun () -> 0) ~prune:(fun ~best:_ -> [])
+      ~block:(fun () -> [])
+      ()
+  in
+  checkb "none on unsat" true (outcome.Smt.best = None);
+  checkb "unsat closes the search" true outcome.Smt.complete
 
 let suite =
   [
