@@ -161,7 +161,13 @@ type json_row = {
   ns : float;  (** time per run (microbench) or total elapsed (governed) *)
   budget_exhausted : bool;
   degraded_tier : string option;  (** serving tier when degraded *)
+  proof_checked : bool option;  (** DRUP replay verdict, when measured *)
+  proof_overhead_ms : float option;  (** proof logging cost per solve *)
 }
+
+let plain_row ns =
+  { ns; budget_exhausted = false; degraded_tier = None; proof_checked = None;
+    proof_overhead_ms = None }
 
 let deep_circuit =
   lazy (Workloads.random_template ~seed:160 ~num_qubits:3 ~depth:160)
@@ -171,7 +177,7 @@ let governed_rows () =
     let o = Pipeline.adapt_governed ~budget hw (Pipeline.Sat Model.Sat_p) circuit in
     ( "qca/governed/" ^ name,
       {
-        ns = o.Pipeline.spent.Pipeline.elapsed_ms *. 1e6;
+        (plain_row (o.Pipeline.spent.Pipeline.elapsed_ms *. 1e6)) with
         budget_exhausted = o.Pipeline.reason <> None;
         degraded_tier =
           (if Pipeline.degraded o then Some (Pipeline.tier_name o.Pipeline.tier)
@@ -183,6 +189,72 @@ let governed_rows () =
     run "sat-p-deep-1ms" ~circuit:(Lazy.force deep_circuit)
       (Sat.budget ~timeout_ms:1.0 ());
   ]
+
+(* {1 Proof-checking overhead}
+
+   Solves the ablation PHP(6,5) instance with proof logging off and on,
+   replays the DRUP log through the independent checker, and reports the
+   per-solve logging overhead next to the replay verdict. DESIGN.md
+   section 7.3 budgets this at under 10%% of baseline solve time. *)
+
+module Drup = Qca_check.Drup
+module Clock = Qca_util.Clock
+
+let php_problem () =
+  let pigeons = 6 and holes = 5 in
+  let var i j = (i * holes) + j in
+  let place =
+    List.init pigeons (fun i -> List.init holes (fun j -> Lit.pos (var i j)))
+  in
+  let excl = ref [] in
+  for j = 0 to holes - 1 do
+    for i1 = 0 to pigeons - 1 do
+      for i2 = i1 + 1 to pigeons - 1 do
+        excl := [ Lit.neg_of_var (var i1 j); Lit.neg_of_var (var i2 j) ] :: !excl
+      done
+    done
+  done;
+  (pigeons * holes, place @ !excl)
+
+let proof_rows () =
+  let num_vars, clauses = php_problem () in
+  let solve ~proof =
+    let s = Sat.create () in
+    if proof then Sat.enable_proof s;
+    for _ = 1 to num_vars do
+      ignore (Sat.new_var s)
+    done;
+    List.iter (Sat.add_clause s) clauses;
+    assert (Sat.solve s = Sat.Unsat);
+    s
+  in
+  let reps = if fast then 5 else 20 in
+  let time_solves ~proof =
+    let best = ref infinity in
+    let last = ref None in
+    for _ = 1 to reps do
+      let t0 = Clock.now () in
+      let s = solve ~proof in
+      best := Float.min !best (Clock.ms_between t0 (Clock.now ()));
+      last := Some s
+    done;
+    (!best, Option.get !last)
+  in
+  let base_ms, _ = time_solves ~proof:false in
+  let logged_ms, s = time_solves ~proof:true in
+  let replay_t0 = Clock.now () in
+  let outcome = Drup.certify ~num_vars clauses ~solver:s Sat.Unsat in
+  let replay_ms = Clock.ms_between replay_t0 (Clock.now ()) in
+  let certified = outcome.Drup.verdict = Drup.Certified in
+  let overhead_ms = Float.max 0.0 (logged_ms -. base_ms) in
+  ( base_ms, logged_ms, replay_ms, certified,
+    [
+      ( "qca/proof/php-solve-logged",
+        { (plain_row (logged_ms *. 1e6)) with
+          proof_checked = Some certified;
+          proof_overhead_ms = Some overhead_ms } );
+      ("qca/proof/php-replay", plain_row (replay_ms *. 1e6));
+    ] )
 
 let run_benchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
@@ -229,28 +301,39 @@ let run_benchmarks () =
         | None -> "full service"
         | Some t -> "degraded -> " ^ t))
     governed;
+  let base_ms, logged_ms, replay_ms, certified, proof = proof_rows () in
+  Format.fprintf fmt "== Proof checking overhead (PHP 6,5) ==@.";
+  Format.fprintf fmt
+    "solve %.2f ms baseline, %.2f ms with proof logging (+%.1f%%), replay %.2f \
+     ms, verdict %s@."
+    base_ms logged_ms
+    (if base_ms > 0.0 then 100.0 *. (logged_ms -. base_ms) /. base_ms else 0.0)
+    replay_ms
+    (if certified then "certified" else "NOT certified");
   Format.pp_print_flush fmt ();
   match json_file with
   | None -> ()
   | Some file ->
-    (* object per row: { ns, budget_exhausted, degraded_tier } *)
+    (* object per row:
+       { ns, budget_exhausted, degraded_tier, proof_checked, proof_overhead_ms } *)
     let all =
-      List.map
-        (fun (name, ns) ->
-          (name, { ns; budget_exhausted = false; degraded_tier = None }))
-        rows
-      @ governed
+      List.map (fun (name, ns) -> (name, plain_row ns)) rows @ governed @ proof
     in
     let oc = open_out file in
     output_string oc "{\n";
     List.iteri
       (fun i (name, r) ->
         Printf.fprintf oc
-          "  %S: {\"ns\": %s, \"budget_exhausted\": %b, \"degraded_tier\": %s}%s\n"
+          "  %S: {\"ns\": %s, \"budget_exhausted\": %b, \"degraded_tier\": %s, \
+           \"proof_checked\": %s, \"proof_overhead_ms\": %s}%s\n"
           name
           (if Float.is_nan r.ns then "null" else Printf.sprintf "%.2f" r.ns)
           r.budget_exhausted
           (match r.degraded_tier with None -> "null" | Some t -> Printf.sprintf "%S" t)
+          (match r.proof_checked with None -> "null" | Some b -> string_of_bool b)
+          (match r.proof_overhead_ms with
+          | None -> "null"
+          | Some ms -> Printf.sprintf "%.3f" ms)
           (if i = List.length all - 1 then "" else ","))
       all;
     output_string oc "}\n";

@@ -4,7 +4,8 @@
    before/after metrics.
 
    Exit codes: 0 full service, 2 degraded (a budget tripped and a
-   fallback tier or incumbent served the request), 3 invalid input. *)
+   fallback tier or incumbent served the request), 3 invalid input,
+   1 certification failure under --certify. *)
 
 open Cmdliner
 module Circuit = Qca_circuit.Circuit
@@ -35,7 +36,8 @@ let read_input = function
     try Ok (In_channel.with_open_text path In_channel.input_all)
     with Sys_error msg -> Error msg)
 
-let run method_name hw_name input show_circuit timeout_ms max_conflicts =
+let run method_name hw_name input show_circuit timeout_ms max_conflicts certify
+    =
   let ( let* ) = Result.bind in
   let result =
     let* method_ = method_of_string method_name in
@@ -77,7 +79,19 @@ let run method_name hw_name input show_circuit timeout_ms max_conflicts =
       Format.printf "substitutions: %d considered, %d chosen (%d OMT rounds)@."
         info.Pipeline.substitutions_considered
         info.Pipeline.substitutions_chosen info.Pipeline.omt_rounds;
-    Ok (if Pipeline.degraded o then 2 else 0)
+    let cert_bad =
+      certify
+      &&
+      let issues =
+        Lint.certify_adaptation hw ~original:circuit ~adapted:o.Pipeline.circuit
+          ?claimed_makespan:o.Pipeline.claimed_makespan ()
+      in
+      List.iter (fun i -> Format.printf "certify      : %a@." Lint.pp_issue i) issues;
+      Format.printf "certificate  : %s@."
+        (if Lint.errors issues = [] then "certified" else "NOT certified");
+      Lint.errors issues <> []
+    in
+    Ok (if cert_bad then 1 else if Pipeline.degraded o then 2 else 0)
   in
   match result with
   | Ok code -> code
@@ -115,11 +129,19 @@ let conflicts_arg =
   let doc = "Cap on CDCL conflicts across all solver calls." in
   Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N" ~doc)
 
+let certify_arg =
+  let doc =
+    "Certify the adapted circuit end to end: unitary equivalence with the \
+     input and recomputed metrics against the claimed objective. A failed \
+     certificate exits 1."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
 let cmd =
   let doc = "adapt a quantum circuit to the spin-qubit gate set" in
   Cmd.v (Cmd.info "qca-adapt" ~doc)
     Term.(
       const run $ method_arg $ hw_arg $ input_arg $ show_arg $ timeout_arg
-      $ conflicts_arg)
+      $ conflicts_arg $ certify_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,11 +2,12 @@
    SAT-competition-style output.
 
    Exit codes: 10 SAT, 20 UNSAT, 2 unknown (budget exhausted),
-   3 invalid input. *)
+   3 invalid input, 1 certification failure under --certify. *)
 
 open Cmdliner
 module Dimacs = Qca_sat.Dimacs
 module Solver = Qca_sat.Solver
+module Drup = Qca_check.Drup
 
 let read_input = function
   | "-" -> Ok (In_channel.input_all stdin)
@@ -14,7 +15,7 @@ let read_input = function
     try Ok (In_channel.with_open_text path In_channel.input_all)
     with Sys_error msg -> Error msg)
 
-let run input no_vsids no_restarts stats timeout_ms max_conflicts =
+let run input no_vsids no_restarts stats timeout_ms max_conflicts certify =
   match Result.bind (read_input input) Dimacs.parse with
   | Error msg ->
     prerr_endline ("c parse error: " ^ msg);
@@ -32,8 +33,27 @@ let run input no_vsids no_restarts stats timeout_ms max_conflicts =
         ?max_conflicts:(Option.map (fun n -> max 0 n) max_conflicts)
         ()
     in
-    let solver = Dimacs.load ~options problem in
+    let solver = Dimacs.load ~options ~proof:certify problem in
     let result = Solver.solve ~budget solver in
+    (* Independent certification of the verdict: model evaluation for
+       SAT, DRUP proof replay for UNSAT. The check runs under the same
+       budget as the search, so it degrades to "unchecked" rather than
+       hang past a deadline. *)
+    let cert_exit =
+      if not certify then None
+      else begin
+        let o =
+          Drup.certify ~budget ~num_vars:problem.Dimacs.num_vars
+            problem.Dimacs.clauses ~solver result
+        in
+        Printf.printf "c certificate: %s\n"
+          (Format.asprintf "%a" Drup.pp_verdict o.Drup.verdict);
+        if o.Drup.additions + o.Drup.deletions + o.Drup.propagations > 0 then
+          Printf.printf "c proof: %d additions, %d deletions, %d propagations\n"
+            o.Drup.additions o.Drup.deletions o.Drup.propagations;
+        match o.Drup.verdict with Drup.Refuted _ -> Some 1 | _ -> None
+      end
+    in
     if stats then begin
       let st = Solver.stats solver in
       Printf.printf "c conflicts    %d\n" st.Solver.conflicts;
@@ -46,26 +66,29 @@ let run input no_vsids no_restarts stats timeout_ms max_conflicts =
       Printf.printf "c arena gcs    %d\n" st.Solver.arena_gcs;
       Printf.printf "c avg lbd      %.2f\n" st.Solver.avg_lbd
     end;
-    match result with
-    | Solver.Unsat ->
-      print_endline "s UNSATISFIABLE";
-      20
-    | Solver.Sat ->
-      print_endline "s SATISFIABLE";
-      let model = Solver.model solver in
-      let buf = Buffer.create 256 in
-      Buffer.add_string buf "v";
-      Array.iteri
-        (fun v b ->
-          Buffer.add_string buf (Printf.sprintf " %d" (if b then v + 1 else -(v + 1))))
-        model;
-      Buffer.add_string buf " 0";
-      print_endline (Buffer.contents buf);
-      10
-    | Solver.Unknown reason ->
-      Printf.printf "c stopped: %s\n" (Solver.string_of_stop_reason reason);
-      print_endline "s UNKNOWN";
-      2)
+    let verdict_exit =
+      match result with
+      | Solver.Unsat ->
+        print_endline "s UNSATISFIABLE";
+        20
+      | Solver.Sat ->
+        print_endline "s SATISFIABLE";
+        let model = Solver.model solver in
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf "v";
+        Array.iteri
+          (fun v b ->
+            Buffer.add_string buf (Printf.sprintf " %d" (if b then v + 1 else -(v + 1))))
+          model;
+        Buffer.add_string buf " 0";
+        print_endline (Buffer.contents buf);
+        10
+      | Solver.Unknown reason ->
+        Printf.printf "c stopped: %s\n" (Solver.string_of_stop_reason reason);
+        print_endline "s UNKNOWN";
+        2
+    in
+    match cert_exit with Some code -> code | None -> verdict_exit)
 
 let input_arg =
   let doc = "DIMACS CNF file, or - for stdin." in
@@ -83,11 +106,19 @@ let conflicts_arg =
   let doc = "Cap on CDCL conflicts (exit 2 on exhaustion)." in
   Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N" ~doc)
 
+let certify_arg =
+  let doc =
+    "Record a DRUP proof and independently certify the verdict (model \
+     evaluation for SAT, proof replay for UNSAT). A refuted certificate \
+     exits 1."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
 let cmd =
   let doc = "CDCL SAT solver (DIMACS CNF)" in
   Cmd.v (Cmd.info "qca-sat" ~doc)
     Term.(
       const run $ input_arg $ no_vsids $ no_restarts $ stats $ timeout_arg
-      $ conflicts_arg)
+      $ conflicts_arg $ certify_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -238,6 +238,7 @@ type outcome = {
   reason : Solver.stop_reason option;
   spent : spent;
   info : info;
+  claimed_makespan : int option;
 }
 
 let degraded o = o.tier <> Full || o.reason <> None
@@ -251,7 +252,7 @@ let degraded o = o.tier <> Full || o.reason <> None
    direct basis translation, which is always a valid adapted circuit. *)
 let adapt_governed ?options ?budget hw method_ circuit =
   let budget = match budget with Some b -> b | None -> Solver.budget () in
-  let finish ~tier ~reason ~info circuit =
+  let finish ?claimed_makespan ~tier ~reason ~info circuit =
     {
       circuit;
       requested = method_;
@@ -264,6 +265,7 @@ let adapt_governed ?options ?budget hw method_ circuit =
           elapsed_ms = Solver.budget_elapsed_ms budget;
         };
       info;
+      claimed_makespan;
     }
   in
   let direct ~reason =
@@ -292,7 +294,8 @@ let adapt_governed ?options ?budget hw method_ circuit =
           | None -> (Full, None)
           | Some r -> (Incumbent, Some r)
         in
-        finish ~tier ~reason ~info (apply_substitutions part sol.Model.chosen)
+        finish ~claimed_makespan:sol.Model.makespan ~tier ~reason ~info
+          (apply_substitutions part sol.Model.chosen)
       | Error `Already_consumed -> assert false (* model is fresh *)
       | Error (`Budget_exhausted r) -> (
         (* no incumbent from the SMT tier; try the greedy heuristic if

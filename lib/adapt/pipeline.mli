@@ -93,6 +93,9 @@ type outcome = {
           request, why it stopped early); [None] = full service *)
   spent : spent;
   info : info;
+  claimed_makespan : int option;
+      (** the SMT solution's circuit duration, when an SMT tier served
+          the request — checkable with {!Lint.certify_adaptation} *)
 }
 
 val degraded : outcome -> bool

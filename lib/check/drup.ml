@@ -1,0 +1,345 @@
+module Solver = Qca_sat.Solver
+
+type verdict = Certified | Refuted of string | Unchecked of string
+
+type outcome = {
+  verdict : verdict;
+  additions : int;
+  deletions : int;
+  propagations : int;
+}
+
+let pp_verdict fmt = function
+  | Certified -> Format.pp_print_string fmt "certified"
+  | Refuted m -> Format.fprintf fmt "refuted (%s)" m
+  | Unchecked m -> Format.fprintf fmt "unchecked (%s)" m
+
+let pp_lits fmt lits =
+  Array.iteri
+    (fun i l ->
+      if i > 0 then Format.pp_print_char fmt ' ';
+      Qca_sat.Lit.pp fmt l)
+    lits
+
+(* ------------------------------------------------------------------ *)
+(* Replay engine: plain clause arrays, int-list watch lists, a single
+   permanent trail plus temporary RUP assumptions undone to a mark.
+   Deliberately naive next to the solver's arena — independence over
+   speed. *)
+
+exception Stop of Solver.stop_reason
+
+type engine = {
+  mutable clauses : int array array;  (* slot -> literals *)
+  mutable active : Bytes.t;  (* slot liveness, '\001' = live *)
+  mutable n_slots : int;
+  watch : int list array;  (* lit -> watching slots *)
+  assign : int array;  (* var -> -1 undef / 1 true / 0 false *)
+  trail : int array;
+  mutable trail_size : int;
+  mutable qhead : int;
+  mutable props : int;
+  budget : Solver.budget;
+  by_key : (int list, int list ref) Hashtbl.t;  (* sorted lits -> slots *)
+  mutable root_conflict : bool;
+}
+
+let create ~num_vars budget =
+  let nv = max num_vars 1 in
+  {
+    clauses = Array.make 64 [||];
+    active = Bytes.make 64 '\000';
+    n_slots = 0;
+    watch = Array.make (2 * nv) [];
+    assign = Array.make nv (-1);
+    trail = Array.make nv 0;
+    trail_size = 0;
+    qhead = 0;
+    props = 0;
+    budget;
+    by_key = Hashtbl.create 256;
+    root_conflict = false;
+  }
+
+let[@inline] lit_val e l =
+  let a = e.assign.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let[@inline] enqueue e l =
+  e.assign.(l lsr 1) <- 1 lxor (l land 1);
+  e.trail.(e.trail_size) <- l;
+  e.trail_size <- e.trail_size + 1
+
+let undo_to e mark =
+  for i = e.trail_size - 1 downto mark do
+    e.assign.(e.trail.(i) lsr 1) <- -1
+  done;
+  e.trail_size <- mark;
+  e.qhead <- mark
+
+let poll e =
+  match Solver.budget_status e.budget with
+  | None -> ()
+  | Some r -> raise (Stop r)
+
+(* Propagate to fixpoint; [true] on conflict. Watch relocation is
+   persistent across RUP checks: a relocated watch was non-false under
+   the current (superset-of-root) assignment, so it stays legal after
+   the temporary literals are undone. *)
+let propagate e =
+  let conflict = ref false in
+  while (not !conflict) && e.qhead < e.trail_size do
+    let p = e.trail.(e.qhead) in
+    e.qhead <- e.qhead + 1;
+    e.props <- e.props + 1;
+    if e.props land 4095 = 0 then poll e;
+    let fl = p lxor 1 in
+    let ws = e.watch.(fl) in
+    e.watch.(fl) <- [];
+    let keep = ref [] in
+    let rec go = function
+      | [] -> ()
+      | slot :: rest ->
+        if Bytes.get e.active slot = '\000' then go rest
+        else begin
+          let c = e.clauses.(slot) in
+          if c.(0) = fl then begin
+            c.(0) <- c.(1);
+            c.(1) <- fl
+          end;
+          if lit_val e c.(0) = 1 then begin
+            keep := slot :: !keep;
+            go rest
+          end
+          else begin
+            let n = Array.length c in
+            let k = ref 2 in
+            while !k < n && lit_val e c.(!k) = 0 do
+              incr k
+            done;
+            if !k < n then begin
+              let lk = c.(!k) in
+              c.(!k) <- fl;
+              c.(1) <- lk;
+              e.watch.(lk) <- slot :: e.watch.(lk);
+              go rest
+            end
+            else begin
+              keep := slot :: !keep;
+              if lit_val e c.(0) = 0 then begin
+                conflict := true;
+                keep := List.rev_append rest !keep
+              end
+              else begin
+                enqueue e c.(0);
+                go rest
+              end
+            end
+          end
+        end
+    in
+    go ws;
+    e.watch.(fl) <- !keep
+  done;
+  !conflict
+
+(* RUP test: assume the negation of every literal not already decided,
+   propagate, expect a conflict. The clause trivially holds when some
+   literal is already true at root (covers tautologies too). *)
+let rup_holds e lits =
+  let mark = e.trail_size in
+  let sat = ref false in
+  Array.iter
+    (fun l ->
+      if not !sat then
+        match lit_val e l with
+        | 1 -> sat := true
+        | -1 -> enqueue e (l lxor 1)
+        | _ -> ())
+    lits;
+  if !sat then begin
+    undo_to e mark;
+    true
+  end
+  else begin
+    let confl = propagate e in
+    undo_to e mark;
+    confl
+  end
+
+let key_of lits = List.sort_uniq compare (Array.to_list lits)
+
+let new_slot e c =
+  if e.n_slots = Array.length e.clauses then begin
+    let cap = 2 * e.n_slots in
+    let clauses = Array.make cap [||] in
+    Array.blit e.clauses 0 clauses 0 e.n_slots;
+    e.clauses <- clauses;
+    let active = Bytes.make cap '\000' in
+    Bytes.blit e.active 0 active 0 e.n_slots;
+    e.active <- active
+  end;
+  let slot = e.n_slots in
+  e.n_slots <- slot + 1;
+  e.clauses.(slot) <- c;
+  slot
+
+(* Install a clause permanently: pick non-false watches, enqueue when
+   unit under the root assignment, and run root propagation so later
+   RUP checks start from the full closure. Two-watched-literal
+   bookkeeping requires distinct literals, so the stored copy is
+   deduplicated; tautologies are registered (deletion events may still
+   name them) but never watched — they cannot become unit or falsified. *)
+let attach e lits =
+  if not e.root_conflict then begin
+    let distinct = key_of lits in
+    let tautology = List.exists (fun l -> List.mem (l lxor 1) distinct) distinct in
+    let register slot =
+      let key = key_of lits in
+      match Hashtbl.find_opt e.by_key key with
+      | Some slots -> slots := slot :: !slots
+      | None -> Hashtbl.add e.by_key key (ref [ slot ])
+    in
+    let n = List.length distinct in
+    if n = 0 then e.root_conflict <- true
+    else if tautology then register (new_slot e [||])
+    else begin
+      let c = Array.of_list distinct in
+      (* move up to two non-false literals to the watch positions *)
+      let w = ref 0 in
+      let i = ref 0 in
+      while !w < 2 && !i < n do
+        if lit_val e c.(!i) <> 0 then begin
+          let tmp = c.(!w) in
+          c.(!w) <- c.(!i);
+          c.(!i) <- tmp;
+          incr w
+        end;
+        incr i
+      done;
+      let slot = new_slot e c in
+      Bytes.set e.active slot '\001';
+      if n >= 2 then begin
+        e.watch.(c.(0)) <- slot :: e.watch.(c.(0));
+        e.watch.(c.(1)) <- slot :: e.watch.(c.(1))
+      end;
+      register slot;
+      (match !w with
+      | 0 -> e.root_conflict <- true  (* all literals root-false *)
+      | 1 when lit_val e c.(0) = -1 ->
+        enqueue e c.(0);
+        if propagate e then e.root_conflict <- true
+      | _ -> ())
+    end
+  end
+
+let remove e lits =
+  let key = key_of lits in
+  match Hashtbl.find_opt e.by_key key with
+  | Some ({ contents = slot :: rest } as slots) ->
+    Bytes.set e.active slot '\000';
+    if rest = [] then Hashtbl.remove e.by_key key else slots := rest;
+    true
+  | Some { contents = [] } | None -> false
+
+(* ------------------------------------------------------------------ *)
+
+let max_var_of clauses proof =
+  let m = ref (-1) in
+  List.iter (List.iter (fun l -> m := max !m (l lsr 1))) clauses;
+  Array.iter (fun w -> m := max !m (w lsr 1)) proof;
+  !m + 1
+
+exception Done of verdict
+
+let check_unsat ?(budget = Solver.no_budget) ~num_vars clauses ~proof =
+  let nv = max num_vars (max_var_of clauses proof) in
+  let e = create ~num_vars:nv budget in
+  let additions = ref 0 and deletions = ref 0 in
+  let verdict =
+    try
+      List.iter (fun cl -> attach e (Array.of_list cl)) clauses;
+      if not e.root_conflict then begin
+        ignore
+          (Solver.proof_fold ~init:() proof ~f:(fun () ~delete lits ->
+               poll e;
+               if e.root_conflict then raise (Done Certified);
+               if delete then begin
+                 incr deletions;
+                 if not (remove e lits) then
+                   raise
+                     (Done
+                        (Refuted
+                           (Format.asprintf
+                              "deletion of absent clause [%a] (event %d)"
+                              pp_lits lits
+                              (!additions + !deletions))))
+               end
+               else begin
+                 incr additions;
+                 if Array.length lits = 0 then
+                   (* the empty clause: derivable only from an existing
+                      root conflict, which we tested above *)
+                   raise
+                     (Done (Refuted "empty clause emitted without conflict"))
+                 else if rup_holds e lits then attach e lits
+                 else
+                   raise
+                     (Done
+                        (Refuted
+                           (Format.asprintf
+                              "clause [%a] is not RUP (addition %d)" pp_lits
+                              lits !additions)))
+               end));
+        if e.root_conflict then Certified
+        else Refuted "proof ends without deriving a conflict"
+      end
+      else Certified
+    with
+    | Done v -> v
+    | Stop r -> Unchecked (Solver.string_of_stop_reason r)
+    | Invalid_argument m -> Refuted ("malformed proof stream: " ^ m)
+  in
+  { verdict; additions = !additions; deletions = !deletions;
+    propagations = e.props }
+
+let check_sat ~num_vars clauses ~model =
+  ignore num_vars;
+  let checked = ref 0 in
+  let bad = ref None in
+  List.iter
+    (fun cl ->
+      if !bad = None then begin
+        incr checked;
+        let sat =
+          List.exists
+            (fun l ->
+              let v = l lsr 1 in
+              v < Array.length model && model.(v) = (l land 1 = 0))
+            cl
+        in
+        if not sat then bad := Some cl
+      end)
+    clauses;
+  let verdict =
+    match !bad with
+    | None -> Certified
+    | Some cl ->
+      Refuted
+        (Format.asprintf "clause [%a] is false under the model" pp_lits
+           (Array.of_list cl))
+  in
+  { verdict; additions = 0; deletions = 0; propagations = 0 }
+
+let certify ?budget ~num_vars clauses ~solver result =
+  match result with
+  | Solver.Sat -> check_sat ~num_vars clauses ~model:(Solver.model solver)
+  | Solver.Unsat ->
+    if Solver.proof_enabled solver then
+      check_unsat ?budget ~num_vars clauses ~proof:(Solver.proof_log solver)
+    else
+      { verdict = Unchecked "proof logging was not enabled";
+        additions = 0; deletions = 0; propagations = 0 }
+  | Solver.Unknown r ->
+    { verdict = Unchecked ("solver stopped: " ^ Solver.string_of_stop_reason r);
+      additions = 0; deletions = 0; propagations = 0 }

@@ -1,0 +1,55 @@
+(** Independent DRUP proof replay and model checking.
+
+    Certifies solver verdicts without trusting the solver: a [Sat]
+    answer is checked by evaluating every original clause under the
+    model; an [Unsat] answer is checked by replaying the DRUP event
+    stream recorded by {!Qca_sat.Solver.enable_proof} against the
+    original CNF. The replay engine is a self-contained two-watched-
+    literal unit propagator over copied clause arrays — it shares no
+    propagation or storage code with the solver's clause arena, so a
+    bug there cannot also hide here.
+
+    Replay is governed: an optional {!Qca_sat.Solver.budget} (deadline,
+    cancellation) is polled during propagation, and a tripped budget
+    degrades the verdict to [Unchecked] rather than hanging. *)
+
+type verdict =
+  | Certified  (** independently confirmed *)
+  | Refuted of string  (** the proof or model is wrong — solver bug *)
+  | Unchecked of string  (** could not check (no proof, budget trip) *)
+
+type outcome = {
+  verdict : verdict;
+  additions : int;  (** proof clause additions replayed *)
+  deletions : int;  (** proof deletions applied *)
+  propagations : int;  (** checker unit propagations performed *)
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_sat :
+  num_vars:int -> Qca_sat.Lit.t list list -> model:bool array -> outcome
+(** Every clause must contain a literal true under [model]. *)
+
+val check_unsat :
+  ?budget:Qca_sat.Solver.budget ->
+  num_vars:int ->
+  Qca_sat.Lit.t list list ->
+  proof:int array ->
+  outcome
+(** Replays [proof] (a raw {!Qca_sat.Solver.proof_log} stream) against
+    the clauses: each addition must be RUP — asserting its negation and
+    unit-propagating must yield a conflict — and the replay must reach
+    a root-level conflict (the empty clause). *)
+
+val certify :
+  ?budget:Qca_sat.Solver.budget ->
+  num_vars:int ->
+  Qca_sat.Lit.t list list ->
+  solver:Qca_sat.Solver.t ->
+  Qca_sat.Solver.result ->
+  outcome
+(** Dispatches on the solver's verdict: [Sat] via {!check_sat} with the
+    solver's model, [Unsat] via {!check_unsat} with the solver's proof
+    log (Unchecked when proof logging was off), [Unknown] is always
+    [Unchecked]. *)

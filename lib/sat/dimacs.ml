@@ -29,7 +29,10 @@ let parse text =
       | tok :: rest -> (
         match int_of_string_opt tok with
         | None -> Error (Printf.sprintf "invalid literal %S" tok)
-        | Some 0 -> assert false
+        | Some 0 ->
+          (* a plain "0" is the clause terminator (matched above);
+             variants like "-0", "+0" or "00" are malformed *)
+          Error (Printf.sprintf "stray zero literal %S" tok)
         | Some n ->
           collect clauses (Lit.of_int n :: current) (max max_var (abs n)) rest)
     in
@@ -53,8 +56,9 @@ let to_dimacs p =
     p.clauses;
   Buffer.contents buf
 
-let load ?options p =
+let load ?options ?(proof = false) p =
   let s = Solver.create ?options () in
+  if proof then Solver.enable_proof s;
   for _ = 1 to p.num_vars do
     ignore (Solver.new_var s)
   done;

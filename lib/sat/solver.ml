@@ -167,6 +167,13 @@ type t = {
   mutable lbd_tick : int;
   mutable var_inc : float;
   mutable cla_inc : float;
+  (* DRUP proof log (off by default): a flat int stream of events, each
+     a header word [n lsl 1 lor is_delete] followed by n literals in the
+     internal encoding. Grown amortized; never read by the solver
+     itself — an independent checker (lib/check) replays it. *)
+  mutable proof_on : bool;
+  mutable proof_buf : int array;
+  mutable proof_len : int;
   mutable ok : bool;
   mutable has_model : bool;
   mutable core : Lit.t list;
@@ -218,6 +225,9 @@ let create ?(options = default_options) () =
     lbd_tick = 0;
     var_inc = 1.0;
     cla_inc = 1.0;
+    proof_on = false;
+    proof_buf = [||];
+    proof_len = 0;
     ok = true;
     has_model = false;
     core = [];
@@ -234,6 +244,68 @@ let create ?(options = default_options) () =
 
 let num_vars t = t.nvars
 let num_clauses t = Vec.length t.clauses
+
+(* --- DRUP proof logging --- *)
+
+let enable_proof t = t.proof_on <- true
+let proof_enabled t = t.proof_on
+let proof_log t = Array.sub t.proof_buf 0 t.proof_len
+let proof_words t = t.proof_len
+
+let proof_ensure t extra =
+  if t.proof_len + extra > Array.length t.proof_buf then begin
+    let cap =
+      max (t.proof_len + extra) (max 256 (2 * Array.length t.proof_buf))
+    in
+    let fresh = Array.make cap 0 in
+    Array.blit t.proof_buf 0 fresh 0 t.proof_len;
+    t.proof_buf <- fresh
+  end
+
+(* One event: header [n lsl 1 lor delete], then n literals copied from
+   [src] starting at [off]. All emission sites guard on [proof_on]
+   before touching any clause memory, so a disabled log costs one
+   branch per site and the search is bit-identical. *)
+let proof_emit t ~delete src off n =
+  proof_ensure t (n + 1);
+  t.proof_buf.(t.proof_len) <- (n lsl 1) lor (if delete then 1 else 0);
+  Array.blit src off t.proof_buf (t.proof_len + 1) n;
+  t.proof_len <- t.proof_len + n + 1
+
+let[@inline] proof_emit_empty t = if t.proof_on then proof_emit t ~delete:false [||] 0 0
+
+let proof_fold ~init ~f proof =
+  let acc = ref init in
+  let i = ref 0 in
+  let n = Array.length proof in
+  while !i < n do
+    let header = proof.(!i) in
+    let len = header lsr 1 in
+    let delete = header land 1 = 1 in
+    if !i + 1 + len > n then invalid_arg "Solver.proof_fold: truncated proof";
+    acc := f !acc ~delete (Array.sub proof (!i + 1) len);
+    i := !i + 1 + len
+  done;
+  !acc
+
+(* --- Invariant-audit hook ---
+
+   The auditor itself lives in lib/check (it must not share code with
+   the solver); the solver only exposes the hook and invokes it every
+   [QCA_AUDIT] conflicts. QCA_AUDIT unset/0 disables, a value > 1 is
+   the period in conflicts, any other value means the default period. *)
+
+let audit_period =
+  lazy
+    (match Sys.getenv_opt "QCA_AUDIT" with
+    | None | Some "" | Some "0" -> 0
+    | Some v -> (
+      match int_of_string_opt v with Some n when n > 1 -> n | _ -> 256))
+
+let audit_hook : (t -> unit) option ref = ref None
+let set_audit_hook f = audit_hook := Some f
+
+let audit t = match !audit_hook with None -> () | Some f -> f t
 
 let grow_arrays t n =
   let old = Array.length t.assigns in
@@ -727,11 +799,18 @@ let learnt_lbd t =
 (* Record [t.learnt_buf] as a learnt clause (backtracking already done;
    the asserting literal is at index 0, the second watch at index 1). *)
 let record_learnt t =
+  if t.proof_on && t.learnt_len > 0 then
+    proof_emit t ~delete:false t.learnt_buf 0 t.learnt_len;
   match t.learnt_len with
-  | 0 -> t.ok <- false
+  | 0 ->
+    t.ok <- false;
+    proof_emit_empty t
   | 1 ->
     let l = t.learnt_buf.(0) in
-    if lit_value_raw t l = 0 then t.ok <- false
+    if lit_value_raw t l = 0 then begin
+      t.ok <- false;
+      proof_emit_empty t
+    end
     else if lit_value_raw t l = -1 then enqueue t l no_reason
   | len ->
     let lits = Array.sub t.learnt_buf 0 len in
@@ -790,6 +869,11 @@ let reduce_db t =
     for i = n / 2 to n - 1 do
       let cr = Vec.get t.learnts i in
       if (not (locked t cr)) && Arena.size a cr > 2 && Arena.lbd a cr > 2 then begin
+        (* log the deletion before the header is marked: the literals
+           stay in place until the GC below, but the proof must record
+           the removal or the checker's database diverges *)
+        if t.proof_on then
+          proof_emit t ~delete:true a.Arena.data (cr + hdr) (Arena.size a cr);
         Arena.delete a cr;
         incr deleted
       end
@@ -800,6 +884,12 @@ let reduce_db t =
       garbage_collect t
     end
   end
+
+(* Debug/ops entry points: let tests and the invariant fuzzer force a
+   clause-database reduction or an arena compaction at an arbitrary
+   quiescent point. *)
+let force_reduce_db t = reduce_db t
+let force_gc t = garbage_collect t
 
 let add_clause t lits =
   backtrack_to t 0;
@@ -837,10 +927,15 @@ let add_clause t lits =
       lits;
     if not (!tautology || !already_sat) then begin
       match !n with
-      | 0 -> t.ok <- false
+      | 0 ->
+        t.ok <- false;
+        proof_emit_empty t
       | 1 ->
         enqueue t buf.(0) no_reason;
-        if propagate t >= 0 then t.ok <- false
+        if propagate t >= 0 then begin
+          t.ok <- false;
+          proof_emit_empty t
+        end
       | n ->
         let cr = Arena.alloc t.arena ~learnt:false (Array.sub buf 0 n) in
         Vec.push t.clauses cr;
@@ -913,6 +1008,7 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
   if not t.ok then finish Unsat
   else if propagate t >= 0 then begin
     t.ok <- false;
+    proof_emit_empty t;
     finish Unsat
   end
   else begin
@@ -954,6 +1050,7 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
           decr conflicts_until_restart;
           if decision_level t = 0 then begin
             t.ok <- false;
+            proof_emit_empty t;
             raise (Answered Unsat)
           end;
           let back_level = analyze t conflict in
@@ -961,7 +1058,9 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
           record_learnt t;
           if not t.ok then raise (Answered Unsat);
           var_decay_tick t;
-          clause_decay_tick t
+          clause_decay_tick t;
+          let period = Lazy.force audit_period in
+          if period > 0 && t.n_conflicts mod period = 0 then audit t
         end
         else if t.opts.use_restarts && !conflicts_until_restart <= 0 then begin
           t.n_restarts <- t.n_restarts + 1;
@@ -1015,6 +1114,58 @@ let lit_value t l = if Lit.sign l then value t (Lit.var l) else not (value t (Li
 let model t = Array.init t.nvars (fun v -> value t v)
 
 let unsat_core t = t.core
+
+(* Read-only snapshot of the internal state for the invariant auditor
+   (lib/check). Scalar fields are copies; the arrays are shared with the
+   live solver — auditors must treat them as read-only. *)
+type view = {
+  v_nvars : int;
+  v_use_vsids : bool;
+  v_arena_data : int array;
+  v_arena_used : int;
+  v_arena_wasted : int;
+  v_clauses : int array;
+  v_learnts : int array;
+  v_wdata : int array array;
+  v_wsize : int array;
+  v_assigns : int array;
+  v_reason : int array;
+  v_level : int array;
+  v_trail : int array;
+  v_trail_size : int;
+  v_trail_lim : int array;
+  v_trail_lim_size : int;
+  v_qhead : int;
+  v_hheap : int array;
+  v_hsize : int;
+  v_hindex : int array;
+  v_hact : float array;
+}
+
+let view t =
+  {
+    v_nvars = t.nvars;
+    v_use_vsids = t.opts.use_vsids;
+    v_arena_data = t.arena.Arena.data;
+    v_arena_used = Arena.used_words t.arena;
+    v_arena_wasted = Arena.wasted_words t.arena;
+    v_clauses = Vec.to_array t.clauses;
+    v_learnts = Vec.to_array t.learnts;
+    v_wdata = t.wdata;
+    v_wsize = t.wsize;
+    v_assigns = t.assigns;
+    v_reason = t.reason;
+    v_level = t.level;
+    v_trail = t.trail;
+    v_trail_size = t.trail_size;
+    v_trail_lim = t.trail_lim;
+    v_trail_lim_size = t.trail_lim_size;
+    v_qhead = t.qhead;
+    v_hheap = t.hheap;
+    v_hsize = t.hsize;
+    v_hindex = t.hindex;
+    v_hact = t.hact;
+  }
 
 let stats t =
   {

@@ -122,6 +122,91 @@ val unsat_core : t -> Lit.t list
 (** After [Unsat] under assumptions: a subset of the assumptions that is
     already unsatisfiable together with the clauses. *)
 
+(** {1 DRUP proof logging}
+
+    With {!enable_proof} the CDCL loop records every learnt-clause
+    addition (including derived units and the empty clause on UNSAT)
+    and every clause-database deletion into a growable int buffer, in
+    the order they happen — a DRUP proof. The log is an event stream:
+    a header word [n lsl 1 lor is_delete] followed by [n] literals in
+    the internal {!Lit.t} encoding. Replaying the additions against the
+    original CNF with an independent unit-propagation engine (see
+    [Qca_check.Drup]) certifies an [Unsat] answer; [Sat] answers are
+    certified by evaluating the model.
+
+    Logging is off by default and the search is bit-identical either
+    way: emission sites only append to the buffer, never read it.
+    Assumption-based UNSAT answers are {e not} covered (the formula
+    itself need not be unsatisfiable); no empty clause is emitted for
+    them. Enable the log {e before} adding clauses — root-level
+    conflicts during {!add_clause} already emit proof events. *)
+
+val enable_proof : t -> unit
+val proof_enabled : t -> bool
+
+val proof_log : t -> int array
+(** Copy of the raw event stream recorded so far. *)
+
+val proof_words : t -> int
+(** Current size of the log in words (header words + literals). *)
+
+val proof_fold :
+  init:'a -> f:('a -> delete:bool -> int array -> 'a) -> int array -> 'a
+(** Decodes a raw event stream: [f] is applied per event with the
+    literal array (internal encoding). Raises [Invalid_argument] on a
+    truncated stream. *)
+
+(** {1 Invariant auditing}
+
+    The solver invokes a registered hook every [QCA_AUDIT] conflicts
+    ([QCA_AUDIT] unset or [0] disables the calls; a value [> 1] is the
+    period in conflicts; any other non-empty value selects the default
+    period of 256). The hook itself — which walks watch lists, trail,
+    heap and arena accounting through {!view} — lives in [Qca_check]
+    so the solver shares no code with its auditor. *)
+
+val set_audit_hook : (t -> unit) -> unit
+(** Registers the process-wide audit hook. *)
+
+val audit : t -> unit
+(** Invokes the registered hook once, immediately (used by tests at
+    hand-picked quiescent points). No-op when no hook is installed. *)
+
+type view = {
+  v_nvars : int;
+  v_use_vsids : bool;
+  v_arena_data : int array;
+  v_arena_used : int;
+  v_arena_wasted : int;
+  v_clauses : int array;  (** crefs of problem clauses *)
+  v_learnts : int array;  (** crefs of learnt clauses *)
+  v_wdata : int array array;  (** per-literal [(blocker, word)] pairs *)
+  v_wsize : int array;
+  v_assigns : int array;  (** var -> -1 undef / 1 true / 0 false *)
+  v_reason : int array;  (** var -> implying cref, or -1 *)
+  v_level : int array;
+  v_trail : int array;
+  v_trail_size : int;
+  v_trail_lim : int array;
+  v_trail_lim_size : int;
+  v_qhead : int;
+  v_hheap : int array;
+  v_hsize : int;
+  v_hindex : int array;
+  v_hact : float array;
+}
+(** Read-only snapshot for the auditor: scalars are copied, arrays are
+    shared with the live solver. *)
+
+val view : t -> view
+
+val force_reduce_db : t -> unit
+(** Debug/test entry point: run a learnt-database reduction (with its
+    arena GC) now, regardless of the learnt limit. *)
+
+val force_gc : t -> unit
+(** Debug/test entry point: compact the clause arena now. *)
+
 type stats = {
   conflicts : int;
   decisions : int;

@@ -206,6 +206,19 @@ let test_dimacs_rejects_garbage () =
   | Ok _ -> Alcotest.fail "accepted garbage"
   | Error _ -> ()
 
+(* "-0", "+0" and "00" parse as the integer 0 but are not the clause
+   terminator token; they used to crash the parser on an assertion. *)
+let test_dimacs_rejects_stray_zero () =
+  List.iter
+    (fun text ->
+      match Dimacs.parse text with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" text)
+      | Error msg ->
+        checkb "typed stray-zero error" true
+          (String.length msg > 0
+          && Str.string_match (Str.regexp ".*stray zero.*") msg 0))
+    [ "p cnf 2 1\n1 -0 2 0\n"; "p cnf 1 1\n00 0\n"; "p cnf 1 1\n+0 0\n" ]
+
 let prop_dimacs_model_valid =
   QCheck.Test.make ~name:"dimacs solve returns valid models" ~count:60
     QCheck.small_int (fun seed ->
@@ -337,6 +350,7 @@ let suite =
     ("dimacs unsat", `Quick, test_dimacs_unsat);
     ("dimacs roundtrip", `Quick, test_dimacs_roundtrip);
     ("dimacs rejects garbage", `Quick, test_dimacs_rejects_garbage);
+    ("dimacs rejects stray zero", `Quick, test_dimacs_rejects_stray_zero);
     QCheck_alcotest.to_alcotest prop_dimacs_model_valid;
     ("fuzz: parsers never raise", `Quick, test_fuzz_parsers_never_raise);
     ("fuzz: hostile fragments rejected", `Quick, test_hostile_fragments_rejected);

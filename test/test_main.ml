@@ -1,8 +1,14 @@
-(* Test entry point: every module family registers its suite here. *)
+(* Test entry point: every module family registers its suite here.
+
+   The audit hook is installed for the whole run, so a QCA_AUDIT=1
+   environment makes every solver in the suite self-check its state
+   periodically during search. *)
 
 let () =
+  Qca_check.Audit.install ();
   Alcotest.run "qca"
     [
+      ("check", Test_check.suite);
       ("util", Test_util.suite);
       ("linalg", Test_linalg.suite);
       ("quantum", Test_quantum.suite);
