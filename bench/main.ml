@@ -163,11 +163,15 @@ type json_row = {
   degraded_tier : string option;  (** serving tier when degraded *)
   proof_checked : bool option;  (** DRUP replay verdict, when measured *)
   proof_overhead_ms : float option;  (** proof logging cost per solve *)
+  conflicts : int option;  (** CDCL conflicts charged (governed rows) *)
+  propagations : int option;
+  omt_rounds : int option;
 }
 
 let plain_row ns =
   { ns; budget_exhausted = false; degraded_tier = None; proof_checked = None;
-    proof_overhead_ms = None }
+    proof_overhead_ms = None; conflicts = None; propagations = None;
+    omt_rounds = None }
 
 let deep_circuit =
   lazy (Workloads.random_template ~seed:160 ~num_qubits:3 ~depth:160)
@@ -182,6 +186,9 @@ let governed_rows () =
         degraded_tier =
           (if Pipeline.degraded o then Some (Pipeline.tier_name o.Pipeline.tier)
            else None);
+        conflicts = Some o.Pipeline.spent.Pipeline.conflicts;
+        propagations = Some o.Pipeline.spent.Pipeline.propagations;
+        omt_rounds = Some o.Pipeline.info.Pipeline.omt_rounds;
       } )
   in
   [
@@ -315,17 +322,20 @@ let run_benchmarks () =
   | None -> ()
   | Some file ->
     (* object per row:
-       { ns, budget_exhausted, degraded_tier, proof_checked, proof_overhead_ms } *)
+       { ns, budget_exhausted, degraded_tier, proof_checked,
+         proof_overhead_ms, conflicts, propagations, omt_rounds } *)
     let all =
       List.map (fun (name, ns) -> (name, plain_row ns)) rows @ governed @ proof
     in
+    let int_opt = function None -> "null" | Some n -> string_of_int n in
     let oc = open_out file in
     output_string oc "{\n";
     List.iteri
       (fun i (name, r) ->
         Printf.fprintf oc
           "  %S: {\"ns\": %s, \"budget_exhausted\": %b, \"degraded_tier\": %s, \
-           \"proof_checked\": %s, \"proof_overhead_ms\": %s}%s\n"
+           \"proof_checked\": %s, \"proof_overhead_ms\": %s, \"conflicts\": %s, \
+           \"propagations\": %s, \"omt_rounds\": %s}%s\n"
           name
           (if Float.is_nan r.ns then "null" else Printf.sprintf "%.2f" r.ns)
           r.budget_exhausted
@@ -334,6 +344,7 @@ let run_benchmarks () =
           (match r.proof_overhead_ms with
           | None -> "null"
           | Some ms -> Printf.sprintf "%.3f" ms)
+          (int_opt r.conflicts) (int_opt r.propagations) (int_opt r.omt_rounds)
           (if i = List.length all - 1 then "" else ","))
       all;
     output_string oc "}\n";
@@ -341,5 +352,10 @@ let run_benchmarks () =
     Format.fprintf fmt "json rows written to %s@." file
 
 let () =
+  (* total wall time from the monotone clock, so the harness's own
+     runtime is recorded with the same time source as every row *)
+  let t_start = Clock.now () in
   run_experiments ();
-  run_benchmarks ()
+  run_benchmarks ();
+  Format.fprintf fmt "total wall time: %.1f s (monotonic clock)@."
+    (Clock.ms_between t_start (Clock.now ()) /. 1000.0)

@@ -11,7 +11,19 @@ open Cmdliner
 module Circuit = Qca_circuit.Circuit
 module Parse = Qca_circuit.Parse
 module Solver = Qca_sat.Solver
+module Obs = Qca_obs.Metrics
+module Trace = Qca_obs.Trace
 open Qca_adapt
+
+(* Shared by all four CLIs: --trace-out implies --metrics (the Chrome
+   export embeds the metrics snapshot). *)
+let obs_start ~metrics ~trace_out =
+  if metrics || trace_out <> None then Obs.set_enabled true;
+  if trace_out <> None then Trace.set_enabled true
+
+let obs_stop ~metrics ~trace_out =
+  (match trace_out with Some file -> Trace.write_chrome file | None -> ());
+  if metrics then Format.eprintf "%a@." Obs.pp_summary ()
 
 let method_of_string = function
   | "direct" -> Ok Pipeline.Direct
@@ -37,14 +49,15 @@ let read_input = function
     with Sys_error msg -> Error msg)
 
 let run method_name hw_name input show_circuit timeout_ms max_conflicts certify
-    =
+    metrics trace_out =
+  obs_start ~metrics ~trace_out;
   let ( let* ) = Result.bind in
   let result =
     let* method_ = method_of_string method_name in
     let* hw = hw_of_string hw_name in
     let* text = read_input input in
     let* circuit =
-      match Parse.parse text with
+      match Trace.span "parse" (fun () -> Parse.parse text) with
       | Ok c -> Ok c
       | Error msg -> Error ("parse error: " ^ msg)
     in
@@ -83,8 +96,10 @@ let run method_name hw_name input show_circuit timeout_ms max_conflicts certify
       certify
       &&
       let issues =
-        Lint.certify_adaptation hw ~original:circuit ~adapted:o.Pipeline.circuit
-          ?claimed_makespan:o.Pipeline.claimed_makespan ()
+        Trace.span "certify" (fun () ->
+            Lint.certify_adaptation hw ~original:circuit
+              ~adapted:o.Pipeline.circuit
+              ?claimed_makespan:o.Pipeline.claimed_makespan ())
       in
       List.iter (fun i -> Format.printf "certify      : %a@." Lint.pp_issue i) issues;
       Format.printf "certificate  : %s@."
@@ -93,6 +108,7 @@ let run method_name hw_name input show_circuit timeout_ms max_conflicts certify
     in
     Ok (if cert_bad then 1 else if Pipeline.degraded o then 2 else 0)
   in
+  obs_stop ~metrics ~trace_out;
   match result with
   | Ok code -> code
   | Error msg ->
@@ -137,11 +153,24 @@ let certify_arg =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+let metrics_arg =
+  let doc = "Print the metrics-registry summary to stderr on exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Record a trace of every pipeline phase and write it as Chrome \
+     trace_event JSON to $(docv) (open in chrome://tracing or Perfetto). \
+     Implies $(b,--metrics) collection; the snapshot is embedded in the \
+     trace."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "adapt a quantum circuit to the spin-qubit gate set" in
   Cmd.v (Cmd.info "qca-adapt" ~doc)
     Term.(
       const run $ method_arg $ hw_arg $ input_arg $ show_arg $ timeout_arg
-      $ conflicts_arg $ certify_arg)
+      $ conflicts_arg $ certify_arg $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,8 +7,26 @@ open Cmdliner
 module E = Qca_experiments.Experiments
 module Workloads = Qca_workloads.Workloads
 module Hardware = Qca_adapt.Hardware
+module Clock = Qca_util.Clock
+module Obs = Qca_obs.Metrics
+module Trace = Qca_obs.Trace
 
 let fmt = Format.std_formatter
+
+let obs_start ~metrics ~trace_out =
+  if metrics || trace_out <> None then Obs.set_enabled true;
+  if trace_out <> None then Trace.set_enabled true
+
+let obs_stop ~metrics ~trace_out =
+  (match trace_out with Some file -> Trace.write_chrome file | None -> ());
+  if metrics then Format.eprintf "%a@." Obs.pp_summary ()
+
+(* One line per completed adaptation so long matrix runs show motion;
+   stderr keeps the artifact tables on stdout clean. *)
+let progress_line t_start p =
+  Printf.eprintf "[%8.1fs] %-18s %-10s tier=%-16s %8.1f ms\n%!"
+    (Clock.ms_between t_start (Clock.now ()) /. 1000.0)
+    p.E.p_case p.E.p_method p.E.p_tier p.E.p_elapsed_ms
 
 let hw_of_string = function
   | "d0" -> Ok Hardware.d0
@@ -20,7 +38,8 @@ let artifacts = [ "table1"; "eq11"; "fig5"; "fig6"; "fig7"; "all" ]
 let suite fast =
   if fast then Workloads.simulation_suite () else Workloads.evaluation_suite ()
 
-let run what hw_name fast timeout_ms =
+let run what hw_name fast timeout_ms csv_out metrics trace_out =
+  obs_start ~metrics ~trace_out;
   let checked =
     if List.mem what artifacts then hw_of_string hw_name
     else
@@ -33,17 +52,31 @@ let run what hw_name fast timeout_ms =
     prerr_endline ("error: " ^ msg);
     3
   | Ok hw ->
+    let on_progress = progress_line (Clock.now ()) in
     let some_degraded = ref false in
     let note rows =
       if List.exists (fun r -> r.E.degraded) rows then some_degraded := true;
+      (match csv_out with
+      | None -> ()
+      | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc (E.csv_of_rows rows)));
       rows
     in
     let note_sim rows =
       if List.exists (fun r -> r.E.sim_degraded) rows then some_degraded := true;
       rows
     in
-    let figs56 () = note (E.fig5_fig6 ?timeout_ms hw (suite fast)) in
-    let sim () = note_sim (E.fig7 ?timeout_ms hw (Workloads.simulation_suite ())) in
+    let figs56 () =
+      note
+        (Trace.span "fig5_fig6" (fun () ->
+             E.fig5_fig6 ?timeout_ms ~on_progress hw (suite fast)))
+    in
+    let sim () =
+      note_sim
+        (Trace.span "fig7" (fun () ->
+             E.fig7 ?timeout_ms ~on_progress hw (Workloads.simulation_suite ())))
+    in
     (match what with
     | "table1" -> E.print_table1 fmt
     | "eq11" -> E.print_eq11_example fmt
@@ -59,6 +92,7 @@ let run what hw_name fast timeout_ms =
       let sim_rows = sim () in
       E.print_fig7 fmt sim_rows;
       E.print_headline fmt (E.headline_of rows sim_rows));
+    obs_stop ~metrics ~trace_out;
     if !some_degraded then begin
       prerr_endline "warning: some rows were served degraded under the budget";
       2
@@ -84,10 +118,30 @@ let timeout_arg =
   in
   Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
 
+let csv_arg =
+  let doc =
+    "Also write the Fig. 5/6 rows as CSV to $(docv), including the \
+     telemetry columns (tier, elapsed_ms, conflicts, omt_rounds)."
+  in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print the metrics-registry summary to stderr on exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of the run to $(docv) \
+     (open in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the evaluation tables and figures" in
   Cmd.v
     (Cmd.info "qca-experiments" ~doc)
-    Term.(const run $ what_arg $ hw_arg $ fast_arg $ timeout_arg)
+    Term.(
+      const run $ what_arg $ hw_arg $ fast_arg $ timeout_arg $ csv_arg
+      $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -15,7 +15,17 @@ open Cmdliner
 module Block = Qca_circuit.Block
 module Parse = Qca_circuit.Parse
 module Solver = Qca_sat.Solver
+module Obs = Qca_obs.Metrics
+module Trace = Qca_obs.Trace
 open Qca_adapt
+
+let obs_start ~metrics ~trace_out =
+  if metrics || trace_out <> None then Obs.set_enabled true;
+  if trace_out <> None then Trace.set_enabled true
+
+let obs_stop ~metrics ~trace_out =
+  (match trace_out with Some file -> Trace.write_chrome file | None -> ());
+  if metrics then Format.eprintf "%a@." Obs.pp_summary ()
 
 let hw_of_string = function
   | "d0" -> Ok Hardware.d0
@@ -44,20 +54,23 @@ let report name issues =
   List.iter (fun i -> Format.printf "%s: %a@." name Lint.pp_issue i) issues;
   Lint.errors issues <> []
 
-let run input hw_name certify method_name timeout_ms =
+let run input hw_name certify method_name timeout_ms metrics trace_out =
+  obs_start ~metrics ~trace_out;
   let ( let* ) = Result.bind in
   let result =
     let* hw = hw_of_string hw_name in
     let* method_ = method_of_string method_name in
     let* text = read_input input in
     let* circuit =
-      match Parse.parse text with
+      match Trace.span "parse" (fun () -> Parse.parse text) with
       | Ok c -> Ok c
       | Error msg -> Error ("parse error: " ^ msg)
     in
-    let part = Block.partition circuit in
-    let subs = Rules.find_all hw part in
-    let model_issues = Lint.check_model hw part subs in
+    let part = Trace.span "partition" (fun () -> Block.partition circuit) in
+    let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
+    let model_issues =
+      Trace.span "lint" (fun () -> Lint.check_model hw part subs)
+    in
     let model_bad = report input model_issues in
     Format.printf "%s: model lint: %d block(s), %d substitution(s), %d issue(s)@."
       input
@@ -69,9 +82,10 @@ let run input hw_name certify method_name timeout_ms =
         let budget = Solver.budget ?timeout_ms () in
         let o = Pipeline.adapt_governed ~budget hw method_ circuit in
         let issues =
-          Lint.certify_adaptation hw ~original:circuit
-            ~adapted:o.Pipeline.circuit
-            ?claimed_makespan:o.Pipeline.claimed_makespan ()
+          Trace.span "certify" (fun () ->
+              Lint.certify_adaptation hw ~original:circuit
+                ~adapted:o.Pipeline.circuit
+                ?claimed_makespan:o.Pipeline.claimed_makespan ())
         in
         let bad = report input issues in
         Format.printf "%s: %s adaptation (tier %s): %s@." input
@@ -83,6 +97,7 @@ let run input hw_name certify method_name timeout_ms =
     in
     Ok (if model_bad || certify_bad then 1 else 0)
   in
+  obs_stop ~metrics ~trace_out;
   match result with
   | Ok code -> code
   | Error msg ->
@@ -112,10 +127,22 @@ let timeout_arg =
   let doc = "Wall-clock budget for --certify's adaptation, milliseconds." in
   Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
 
+let metrics_arg =
+  let doc = "Print the metrics-registry summary to stderr on exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of the run to $(docv) \
+     (open in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "lint the SMT adaptation model and certify adaptations" in
   Cmd.v (Cmd.info "qca-lint" ~doc)
     Term.(
-      const run $ input_arg $ hw_arg $ certify_arg $ method_arg $ timeout_arg)
+      const run $ input_arg $ hw_arg $ certify_arg $ method_arg $ timeout_arg
+      $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

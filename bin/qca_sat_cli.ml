@@ -8,6 +8,16 @@ open Cmdliner
 module Dimacs = Qca_sat.Dimacs
 module Solver = Qca_sat.Solver
 module Drup = Qca_check.Drup
+module Obs = Qca_obs.Metrics
+module Trace = Qca_obs.Trace
+
+let obs_start ~metrics ~trace_out =
+  if metrics || trace_out <> None then Obs.set_enabled true;
+  if trace_out <> None then Trace.set_enabled true
+
+let obs_stop ~metrics ~trace_out =
+  (match trace_out with Some file -> Trace.write_chrome file | None -> ());
+  if metrics then Format.eprintf "%a@." Obs.pp_summary ()
 
 let read_input = function
   | "-" -> Ok (In_channel.input_all stdin)
@@ -15,8 +25,13 @@ let read_input = function
     try Ok (In_channel.with_open_text path In_channel.input_all)
     with Sys_error msg -> Error msg)
 
-let run input no_vsids no_restarts stats timeout_ms max_conflicts certify =
-  match Result.bind (read_input input) Dimacs.parse with
+let run input no_vsids no_restarts stats timeout_ms max_conflicts certify
+    metrics trace_out =
+  obs_start ~metrics ~trace_out;
+  match
+    Result.bind (read_input input) (fun text ->
+        Trace.span "parse" (fun () -> Dimacs.parse text))
+  with
   | Error msg ->
     prerr_endline ("c parse error: " ^ msg);
     3
@@ -33,8 +48,10 @@ let run input no_vsids no_restarts stats timeout_ms max_conflicts certify =
         ?max_conflicts:(Option.map (fun n -> max 0 n) max_conflicts)
         ()
     in
-    let solver = Dimacs.load ~options ~proof:certify problem in
-    let result = Solver.solve ~budget solver in
+    let solver =
+      Trace.span "encode" (fun () -> Dimacs.load ~options ~proof:certify problem)
+    in
+    let result = Trace.span "solve" (fun () -> Solver.solve ~budget solver) in
     (* Independent certification of the verdict: model evaluation for
        SAT, DRUP proof replay for UNSAT. The check runs under the same
        budget as the search, so it degrades to "unchecked" rather than
@@ -43,8 +60,9 @@ let run input no_vsids no_restarts stats timeout_ms max_conflicts certify =
       if not certify then None
       else begin
         let o =
-          Drup.certify ~budget ~num_vars:problem.Dimacs.num_vars
-            problem.Dimacs.clauses ~solver result
+          Trace.span "certify" (fun () ->
+              Drup.certify ~budget ~num_vars:problem.Dimacs.num_vars
+                problem.Dimacs.clauses ~solver result)
         in
         Printf.printf "c certificate: %s\n"
           (Format.asprintf "%a" Drup.pp_verdict o.Drup.verdict);
@@ -88,6 +106,7 @@ let run input no_vsids no_restarts stats timeout_ms max_conflicts certify =
         print_endline "s UNKNOWN";
         2
     in
+    obs_stop ~metrics ~trace_out;
     match cert_exit with Some code -> code | None -> verdict_exit)
 
 let input_arg =
@@ -114,11 +133,22 @@ let certify_arg =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+let metrics_arg =
+  let doc = "Print the metrics-registry summary to stderr on exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of the run to $(docv) \
+     (open in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "CDCL SAT solver (DIMACS CNF)" in
   Cmd.v (Cmd.info "qca-sat" ~doc)
     Term.(
       const run $ input_arg $ no_vsids $ no_restarts $ stats $ timeout_arg
-      $ conflicts_arg $ certify_arg)
+      $ conflicts_arg $ certify_arg $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

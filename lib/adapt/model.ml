@@ -5,6 +5,15 @@ module Smt = Qca_smt.Smt
 module Totalizer = Qca_pseudo_bool.Totalizer
 module Dl = Qca_diff_logic.Dl
 module Fault = Qca_util.Fault
+module Obs = Qca_obs.Metrics
+module Trace = Qca_obs.Trace
+
+(* OMT-driver telemetry: round count and the incumbent-objective
+   trajectory (Eq. 8-10 values), both in the metrics registry and as a
+   Chrome-trace counter series. *)
+let m_omt_rounds = Obs.counter "omt.rounds"
+let m_omt_incumbent_updates = Obs.counter "omt.incumbent_updates"
+let m_omt_incumbent = Obs.gauge "omt.incumbent"
 
 type objective = Sat_f | Sat_r | Sat_p
 
@@ -356,6 +365,7 @@ let optimize ?round_budget ?(budget = Solver.no_budget) t obj =
   let stopped = ref None in
   let rec improve best =
     incr rounds;
+    Obs.incr m_omt_rounds;
     if !rounds > round_budget then begin
       (* anytime behaviour: keep the incumbent, flag non-proven *)
       proven := false;
@@ -369,7 +379,11 @@ let optimize ?round_budget ?(budget = Solver.no_budget) t obj =
       best
     | None ->
     let assumptions = match best with None -> [] | Some (b, _, _) -> prune b in
-    match Solver.solve ~assumptions ~budget sat with
+    match
+      Trace.span "omt.round"
+        ~args:[ ("round", string_of_int !rounds) ]
+        (fun () -> Solver.solve ~assumptions ~budget sat)
+    with
     | Solver.Unsat -> best
     | Solver.Unknown r ->
       proven := false;
@@ -381,7 +395,11 @@ let optimize ?round_budget ?(budget = Solver.no_budget) t obj =
       let best' =
         match best with
         | Some (b, _, _) when b <= v -> best
-        | Some _ | None -> Some (v, mask, d)
+        | Some _ | None ->
+          Obs.incr m_omt_incumbent_updates;
+          Obs.set m_omt_incumbent (float_of_int v);
+          Trace.counter "omt.incumbent" (float_of_int v);
+          Some (v, mask, d)
       in
       (match best' with
       | Some (b, _, _) ->
@@ -397,9 +415,12 @@ let optimize ?round_budget ?(budget = Solver.no_budget) t obj =
       improve best'
     end
   in
-  match warm_start () with
+  match Trace.span "omt.warm_start" warm_start with
   | Error r -> Error (`Budget_exhausted r)
   | Ok warm ->
+    let warm_v, _, _ = warm in
+    Obs.set m_omt_incumbent (float_of_int warm_v);
+    Trace.counter "omt.incumbent" (float_of_int warm_v);
     (match improve (Some warm) with
     | None -> assert false (* the warm start is an incumbent *)
     | Some (v, mask, d) ->

@@ -4,6 +4,14 @@ module Gate = Qca_circuit.Gate
 module Synth = Qca_circuit.Synth
 module Solver = Qca_sat.Solver
 module Fault = Qca_util.Fault
+module Obs = Qca_obs.Metrics
+module Trace = Qca_obs.Trace
+
+(* Pipeline-level telemetry; each phase below is additionally wrapped
+   in a Trace span (partition -> match -> encode -> solve -> apply),
+   so a --trace-out file shows where an adaptation spent its time. *)
+let m_adaptations = Obs.counter "pipeline.adaptations"
+let m_degraded = Obs.counter "pipeline.degraded"
 
 type method_ =
   | Direct
@@ -169,37 +177,40 @@ let greedy_choose model obj subs =
   fst (greedy_choose_governed model obj subs)
 
 let adapt_with_info ?options hw method_ circuit =
-  let part = Block.partition circuit in
+  Obs.incr m_adaptations;
+  let part = Trace.span "partition" (fun () -> Block.partition circuit) in
   match method_ with
-  | Direct -> (Basis.direct circuit, no_info)
-  | Kak_only_cz -> (kak_only Synth.Use_cz part, no_info)
-  | Kak_only_cz_db -> (kak_only Synth.Use_cz_db part, no_info)
+  | Direct -> (Trace.span "apply" (fun () -> Basis.direct circuit), no_info)
+  | Kak_only_cz ->
+    (Trace.span "apply" (fun () -> kak_only Synth.Use_cz part), no_info)
+  | Kak_only_cz_db ->
+    (Trace.span "apply" (fun () -> kak_only Synth.Use_cz_db part), no_info)
   | Template_f | Template_r ->
-    let subs = Rules.find_all hw part in
+    let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
     let metric (s : Rules.t) =
       match method_ with
       | Template_f -> s.Rules.delta_log_fid > 0
       | Template_r -> s.Rules.delta_duration < 0
       | Direct | Kak_only_cz | Kak_only_cz_db | Sat _ | Greedy _ -> assert false
     in
-    let chosen = template_choose metric subs in
-    ( apply_substitutions part chosen,
+    let chosen = Trace.span "solve" (fun () -> template_choose metric subs) in
+    ( Trace.span "apply" (fun () -> apply_substitutions part chosen),
       {
         no_info with
         substitutions_considered = List.length subs;
         substitutions_chosen = List.length chosen;
       } )
   | Sat obj ->
-    let subs = Rules.find_all hw part in
-    let model = Model.build ?options hw part subs in
+    let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
+    let model = Trace.span "encode" (fun () -> Model.build ?options hw part subs) in
     let sol =
-      match Model.optimize model obj with
+      match Trace.span "solve" (fun () -> Model.optimize model obj) with
       | Ok sol -> sol
       | Error (`Already_consumed | `Budget_exhausted _) ->
         (* fresh model, unlimited budget: neither error can occur *)
         assert false
     in
-    ( apply_substitutions part sol.Model.chosen,
+    ( Trace.span "apply" (fun () -> apply_substitutions part sol.Model.chosen),
       {
         substitutions_considered = List.length subs;
         substitutions_chosen = List.length sol.Model.chosen;
@@ -207,10 +218,10 @@ let adapt_with_info ?options hw method_ circuit =
         theory_conflicts = sol.Model.theory_conflicts;
       } )
   | Greedy obj ->
-    let subs = Rules.find_all hw part in
-    let model = Model.build ?options hw part subs in
-    let chosen = greedy_choose model obj subs in
-    ( apply_substitutions part chosen,
+    let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
+    let model = Trace.span "encode" (fun () -> Model.build ?options hw part subs) in
+    let chosen = Trace.span "solve" (fun () -> greedy_choose model obj subs) in
+    ( Trace.span "apply" (fun () -> apply_substitutions part chosen),
       {
         no_info with
         substitutions_considered = List.length subs;
@@ -253,6 +264,18 @@ let degraded o = o.tier <> Full || o.reason <> None
 let adapt_governed ?options ?budget hw method_ circuit =
   let budget = match budget with Some b -> b | None -> Solver.budget () in
   let finish ?claimed_makespan ~tier ~reason ~info circuit =
+    if tier <> Full || reason <> None then begin
+      Obs.incr m_degraded;
+      Trace.instant "degrade"
+        ~args:
+          [
+            ("tier", tier_name tier);
+            ( "reason",
+              match reason with
+              | None -> "none"
+              | Some r -> Solver.string_of_stop_reason r );
+          ]
+    end;
     {
       circuit;
       requested = method_;
@@ -269,17 +292,22 @@ let adapt_governed ?options ?budget hw method_ circuit =
     }
   in
   let direct ~reason =
-    finish ~tier:Direct_fallback ~reason ~info:no_info (Basis.direct circuit)
+    finish ~tier:Direct_fallback ~reason ~info:no_info
+      (Trace.span "apply" (fun () -> Basis.direct circuit))
   in
+  Trace.span "adapt" ~args:[ ("method", method_name method_) ] @@ fun () ->
   match method_ with
   | Sat obj -> (
+    Obs.incr m_adaptations;
     match Solver.budget_status budget with
     | Some r -> direct ~reason:(Some r)
     | None -> (
-      let part = Block.partition circuit in
-      let subs = Rules.find_all hw part in
-      let model = Model.build ?options hw part subs in
-      match Model.optimize ~budget model obj with
+      let part = Trace.span "partition" (fun () -> Block.partition circuit) in
+      let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
+      let model =
+        Trace.span "encode" (fun () -> Model.build ?options hw part subs)
+      in
+      match Trace.span "solve" (fun () -> Model.optimize ~budget model obj) with
       | Ok sol ->
         let info =
           {
@@ -295,7 +323,8 @@ let adapt_governed ?options ?budget hw method_ circuit =
           | Some r -> (Incumbent, Some r)
         in
         finish ~claimed_makespan:sol.Model.makespan ~tier ~reason ~info
-          (apply_substitutions part sol.Model.chosen)
+          (Trace.span "apply" (fun () ->
+               apply_substitutions part sol.Model.chosen))
       | Error `Already_consumed -> assert false (* model is fresh *)
       | Error (`Budget_exhausted r) -> (
         (* no incumbent from the SMT tier; try the greedy heuristic if
@@ -305,7 +334,10 @@ let adapt_governed ?options ?budget hw method_ circuit =
         | Some r2 -> direct ~reason:(Some r2)
         | None -> (
           (* evaluate_choice is pure — the consumed model still serves *)
-          match greedy_choose_governed ~budget model obj subs with
+          match
+            Trace.span "rung.greedy" (fun () ->
+                greedy_choose_governed ~budget model obj subs)
+          with
           | [], Some r2 -> direct ~reason:(Some r2)
           | chosen, _ ->
             let info =
@@ -316,15 +348,22 @@ let adapt_governed ?options ?budget hw method_ circuit =
               }
             in
             finish ~tier:Greedy_fallback ~reason:(Some r) ~info
-              (apply_substitutions part chosen)))))
+              (Trace.span "apply" (fun () ->
+                   apply_substitutions part chosen))))))
   | Greedy obj -> (
+    Obs.incr m_adaptations;
     match Solver.budget_status budget with
     | Some r -> direct ~reason:(Some r)
     | None -> (
-      let part = Block.partition circuit in
-      let subs = Rules.find_all hw part in
-      let model = Model.build ?options hw part subs in
-      match greedy_choose_governed ~budget model obj subs with
+      let part = Trace.span "partition" (fun () -> Block.partition circuit) in
+      let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
+      let model =
+        Trace.span "encode" (fun () -> Model.build ?options hw part subs)
+      in
+      match
+        Trace.span "solve" (fun () ->
+            greedy_choose_governed ~budget model obj subs)
+      with
       | [], Some r -> direct ~reason:(Some r)
       | chosen, stop ->
         let info =
@@ -334,7 +373,8 @@ let adapt_governed ?options ?budget hw method_ circuit =
             substitutions_chosen = List.length chosen;
           }
         in
-        finish ~tier:Full ~reason:stop ~info (apply_substitutions part chosen)))
+        finish ~tier:Full ~reason:stop ~info
+          (Trace.span "apply" (fun () -> apply_substitutions part chosen))))
   | Direct | Kak_only_cz | Kak_only_cz_db | Template_f | Template_r ->
     (* polynomial methods: always complete, no ladder needed *)
     let c, info = adapt_with_info ?options hw method_ circuit in

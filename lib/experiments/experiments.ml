@@ -21,6 +21,17 @@ type row = {
   idle : int;
   two_qubit_gates : int;
   degraded : bool;
+  tier : string;
+  elapsed_ms : float;
+  conflicts : int;
+  omt_rounds : int;
+}
+
+type progress = {
+  p_case : string;
+  p_method : string;
+  p_tier : string;
+  p_elapsed_ms : float;
 }
 
 let methods = Pipeline.all_methods
@@ -31,12 +42,26 @@ let governed ?timeout_ms hw m circuit =
   let budget = Solver.budget ?timeout_ms () in
   Pipeline.adapt_governed ~budget hw m circuit
 
-let evaluate_case ?(methods = methods) ?timeout_ms hw kase =
+let notify on_progress ~case ~meth o =
+  match on_progress with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        p_case = case;
+        p_method = meth;
+        p_tier = Pipeline.tier_name o.Pipeline.tier;
+        p_elapsed_ms = o.Pipeline.spent.Pipeline.elapsed_ms;
+      }
+
+let evaluate_case ?(methods = methods) ?timeout_ms ?on_progress hw kase =
   let circuit = kase.Workloads.circuit in
   let baseline = Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit) in
   let row_of m =
     let o = governed ?timeout_ms hw m circuit in
     let s = Metrics.summarize hw o.Pipeline.circuit in
+    notify on_progress ~case:kase.Workloads.label
+      ~meth:(Pipeline.method_name m) o;
     {
       case = kase.Workloads.label;
       method_ = Pipeline.method_name m;
@@ -47,12 +72,18 @@ let evaluate_case ?(methods = methods) ?timeout_ms hw kase =
       idle = s.Metrics.idle_total;
       two_qubit_gates = s.Metrics.two_qubit_gates;
       degraded = Pipeline.degraded o;
+      tier = Pipeline.tier_name o.Pipeline.tier;
+      elapsed_ms = o.Pipeline.spent.Pipeline.elapsed_ms;
+      conflicts = o.Pipeline.spent.Pipeline.conflicts;
+      omt_rounds = o.Pipeline.info.Pipeline.omt_rounds;
     }
   in
   List.map row_of methods
 
-let fig5_fig6 ?methods ?timeout_ms hw cases =
-  List.concat_map (fun kase -> evaluate_case ?methods ?timeout_ms hw kase) cases
+let fig5_fig6 ?methods ?timeout_ms ?on_progress hw cases =
+  List.concat_map
+    (fun kase -> evaluate_case ?methods ?timeout_ms ?on_progress hw kase)
+    cases
 
 type sim_row = {
   sim_case : string;
@@ -71,7 +102,7 @@ let noise_of hw =
     t2 = hw.Hardware.t2;
   }
 
-let fig7 ?(methods = methods) ?timeout_ms hw cases =
+let fig7 ?(methods = methods) ?timeout_ms ?on_progress hw cases =
   let noise = noise_of hw in
   List.concat_map
     (fun kase ->
@@ -79,6 +110,8 @@ let fig7 ?(methods = methods) ?timeout_ms hw cases =
       let ideal = Density.probabilities (Density.run_ideal circuit) in
       let run m =
         let o = governed ?timeout_ms hw m circuit in
+        notify on_progress ~case:kase.Workloads.label
+          ~meth:(Pipeline.method_name m) o;
         let adapted = o.Pipeline.circuit in
         let noisy = Density.probabilities (Density.run_noisy noise adapted) in
         let s = Metrics.summarize hw adapted in
@@ -123,6 +156,28 @@ let headline_of rows sim_rows =
     max_hellinger_change =
       max_by (fun r -> r.hellinger_change) neg_infinity sat_sim;
   }
+
+(* {1 CSV export} *)
+
+let csv_header =
+  "case,method,fidelity_change_pct,idle_decrease_pct,duration_ns,fidelity,\
+   idle_ns,two_qubit_gates,degraded,tier,elapsed_ms,conflicts,omt_rounds"
+
+(* Workload labels and method names contain no commas or quotes, so no
+   CSV quoting is needed. *)
+let csv_of_rows rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%.4f,%.4f,%d,%.6f,%d,%d,%b,%s,%.2f,%d,%d\n"
+           r.case r.method_ r.fidelity_change r.idle_decrease r.duration
+           r.fidelity r.idle r.two_qubit_gates r.degraded r.tier r.elapsed_ms
+           r.conflicts r.omt_rounds))
+    rows;
+  Buffer.contents buf
 
 (* {1 Printing} *)
 

@@ -20,7 +20,20 @@ type row = {
       (** true when the governed adaptation for this row was served by
           a fallback tier or stopped early (see
           {!Pipeline.adapt_governed}); always false without a timeout *)
+  tier : string;  (** ladder rung that served the request *)
+  elapsed_ms : float;  (** wall-clock for this adaptation *)
+  conflicts : int;  (** CDCL conflicts charged to the budget *)
+  omt_rounds : int;  (** OMT improvement rounds (0 for non-SAT) *)
 }
+
+type progress = {
+  p_case : string;
+  p_method : string;
+  p_tier : string;
+  p_elapsed_ms : float;
+}
+(** One completed adaptation, reported through [on_progress] as the
+    experiment matrix advances (e.g. for stderr progress lines). *)
 
 val methods : Pipeline.method_ list
 (** The seven methods of the figures. *)
@@ -28,6 +41,7 @@ val methods : Pipeline.method_ list
 val evaluate_case :
   ?methods:Pipeline.method_ list ->
   ?timeout_ms:float ->
+  ?on_progress:(progress -> unit) ->
   Hardware.t ->
   Workloads.case ->
   row list
@@ -38,6 +52,7 @@ val evaluate_case :
 val fig5_fig6 :
   ?methods:Pipeline.method_ list ->
   ?timeout_ms:float ->
+  ?on_progress:(progress -> unit) ->
   Hardware.t ->
   Workloads.case list ->
   row list
@@ -55,6 +70,7 @@ type sim_row = {
 val fig7 :
   ?methods:Pipeline.method_ list ->
   ?timeout_ms:float ->
+  ?on_progress:(progress -> unit) ->
   Hardware.t ->
   Workloads.case list ->
   sim_row list
@@ -70,6 +86,13 @@ type headline = {
 
 val headline_of : row list -> sim_row list -> headline
 (** Maxima over the SAT rows only (the abstract's claims). *)
+
+val csv_header : string
+val csv_of_rows : row list -> string
+(** Structured export of the Fig. 5/6 rows, one line per
+    (case, method) pair, including the governed-run telemetry columns
+    (tier, elapsed_ms, conflicts, omt_rounds). [csv_header] is the
+    first line. *)
 
 val print_table1 : Format.formatter -> unit
 val print_fig5 : Format.formatter -> row list -> unit

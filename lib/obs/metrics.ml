@@ -1,0 +1,262 @@
+module Clock = Qca_util.Clock
+
+type kind = Counter | Gauge | Histogram
+
+let num_buckets = 32
+
+type metric = {
+  m_name : string;
+  m_kind : kind;
+  mutable c_value : int;  (* counters *)
+  mutable g_value : float;  (* gauges *)
+  buckets : int array;  (* histograms only; [||] otherwise *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+}
+
+type id = int
+
+(* Registry storage: a growable array indexed by id plus the interning
+   table. Updates go through [metrics.(id)] — one bounds-checked array
+   read — so the per-site cost with the registry enabled is a couple of
+   loads and one store. *)
+let metrics : metric array ref = ref [||]
+let n_metrics = ref 0
+let by_name : (string, id) Hashtbl.t = Hashtbl.create 64
+
+let live = ref false
+let enabled () = !live
+
+let started = ref 0.0
+
+let set_enabled b =
+  live := b;
+  if b then started := Clock.now ()
+
+let elapsed_s () =
+  if not !live then 0.0 else Clock.ms_between !started (Clock.now ()) /. 1000.0
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let intern name kind =
+  match Hashtbl.find_opt by_name name with
+  | Some id ->
+    let m = !metrics.(id) in
+    if m.m_kind <> kind then
+      invalid_arg
+        (Printf.sprintf "Metrics.%s: %S is already a %s" (kind_name kind) name
+           (kind_name m.m_kind));
+    id
+  | None ->
+    let id = !n_metrics in
+    if id >= Array.length !metrics then begin
+      let cap = max 64 (2 * Array.length !metrics) in
+      let fresh =
+        Array.make cap
+          {
+            m_name = "";
+            m_kind = Counter;
+            c_value = 0;
+            g_value = 0.0;
+            buckets = [||];
+            h_count = 0;
+            h_sum = 0.0;
+            h_max = 0.0;
+          }
+      in
+      Array.blit !metrics 0 fresh 0 id;
+      metrics := fresh
+    end;
+    !metrics.(id) <-
+      {
+        m_name = name;
+        m_kind = kind;
+        c_value = 0;
+        g_value = 0.0;
+        buckets = (if kind = Histogram then Array.make num_buckets 0 else [||]);
+        h_count = 0;
+        h_sum = 0.0;
+        h_max = 0.0;
+      };
+    incr n_metrics;
+    Hashtbl.add by_name name id;
+    id
+
+let counter name = intern name Counter
+let gauge name = intern name Gauge
+let histogram name = intern name Histogram
+
+let incr id =
+  if !live then begin
+    let m = !metrics.(id) in
+    m.c_value <- m.c_value + 1
+  end
+
+let add id n =
+  if !live then begin
+    let m = !metrics.(id) in
+    m.c_value <- m.c_value + n
+  end
+
+let set id v = if !live then !metrics.(id).g_value <- v
+
+(* Bucket 0: v < 1 (zero, clamped negatives, NaN). Bucket i in 1..30:
+   2^(i-1) <= v < 2^i (frexp exponent). Bucket 31: overflow. *)
+let bucket_of v =
+  if not (v >= 1.0) then 0
+  else if v >= ldexp 1.0 (num_buckets - 2) then num_buckets - 1
+  else
+    let _, e = Float.frexp v in
+    e
+
+let bucket_bounds i =
+  if i <= 0 then (0.0, 1.0)
+  else if i >= num_buckets - 1 then (ldexp 1.0 (num_buckets - 2), infinity)
+  else (ldexp 1.0 (i - 1), ldexp 1.0 i)
+
+let observe id v =
+  if !live then begin
+    let m = !metrics.(id) in
+    let v = if v >= 0.0 then v else 0.0 (* clamp negatives and NaN *) in
+    m.buckets.(bucket_of v) <- m.buckets.(bucket_of v) + 1;
+    m.h_count <- m.h_count + 1;
+    m.h_sum <- m.h_sum +. v;
+    if v > m.h_max then m.h_max <- v
+  end
+
+let get id =
+  if id < 0 || id >= !n_metrics then invalid_arg "Metrics: unknown id";
+  !metrics.(id)
+
+let name id = (get id).m_name
+let kind_of id = (get id).m_kind
+let value id = (get id).c_value
+let gauge_value id = (get id).g_value
+let bucket_counts id = Array.copy (get id).buckets
+
+type hist_summary = {
+  h_count : int;
+  h_sum : float;
+  h_max : float;
+  h_p50 : float;
+  h_p95 : float;
+}
+
+let quantile (m : metric) q =
+  if m.h_count = 0 then 0.0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int m.h_count)) in
+    let target = max 1 target in
+    let acc = ref 0 and b = ref 0 in
+    (try
+       for i = 0 to num_buckets - 1 do
+         acc := !acc + m.buckets.(i);
+         if !acc >= target then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let _, hi = bucket_bounds !b in
+    if hi = infinity then m.h_max else hi
+  end
+
+let summarize_m (m : metric) =
+  {
+    h_count = m.h_count;
+    h_sum = m.h_sum;
+    h_max = m.h_max;
+    h_p50 = quantile m 0.5;
+    h_p95 = quantile m 0.95;
+  }
+
+let summarize id = summarize_m (get id)
+
+type export =
+  | Counter_v of string * int
+  | Gauge_v of string * float
+  | Histogram_v of string * hist_summary
+
+let export () =
+  List.init !n_metrics (fun id ->
+      let m = !metrics.(id) in
+      match m.m_kind with
+      | Counter -> Counter_v (m.m_name, m.c_value)
+      | Gauge -> Gauge_v (m.m_name, m.g_value)
+      | Histogram -> Histogram_v (m.m_name, summarize_m m))
+
+let pp_summary fmt () =
+  Format.fprintf fmt "@[<v>== metrics ==@,";
+  List.iter
+    (fun e ->
+      match e with
+      | Counter_v (n, v) -> Format.fprintf fmt "%-32s %12d@," n v
+      | Gauge_v (n, v) -> Format.fprintf fmt "%-32s %12.2f@," n v
+      | Histogram_v (n, h) ->
+        Format.fprintf fmt
+          "%-32s n=%d sum=%.0f p50<=%.0f p95<=%.0f max=%.0f@," n h.h_count
+          h.h_sum h.h_p50 h.h_p95 h.h_max)
+    (export ());
+  Format.fprintf fmt "@]"
+
+(* Finite floats only reach this point (sums/maxima of clamped finite
+   samples); print with enough digits to round-trip counters. *)
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_object () =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ", ";
+      match e with
+      | Counter_v (n, v) ->
+        Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape n) v)
+      | Gauge_v (n, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\": %s" (json_escape n) (json_float v))
+      | Histogram_v (n, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\"%s\": {\"count\": %d, \"sum\": %s, \"p50\": %s, \"p95\": %s, \
+              \"max\": %s}"
+             (json_escape n) h.h_count (json_float h.h_sum)
+             (json_float h.h_p50) (json_float h.h_p95) (json_float h.h_max)))
+    (export ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let reset () =
+  for id = 0 to !n_metrics - 1 do
+    let m = !metrics.(id) in
+    m.c_value <- 0;
+    m.g_value <- 0.0;
+    Array.fill m.buckets 0 (Array.length m.buckets) 0;
+    m.h_count <- 0;
+    m.h_sum <- 0.0;
+    m.h_max <- 0.0
+  done;
+  started := Clock.now ()

@@ -1,0 +1,194 @@
+module Clock = Qca_util.Clock
+
+type span_record = {
+  s_name : string;
+  s_ts_us : int;
+  s_dur_us : int;
+  s_depth : int;
+  s_args : (string * string) list;
+}
+
+(* Spans carry their begin sequence number: timestamps are µs-coarse,
+   so ties are common and start order cannot be recovered from them. *)
+type event =
+  | Span of int * span_record
+  | Instant of { i_name : string; i_ts_us : int; i_args : (string * string) list }
+  | Counter of { c_name : string; c_ts_us : int; c_value : float }
+
+let live = ref false
+let enabled () = !live
+
+let t0 = ref (Clock.now ())
+
+(* Completed events, in completion order; open spans as a stack of
+   (name, begin ts, begin args). *)
+let events : event list ref = ref []
+let n_events = ref 0
+let next_seq = ref 0
+let stack : (int * string * int * (string * string) list) list ref = ref []
+
+let now_us () =
+  int_of_float (Clock.ms_between !t0 (Clock.now ()) *. 1000.0)
+
+let record e =
+  events := e :: !events;
+  incr n_events
+
+let set_enabled b =
+  if b && not !live then t0 := Clock.now ();
+  live := b
+
+let begin_span ?(args = []) name =
+  if !live then begin
+    let seq = !next_seq in
+    incr next_seq;
+    stack := (seq, name, now_us (), args) :: !stack
+  end
+
+let end_span ?(args = []) name =
+  if !live then
+    match !stack with
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Trace.end_span: no open span (closing %S)" name)
+    | (seq, top, ts, bargs) :: rest ->
+      if top <> name then
+        invalid_arg
+          (Printf.sprintf "Trace.end_span: closing %S but %S is open" name top);
+      stack := rest;
+      record
+        (Span
+           ( seq,
+             {
+               s_name = name;
+               s_ts_us = ts;
+               s_dur_us = max 0 (now_us () - ts);
+               s_depth = List.length rest;
+               s_args = bargs @ args;
+             } ))
+
+let span ?args name f =
+  if not !live then f ()
+  else begin
+    begin_span ?args name;
+    Fun.protect ~finally:(fun () -> end_span name) f
+  end
+
+let instant ?(args = []) name =
+  if !live then
+    record (Instant { i_name = name; i_ts_us = now_us (); i_args = args })
+
+let counter name v =
+  if !live then
+    record (Counter { c_name = name; c_ts_us = now_us (); c_value = v })
+
+let spans () =
+  List.filter_map (function Span (q, s) -> Some (q, s) | _ -> None) !events
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let open_depth () = List.length !stack
+let events_recorded () = !n_events
+
+let reset () =
+  events := [];
+  n_events := 0;
+  next_seq := 0;
+  stack := [];
+  t0 := Clock.now ()
+
+(* {1 Rendering} *)
+
+let pp_summary fmt () =
+  Format.fprintf fmt "@[<v>== trace (%d events) ==@," !n_events;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%s%-*s %10.3f ms%s@,"
+        (String.make (2 * s.s_depth) ' ')
+        (max 1 (30 - (2 * s.s_depth)))
+        s.s_name
+        (float_of_int s.s_dur_us /. 1000.0)
+        (match s.s_args with
+        | [] -> ""
+        | args ->
+          "  ["
+          ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+          ^ "]"))
+    (spans ());
+  (match !stack with
+  | [] -> ()
+  | open_ ->
+    Format.fprintf fmt "(still open: %s)@,"
+      (String.concat " > " (List.rev_map (fun (_, n, _, _) -> n) open_)));
+  Format.fprintf fmt "@]"
+
+let escape = Metrics.json_escape
+
+let args_json args =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" (escape k) (escape v))
+         args)
+  ^ "}"
+
+let event_json buf e =
+  match e with
+  | Span (_, s) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\": \"%s\", \"cat\": \"qca\", \"ph\": \"X\", \"ts\": %d, \
+          \"dur\": %d, \"pid\": 1, \"tid\": 1, \"args\": %s}"
+         (escape s.s_name) s.s_ts_us s.s_dur_us (args_json s.s_args))
+  | Instant i ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\": \"%s\", \"cat\": \"qca\", \"ph\": \"i\", \"ts\": %d, \
+          \"s\": \"t\", \"pid\": 1, \"tid\": 1, \"args\": %s}"
+         (escape i.i_name) i.i_ts_us (args_json i.i_args))
+  | Counter c ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\": \"%s\", \"cat\": \"qca\", \"ph\": \"C\", \"ts\": %d, \
+          \"pid\": 1, \"tid\": 1, \"args\": {\"value\": %s}}"
+         (escape c.c_name) c.c_ts_us (Metrics.json_float c.c_value))
+
+let to_chrome_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  Buffer.add_string buf
+    "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, \
+     \"args\": {\"name\": \"qca\"}}";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf ",\n  ";
+      event_json buf e)
+    (List.rev !events);
+  Buffer.add_string buf "\n],\n\"displayTimeUnit\": \"ms\",\n";
+  Buffer.add_string buf ("\"otherData\": {\"metrics\": " ^ Metrics.json_object ());
+  Buffer.add_string buf "}}\n";
+  Buffer.contents buf
+
+let write_chrome file =
+  let oc = open_out file in
+  output_string oc (to_chrome_json ());
+  close_out oc
+
+(* QCA_TRACE: arm the tracer (and the metrics registry) for the whole
+   process; the trace is flushed at exit — to the named file, or as the
+   tree summary on stderr for QCA_TRACE=1. *)
+let env_file =
+  match Sys.getenv_opt "QCA_TRACE" with
+  | None | Some "" | Some "0" -> None
+  | Some v ->
+    set_enabled true;
+    Metrics.set_enabled true;
+    if v = "1" then begin
+      at_exit (fun () ->
+          if !n_events > 0 then Format.eprintf "%a@." pp_summary ());
+      None
+    end
+    else begin
+      at_exit (fun () -> write_chrome v);
+      Some v
+    end

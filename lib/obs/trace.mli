@@ -1,0 +1,82 @@
+(** Span-based tracer with Chrome [trace_event] export.
+
+    Spans are timed with the monotone {!Qca_util.Clock}; timestamps are
+    microseconds relative to the tracer's start. When disabled (the
+    default) every entry point is a single predictable branch and the
+    traced code runs bit-identically.
+
+    The recorded trace can be rendered as a human-readable tree
+    ({!pp_summary}) or exported as Chrome [trace_event] JSON
+    ({!to_chrome_json} / {!write_chrome}) loadable in
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}. The
+    export embeds a {!Metrics} snapshot under ["otherData"].
+
+    The [QCA_TRACE] environment variable arms the tracer for a whole
+    process: [QCA_TRACE=1] prints the tree summary to stderr at exit,
+    any other non-empty value (except [0]) is a file path that receives
+    the Chrome JSON at exit. Both forms also enable the metrics
+    registry. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val env_file : string option
+(** The file named by [QCA_TRACE], if it names one. *)
+
+(** {1 Recording spans} *)
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span. The span is closed (and
+    recorded) even when [f] raises. When the tracer is disabled this is
+    exactly [f ()]. *)
+
+val begin_span : ?args:(string * string) list -> string -> unit
+
+val end_span : ?args:(string * string) list -> string -> unit
+(** Closes the innermost open span. Raises [Invalid_argument] when no
+    span is open or the innermost open span has a different name (an
+    orphan close — the mismatch is reported rather than silently
+    mis-nesting the trace). [args] are appended to the begin-side
+    args. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event (Chrome phase ["i"]). *)
+
+val counter : string -> float -> unit
+(** A counter sample (Chrome phase ["C"]) — e.g. the OMT incumbent
+    objective per round; renders as a stepped series in Perfetto. *)
+
+(** {1 Reading} *)
+
+type span_record = {
+  s_name : string;
+  s_ts_us : int;  (** start, microseconds since tracer start *)
+  s_dur_us : int;
+  s_depth : int;  (** nesting depth at begin time *)
+  s_args : (string * string) list;
+}
+
+val spans : unit -> span_record list
+(** Completed spans in start order. *)
+
+val open_depth : unit -> int
+(** Number of currently open spans. *)
+
+val events_recorded : unit -> int
+(** Total recorded events (spans + instants + counter samples). *)
+
+(** {1 Export} *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Indented tree of completed spans with durations. *)
+
+val to_chrome_json : unit -> string
+(** The whole trace as a Chrome [trace_event] JSON object:
+    [{"traceEvents": [...], "displayTimeUnit": "ms",
+    "otherData": {"metrics": {...}}}]. *)
+
+val write_chrome : string -> unit
+(** Writes {!to_chrome_json} to a file. *)
+
+val reset : unit -> unit
+(** Drops all recorded events and open spans; re-zeroes the clock. *)

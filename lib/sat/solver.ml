@@ -1,6 +1,26 @@
 module Vec = Qca_util.Vec
 module Fault = Qca_util.Fault
 module Clock = Qca_util.Clock
+module Obs = Qca_obs.Metrics
+
+(* Solver telemetry (see DESIGN.md section 7.4). Names are interned
+   once here; every update site is guarded by the registry's [live]
+   flag, so with observability off the search pays one predictable
+   branch per conflict and none per propagation. *)
+let m_conflicts = Obs.counter "sat.conflicts"
+let m_restarts = Obs.counter "sat.restarts"
+let m_propagations = Obs.counter "sat.propagations"
+let m_proof_events = Obs.counter "sat.proof.events"
+let m_decisions = Obs.gauge "sat.decisions"
+let m_learnt_db = Obs.gauge "sat.learnt_db"
+let m_proof_words = Obs.gauge "sat.proof.words"
+let m_arena_gcs = Obs.gauge "sat.arena_gcs"
+let m_conflicts_per_sec = Obs.gauge "sat.conflicts_per_sec"
+let m_lbd = Obs.histogram "sat.lbd"
+let m_trail_depth = Obs.histogram "sat.trail_depth"
+
+(* Conflicts between telemetry syncs of the cheap gauges. *)
+let telemetry_period = 256
 
 type options = {
   use_vsids : bool;
@@ -270,7 +290,8 @@ let proof_emit t ~delete src off n =
   proof_ensure t (n + 1);
   t.proof_buf.(t.proof_len) <- (n lsl 1) lor (if delete then 1 else 0);
   Array.blit src off t.proof_buf (t.proof_len + 1) n;
-  t.proof_len <- t.proof_len + n + 1
+  t.proof_len <- t.proof_len + n + 1;
+  Obs.incr m_proof_events
 
 let[@inline] proof_emit_empty t = if t.proof_on then proof_emit t ~delete:false [||] 0 0
 
@@ -550,6 +571,7 @@ let propagate t =
     Array.unsafe_set t.wsize false_lit !j
   done;
   t.n_propagations <- t.n_propagations + !nprops;
+  if !Obs.live then Obs.add m_propagations !nprops;
   !confl
 
 let var_bump t v =
@@ -816,6 +838,7 @@ let record_learnt t =
     let lits = Array.sub t.learnt_buf 0 len in
     let cr = Arena.alloc t.arena ~learnt:true lits in
     let glue = learnt_lbd t in
+    if !Obs.live then Obs.observe m_lbd (float_of_int glue);
     Arena.set_lbd t.arena cr glue;
     t.lbd_sum <- t.lbd_sum + glue;
     Vec.push t.learnts cr;
@@ -1048,6 +1071,20 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
         if conflict >= 0 then begin
           t.n_conflicts <- t.n_conflicts + 1;
           decr conflicts_until_restart;
+          if !Obs.live then begin
+            Obs.incr m_conflicts;
+            Obs.observe m_trail_depth (float_of_int t.trail_size);
+            if t.n_conflicts mod telemetry_period = 0 then begin
+              Obs.set m_decisions (float_of_int t.n_decisions);
+              Obs.set m_learnt_db (float_of_int (Vec.length t.learnts));
+              Obs.set m_proof_words (float_of_int t.proof_len);
+              Obs.set m_arena_gcs (float_of_int t.n_gcs);
+              let el = Obs.elapsed_s () in
+              if el > 0.0 then
+                Obs.set m_conflicts_per_sec
+                  (float_of_int (Obs.value m_conflicts) /. el)
+            end
+          end;
           if decision_level t = 0 then begin
             t.ok <- false;
             proof_emit_empty t;
@@ -1064,6 +1101,7 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
         end
         else if t.opts.use_restarts && !conflicts_until_restart <= 0 then begin
           t.n_restarts <- t.n_restarts + 1;
+          Obs.incr m_restarts;
           conflicts_until_restart := t.opts.restart_base * next_luby ();
           backtrack_to t 0
         end

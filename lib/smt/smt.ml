@@ -1,6 +1,10 @@
 open Qca_sat
 module Dl = Qca_diff_logic.Dl
 module Fault = Qca_util.Fault
+module Obs = Qca_obs.Metrics
+
+let m_theory_rounds = Obs.counter "smt.rounds"
+let m_theory_conflicts = Obs.counter "smt.theory_conflicts"
 
 type ivar = int
 
@@ -86,6 +90,7 @@ let rec solve_loop t assumptions budget fuel =
   if fuel <= 0 then Unknown Solver.Theory_divergence
   else begin
     t.n_rounds <- t.n_rounds + 1;
+    Obs.incr m_theory_rounds;
     match Solver.solve ~assumptions ~budget t.sat with
     | Solver.Unsat -> Unsat
     | Solver.Unknown r -> Unknown r
@@ -106,6 +111,7 @@ let rec solve_loop t assumptions budget fuel =
           Sat
         | Dl.Negative_cycle blamed ->
           t.n_theory_conflicts <- t.n_theory_conflicts + 1;
+          Obs.incr m_theory_conflicts;
           (* the conjunction of blamed literals is theory-inconsistent *)
           Solver.add_clause t.sat (List.map Lit.negate blamed);
           solve_loop t assumptions budget (fuel - 1)))

@@ -10,6 +10,7 @@ let () =
     [
       ("check", Test_check.suite);
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("linalg", Test_linalg.suite);
       ("quantum", Test_quantum.suite);
       ("circuit", Test_circuit.suite);

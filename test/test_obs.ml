@@ -1,0 +1,434 @@
+(* Observability layer: metrics registry bucketing/summaries, span
+   nesting discipline, and the Chrome trace_event export — including an
+   end-to-end governed adaptation whose trace must contain one complete
+   span per pipeline phase. *)
+
+module Obs = Qca_obs.Metrics
+module Trace = Qca_obs.Trace
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Parse = Qca_circuit.Parse
+module Solver = Qca_sat.Solver
+module Hardware = Qca_adapt.Hardware
+module Pipeline = Qca_adapt.Pipeline
+module Model = Qca_adapt.Model
+
+(* Metrics and trace state is global; every test runs against a clean,
+   enabled registry and leaves both subsystems disabled and empty. *)
+let with_obs f () =
+  Obs.reset ();
+  Trace.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Trace.set_enabled false;
+      Obs.reset ();
+      Trace.reset ())
+    f
+
+let with_trace f () =
+  with_obs
+    (fun () ->
+      Trace.set_enabled true;
+      f ())
+    ()
+
+(* {1 Histogram bucketing} *)
+
+let test_bucket_edges () =
+  Alcotest.(check int) "zero" 0 (Obs.bucket_of 0.0);
+  Alcotest.(check int) "below one" 0 (Obs.bucket_of 0.99);
+  Alcotest.(check int) "negative" 0 (Obs.bucket_of (-4.0));
+  Alcotest.(check int) "nan" 0 (Obs.bucket_of Float.nan);
+  Alcotest.(check int) "one" 1 (Obs.bucket_of 1.0);
+  Alcotest.(check int) "1.5" 1 (Obs.bucket_of 1.5);
+  Alcotest.(check int) "two" 2 (Obs.bucket_of 2.0);
+  Alcotest.(check int) "three" 2 (Obs.bucket_of 3.0);
+  Alcotest.(check int) "2^29" 30 (Obs.bucket_of (ldexp 1.0 29));
+  Alcotest.(check int) "just below overflow" 30
+    (Obs.bucket_of (ldexp 1.0 30 -. 1.0));
+  Alcotest.(check int) "2^30 overflows" (Obs.num_buckets - 1)
+    (Obs.bucket_of (ldexp 1.0 30));
+  Alcotest.(check int) "1e12 overflows" (Obs.num_buckets - 1)
+    (Obs.bucket_of 1e12);
+  Alcotest.(check int) "infinity overflows" (Obs.num_buckets - 1)
+    (Obs.bucket_of infinity);
+  (* every bucket's bounds round-trip through bucket_of *)
+  for i = 0 to Obs.num_buckets - 1 do
+    let lo, hi = Obs.bucket_bounds i in
+    Alcotest.(check int)
+      (Printf.sprintf "lo of bucket %d" i)
+      i (Obs.bucket_of lo);
+    if hi <> infinity then
+      Alcotest.(check int)
+        (Printf.sprintf "hi of bucket %d is next" i)
+        (min (i + 1) (Obs.num_buckets - 1))
+        (Obs.bucket_of hi)
+  done
+
+let test_observe_clamps () =
+  let h = Obs.histogram "test.clamp" in
+  Obs.observe h 0.0;
+  Obs.observe h (-17.0);
+  Obs.observe h Float.nan;
+  let counts = Obs.bucket_counts h in
+  Alcotest.(check int) "all in bucket 0" 3 counts.(0);
+  let s = Obs.summarize h in
+  Alcotest.(check int) "count" 3 s.Obs.h_count;
+  Alcotest.(check (float 0.0)) "sum clamped to zero" 0.0 s.Obs.h_sum;
+  Alcotest.(check (float 0.0)) "max" 0.0 s.Obs.h_max
+
+let test_overflow_bucket () =
+  let h = Obs.histogram "test.overflow" in
+  Obs.observe h 1e12;
+  Obs.observe h 3.0;
+  let counts = Obs.bucket_counts h in
+  Alcotest.(check int) "overflow count" 1 counts.(Obs.num_buckets - 1);
+  let s = Obs.summarize h in
+  (* the overflow bucket has no finite upper bound: quantiles that land
+     there report the observed maximum instead *)
+  Alcotest.(check (float 0.0)) "p95 is the recorded max" 1e12 s.Obs.h_p95;
+  Alcotest.(check (float 0.0)) "p50 is a finite bucket bound" 4.0 s.Obs.h_p50
+
+let test_intern () =
+  let a = Obs.counter "test.intern" in
+  let b = Obs.counter "test.intern" in
+  Alcotest.(check bool) "same id" true (a = b);
+  Obs.incr a;
+  Obs.incr b;
+  Alcotest.(check int) "shared cell" 2 (Obs.value a);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics.gauge: \"test.intern\" is already a counter")
+    (fun () -> ignore (Obs.gauge "test.intern"))
+
+let test_disabled_noop () =
+  let c = Obs.counter "test.disabled" in
+  let h = Obs.histogram "test.disabled.h" in
+  Obs.set_enabled false;
+  Obs.incr c;
+  Obs.add c 10;
+  Obs.observe h 5.0;
+  Obs.set_enabled true;
+  Alcotest.(check int) "counter untouched" 0 (Obs.value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.summarize h).Obs.h_count
+
+let test_reset_keeps_ids () =
+  let c = Obs.counter "test.reset" in
+  Obs.incr c;
+  Obs.reset ();
+  Alcotest.(check int) "zeroed" 0 (Obs.value c);
+  Obs.incr c;
+  Alcotest.(check int) "id still valid" 1 (Obs.value c)
+
+(* {1 Spans} *)
+
+let test_span_nesting () =
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () -> ());
+      Trace.span "inner2" (fun () -> ()));
+  Trace.span "after" (fun () -> ());
+  let spans = Trace.spans () in
+  Alcotest.(check (list string))
+    "names in start order"
+    [ "outer"; "inner"; "inner2"; "after" ]
+    (List.map (fun s -> s.Trace.s_name) spans);
+  Alcotest.(check (list int))
+    "depths" [ 0; 1; 1; 0 ]
+    (List.map (fun s -> s.Trace.s_depth) spans);
+  Alcotest.(check int) "nothing left open" 0 (Trace.open_depth ())
+
+let test_span_closes_on_raise () =
+  (try Trace.span "raiser" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "closed by protect" 0 (Trace.open_depth ());
+  Alcotest.(check (list string))
+    "span still recorded" [ "raiser" ]
+    (List.map (fun s -> s.Trace.s_name) (Trace.spans ()))
+
+let test_orphan_close () =
+  Alcotest.check_raises "close with empty stack"
+    (Invalid_argument "Trace.end_span: no open span (closing \"ghost\")")
+    (fun () -> Trace.end_span "ghost");
+  Trace.begin_span "a";
+  Alcotest.check_raises "close wrong span"
+    (Invalid_argument "Trace.end_span: closing \"b\" but \"a\" is open")
+    (fun () -> Trace.end_span "b");
+  Trace.end_span "a";
+  Alcotest.(check int) "balanced again" 0 (Trace.open_depth ())
+
+let test_disabled_trace_records_nothing () =
+  Trace.set_enabled false;
+  Trace.span "invisible" (fun () -> Trace.instant "nope");
+  Trace.counter "nada" 1.0;
+  Alcotest.(check int) "no events" 0 (Trace.events_recorded ())
+
+(* {1 A minimal JSON reader for validating the Chrome export} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let bad msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos >= n then bad "unexpected end" else s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then bad (Printf.sprintf "expected %C" c);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        let e = peek () in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 > n then bad "truncated \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          Buffer.add_char buf (Char.chr (code land 0xff))
+        | _ -> bad "unknown escape");
+        go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else bad "unknown literal"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            skip_ws ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> bad "expected ',' or '}'"
+        in
+        skip_ws ();
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elems (v :: acc)
+          | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> bad "expected ',' or ']'"
+        in
+        elems []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        advance ()
+      done;
+      if !pos = start then bad "expected a value";
+      Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields -> (
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing JSON member " ^ k))
+  | _ -> Alcotest.fail ("not a JSON object while looking for " ^ k)
+
+let str_member k o =
+  match member k o with Str s -> s | _ -> Alcotest.fail (k ^ " not a string")
+
+(* {1 Chrome export of an end-to-end governed adaptation} *)
+
+(* The section-IV worked example: enough structure that the SAT tier
+   matches, encodes and solves for real. *)
+let example_circuit () =
+  Circuit.of_gates 3
+    [
+      Gate.Single (Gate.Sx, 0);
+      Gate.Two (Gate.Cx, 0, 1);
+      Gate.Two (Gate.Cx, 1, 0);
+      Gate.Two (Gate.Cx, 0, 1);
+      Gate.Single (Gate.Rz 0.7, 1);
+      Gate.Two (Gate.Cx, 1, 2);
+      Gate.Single (Gate.Sx, 2);
+      Gate.Two (Gate.Cx, 1, 2);
+      Gate.Two (Gate.Cx, 0, 1);
+      Gate.Single (Gate.X, 0);
+    ]
+
+let pipeline_phases = [ "parse"; "partition"; "match"; "encode"; "solve"; "apply" ]
+
+let test_governed_trace_json () =
+  (* same shape as the CLI: a parse span around the reader, then the
+     governed pipeline *)
+  let text = Parse.to_text (example_circuit ()) in
+  let circuit =
+    match Trace.span "parse" (fun () -> Parse.parse text) with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail ("parse: " ^ msg)
+  in
+  let budget = Solver.budget () in
+  let o =
+    Pipeline.adapt_governed ~budget Hardware.d0 (Pipeline.Sat Model.Sat_p)
+      circuit
+  in
+  Alcotest.(check string) "full service" "full" (Pipeline.tier_name o.Pipeline.tier);
+  let doc = parse_json (Trace.to_chrome_json ()) in
+  let events =
+    match member "traceEvents" doc with
+    | Arr es -> es
+    | _ -> Alcotest.fail "traceEvents not an array"
+  in
+  Alcotest.(check bool) "trace is not empty" true (List.length events > 1);
+  (* exactly one complete ("X") span per pipeline phase, with sane
+     timestamps *)
+  List.iter
+    (fun phase ->
+      let matching =
+        List.filter
+          (fun e ->
+            match e with
+            | Obj _ -> str_member "name" e = phase && str_member "ph" e = "X"
+            | _ -> false)
+          events
+      in
+      Alcotest.(check int) ("one complete span: " ^ phase) 1
+        (List.length matching);
+      let span = List.hd matching in
+      (match (member "ts" span, member "dur" span) with
+      | Num ts, Num dur ->
+        Alcotest.(check bool) (phase ^ " ts >= 0") true (ts >= 0.0);
+        Alcotest.(check bool) (phase ^ " dur >= 0") true (dur >= 0.0)
+      | _ -> Alcotest.fail (phase ^ ": ts/dur not numbers)")))
+    pipeline_phases;
+  (* solver telemetry travels inside the export *)
+  let metrics = member "metrics" (member "otherData" doc) in
+  (match member "sat.conflicts" metrics with
+  | Num _ -> ()
+  | _ -> Alcotest.fail "sat.conflicts not a number");
+  match member "pipeline.adaptations" metrics with
+  | Num v -> Alcotest.(check bool) "pipeline.adaptations > 0" true (v > 0.0)
+  | _ -> Alcotest.fail "pipeline.adaptations not a number"
+
+let test_chrome_escaping () =
+  Trace.span "weird\"name" ~args:[ ("k\\ey", "line\nbreak") ] (fun () ->
+      Trace.instant "marker";
+      Trace.counter "series" 2.5);
+  let doc = parse_json (Trace.to_chrome_json ()) in
+  let events =
+    match member "traceEvents" doc with
+    | Arr es -> es
+    | _ -> Alcotest.fail "traceEvents not an array"
+  in
+  let names = List.filter_map (function Obj _ as e -> Some (str_member "name" e) | _ -> None) events in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("event present: " ^ String.escaped expected) true
+        (List.mem expected names))
+    [ "weird\"name"; "marker"; "series" ]
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucket edges" `Quick (with_obs test_bucket_edges);
+    Alcotest.test_case "observe clamps zero/negative/nan" `Quick
+      (with_obs test_observe_clamps);
+    Alcotest.test_case "overflow bucket quantiles" `Quick
+      (with_obs test_overflow_bucket);
+    Alcotest.test_case "intern is idempotent, kinds checked" `Quick
+      (with_obs test_intern);
+    Alcotest.test_case "disabled registry is a no-op" `Quick
+      (with_obs test_disabled_noop);
+    Alcotest.test_case "reset keeps ids valid" `Quick
+      (with_obs test_reset_keeps_ids);
+    Alcotest.test_case "span nesting depths" `Quick (with_trace test_span_nesting);
+    Alcotest.test_case "span closes on raise" `Quick
+      (with_trace test_span_closes_on_raise);
+    Alcotest.test_case "orphan close is an error" `Quick
+      (with_trace test_orphan_close);
+    Alcotest.test_case "disabled tracer records nothing" `Quick
+      (with_obs test_disabled_trace_records_nothing);
+    Alcotest.test_case "governed run emits a valid chrome trace" `Quick
+      (with_trace test_governed_trace_json);
+    Alcotest.test_case "chrome export escapes strings" `Quick
+      (with_trace test_chrome_escaping);
+  ]
