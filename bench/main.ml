@@ -33,6 +33,22 @@ let json_file =
     Sys.argv;
   !file
 
+(* Domain count for the parallel A/B rows: --jobs N, else $QCA_JOBS,
+   else 4 (the A/B comparison is the point of those rows, so the
+   default is parallel even though the rest of the harness is not). *)
+let jobs =
+  let j = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--jobs" && i + 1 < Array.length Sys.argv then
+        j := int_of_string_opt Sys.argv.(i + 1))
+    Sys.argv;
+  let env = Option.bind (Sys.getenv_opt "QCA_JOBS") int_of_string_opt in
+  match (!j, env) with
+  | Some n, _ when n > 0 -> n
+  | _, Some n when n > 0 -> n
+  | _ -> 4
+
 (* {1 Experiment regeneration (Table I, Eq. 11, Figs. 5-7)} *)
 
 let run_experiments () =
@@ -137,6 +153,9 @@ let tests =
       Test.make ~name:"ablation-sat/no-deletion"
         (stage (fun () ->
              php_instance { Sat.default_options with use_clause_deletion = false }));
+      Test.make ~name:"ablation-sat/no-phase-saving"
+        (stage (fun () ->
+             php_instance { Sat.default_options with use_phase_saving = false }));
       (* Ablations: exact vs thinned PB encodings *)
       Test.make ~name:"ablation-encoding/totalizer-exact"
         (stage (fun () -> totalizer_instance ~max_out:None));
@@ -166,12 +185,14 @@ type json_row = {
   conflicts : int option;  (** CDCL conflicts charged (governed rows) *)
   propagations : int option;
   omt_rounds : int option;
+  row_jobs : int option;  (** domain count used (parallel rows) *)
+  winner_seat : int option;  (** decisive portfolio seat (portfolio rows) *)
 }
 
 let plain_row ns =
   { ns; budget_exhausted = false; degraded_tier = None; proof_checked = None;
     proof_overhead_ms = None; conflicts = None; propagations = None;
-    omt_rounds = None }
+    omt_rounds = None; row_jobs = None; winner_seat = None }
 
 let deep_circuit =
   lazy (Workloads.random_template ~seed:160 ~num_qubits:3 ~depth:160)
@@ -263,6 +284,56 @@ let proof_rows () =
       ("qca/proof/php-replay", plain_row (replay_ms *. 1e6));
     ] )
 
+(* {1 Parallel batch adaptation and portfolio racing}
+
+   A/B wall-clock of the same Fig. 5/6 batch at jobs = 1 and jobs = N,
+   interleaved rep by rep so machine drift charges both sides equally
+   (best-of-reps reported), plus one portfolio race on the PHP(6,5)
+   ablation instance. The host's core count is recorded next to the
+   timings: on a single-core host the jobs-N batch cannot win and the
+   rows simply record what the host delivered. *)
+
+module Portfolio = Qca_par.Portfolio
+
+let par_rows () =
+  let suite = Workloads.simulation_suite () in
+  let batch n =
+    let t0 = Clock.now () in
+    ignore (E.fig5_fig6 ~jobs:n hw suite);
+    Clock.ms_between t0 (Clock.now ())
+  in
+  let reps = if fast then 1 else 3 in
+  let best_seq = ref infinity and best_par = ref infinity in
+  for _ = 1 to reps do
+    best_seq := Float.min !best_seq (batch 1);
+    best_par := Float.min !best_par (batch jobs)
+  done;
+  let num_vars, clauses = php_problem () in
+  let s = Sat.create () in
+  for _ = 1 to num_vars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) clauses;
+  let t0 = Clock.now () in
+  let o = Portfolio.solve_portfolio ~jobs s in
+  let race_ms = Clock.ms_between t0 (Clock.now ()) in
+  assert (o.Portfolio.verdict = Sat.Unsat);
+  let cores = Domain.recommended_domain_count () in
+  ( !best_seq, !best_par, o.Portfolio.winner, cores,
+    [
+      ("qca/par/cores", { (plain_row Float.nan) with row_jobs = Some cores });
+      ( "qca/par/batch-jobs-1",
+        { (plain_row (!best_seq *. 1e6)) with row_jobs = Some 1 } );
+      ( Printf.sprintf "qca/par/batch-jobs-%d" jobs,
+        { (plain_row (!best_par *. 1e6)) with row_jobs = Some jobs } );
+      ( "qca/par/portfolio-php",
+        {
+          (plain_row (race_ms *. 1e6)) with
+          row_jobs = Some jobs;
+          winner_seat = Some o.Portfolio.winner;
+        } );
+    ] )
+
 let run_benchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
@@ -317,15 +388,25 @@ let run_benchmarks () =
     (if base_ms > 0.0 then 100.0 *. (logged_ms -. base_ms) /. base_ms else 0.0)
     replay_ms
     (if certified then "certified" else "NOT certified");
+  let seq_ms, par_ms, winner, cores, par = par_rows () in
+  Format.fprintf fmt "== Parallel batch adaptation (%d core(s)) ==@." cores;
+  Format.fprintf fmt
+    "fig5/6 batch: %.1f ms at jobs=1, %.1f ms at jobs=%d (speedup %.2fx)@."
+    seq_ms par_ms jobs
+    (if par_ms > 0.0 then seq_ms /. par_ms else Float.nan);
+  Format.fprintf fmt "portfolio PHP(6,5): winner seat %d of %d raced@." winner
+    jobs;
   Format.pp_print_flush fmt ();
   match json_file with
   | None -> ()
   | Some file ->
     (* object per row:
        { ns, budget_exhausted, degraded_tier, proof_checked,
-         proof_overhead_ms, conflicts, propagations, omt_rounds } *)
+         proof_overhead_ms, conflicts, propagations, omt_rounds,
+         jobs, winner_seat } *)
     let all =
-      List.map (fun (name, ns) -> (name, plain_row ns)) rows @ governed @ proof
+      List.map (fun (name, ns) -> (name, plain_row ns)) rows
+      @ governed @ proof @ par
     in
     let int_opt = function None -> "null" | Some n -> string_of_int n in
     let oc = open_out file in
@@ -335,7 +416,8 @@ let run_benchmarks () =
         Printf.fprintf oc
           "  %S: {\"ns\": %s, \"budget_exhausted\": %b, \"degraded_tier\": %s, \
            \"proof_checked\": %s, \"proof_overhead_ms\": %s, \"conflicts\": %s, \
-           \"propagations\": %s, \"omt_rounds\": %s}%s\n"
+           \"propagations\": %s, \"omt_rounds\": %s, \"jobs\": %s, \
+           \"winner_seat\": %s}%s\n"
           name
           (if Float.is_nan r.ns then "null" else Printf.sprintf "%.2f" r.ns)
           r.budget_exhausted
@@ -345,6 +427,7 @@ let run_benchmarks () =
           | None -> "null"
           | Some ms -> Printf.sprintf "%.3f" ms)
           (int_opt r.conflicts) (int_opt r.propagations) (int_opt r.omt_rounds)
+          (int_opt r.row_jobs) (int_opt r.winner_seat)
           (if i = List.length all - 1 then "" else ","))
       all;
     output_string oc "}\n";

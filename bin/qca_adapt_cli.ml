@@ -15,6 +15,12 @@ module Obs = Qca_obs.Metrics
 module Trace = Qca_obs.Trace
 open Qca_adapt
 
+(* Shared by all four CLIs: --jobs defaults to $QCA_JOBS, else 1. *)
+let default_jobs =
+  match Option.bind (Sys.getenv_opt "QCA_JOBS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 1
+
 (* Shared by all four CLIs: --trace-out implies --metrics (the Chrome
    export embeds the metrics snapshot). *)
 let obs_start ~metrics ~trace_out =
@@ -48,8 +54,8 @@ let read_input = function
     try Ok (In_channel.with_open_text path In_channel.input_all)
     with Sys_error msg -> Error msg)
 
-let run method_name hw_name input show_circuit timeout_ms max_conflicts certify
-    metrics trace_out =
+let run method_name hw_name input show_circuit timeout_ms max_conflicts jobs
+    certify metrics trace_out =
   obs_start ~metrics ~trace_out;
   let ( let* ) = Result.bind in
   let result =
@@ -66,7 +72,7 @@ let run method_name hw_name input show_circuit timeout_ms max_conflicts certify
         ?max_conflicts:(Option.map (fun n -> max 0 n) max_conflicts)
         ()
     in
-    let o = Pipeline.adapt_governed ~budget hw method_ circuit in
+    let o = Pipeline.adapt_governed ~budget ~jobs hw method_ circuit in
     let baseline =
       Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit)
     in
@@ -145,6 +151,14 @@ let conflicts_arg =
   let doc = "Cap on CDCL conflicts across all solver calls." in
   Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Race $(docv) diversified CDCL seats per OMT round on OCaml domains \
+     (first decisive seat wins, the rest are cancelled). 1 = sequential. \
+     Defaults to $(b,QCA_JOBS) when set."
+  in
+  Arg.(value & opt int default_jobs & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let certify_arg =
   let doc =
     "Certify the adapted circuit end to end: unitary equivalence with the \
@@ -171,6 +185,6 @@ let cmd =
   Cmd.v (Cmd.info "qca-adapt" ~doc)
     Term.(
       const run $ method_arg $ hw_arg $ input_arg $ show_arg $ timeout_arg
-      $ conflicts_arg $ certify_arg $ metrics_arg $ trace_out_arg)
+      $ conflicts_arg $ jobs_arg $ certify_arg $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

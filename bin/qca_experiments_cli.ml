@@ -13,6 +13,12 @@ module Trace = Qca_obs.Trace
 
 let fmt = Format.std_formatter
 
+(* Shared by all four CLIs: --jobs defaults to $QCA_JOBS, else 1. *)
+let default_jobs =
+  match Option.bind (Sys.getenv_opt "QCA_JOBS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 1
+
 let obs_start ~metrics ~trace_out =
   if metrics || trace_out <> None then Obs.set_enabled true;
   if trace_out <> None then Trace.set_enabled true
@@ -22,7 +28,9 @@ let obs_stop ~metrics ~trace_out =
   if metrics then Format.eprintf "%a@." Obs.pp_summary ()
 
 (* One line per completed adaptation so long matrix runs show motion;
-   stderr keeps the artifact tables on stdout clean. *)
+   stderr keeps the artifact tables on stdout clean. Under --jobs the
+   callback fires from worker domains; each line is a single atomic
+   flushed write, so lines interleave but never tear. *)
 let progress_line t_start p =
   Printf.eprintf "[%8.1fs] %-18s %-10s tier=%-16s %8.1f ms\n%!"
     (Clock.ms_between t_start (Clock.now ()) /. 1000.0)
@@ -38,7 +46,7 @@ let artifacts = [ "table1"; "eq11"; "fig5"; "fig6"; "fig7"; "all" ]
 let suite fast =
   if fast then Workloads.simulation_suite () else Workloads.evaluation_suite ()
 
-let run what hw_name fast timeout_ms csv_out metrics trace_out =
+let run what hw_name fast timeout_ms jobs csv_out metrics trace_out =
   obs_start ~metrics ~trace_out;
   let checked =
     if List.mem what artifacts then hw_of_string hw_name
@@ -70,12 +78,13 @@ let run what hw_name fast timeout_ms csv_out metrics trace_out =
     let figs56 () =
       note
         (Trace.span "fig5_fig6" (fun () ->
-             E.fig5_fig6 ?timeout_ms ~on_progress hw (suite fast)))
+             E.fig5_fig6 ?timeout_ms ~jobs ~on_progress hw (suite fast)))
     in
     let sim () =
       note_sim
         (Trace.span "fig7" (fun () ->
-             E.fig7 ?timeout_ms ~on_progress hw (Workloads.simulation_suite ())))
+             E.fig7 ?timeout_ms ~jobs ~on_progress hw
+               (Workloads.simulation_suite ())))
     in
     (match what with
     | "table1" -> E.print_table1 fmt
@@ -118,6 +127,15 @@ let timeout_arg =
   in
   Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Spread the (case × method) adaptation matrix over $(docv) OCaml \
+     domains with a work-stealing pool. Row order is unchanged; progress \
+     lines may interleave. 1 = sequential. Defaults to $(b,QCA_JOBS) \
+     when set."
+  in
+  Arg.(value & opt int default_jobs & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let csv_arg =
   let doc =
     "Also write the Fig. 5/6 rows as CSV to $(docv), including the \
@@ -141,7 +159,7 @@ let cmd =
   Cmd.v
     (Cmd.info "qca-experiments" ~doc)
     Term.(
-      const run $ what_arg $ hw_arg $ fast_arg $ timeout_arg $ csv_arg
-      $ metrics_arg $ trace_out_arg)
+      const run $ what_arg $ hw_arg $ fast_arg $ timeout_arg $ jobs_arg
+      $ csv_arg $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

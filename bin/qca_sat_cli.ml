@@ -8,8 +8,15 @@ open Cmdliner
 module Dimacs = Qca_sat.Dimacs
 module Solver = Qca_sat.Solver
 module Drup = Qca_check.Drup
+module Portfolio = Qca_par.Portfolio
 module Obs = Qca_obs.Metrics
 module Trace = Qca_obs.Trace
+
+(* Shared by all four CLIs: --jobs defaults to $QCA_JOBS, else 1. *)
+let default_jobs =
+  match Option.bind (Sys.getenv_opt "QCA_JOBS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 1
 
 let obs_start ~metrics ~trace_out =
   if metrics || trace_out <> None then Obs.set_enabled true;
@@ -25,8 +32,8 @@ let read_input = function
     try Ok (In_channel.with_open_text path In_channel.input_all)
     with Sys_error msg -> Error msg)
 
-let run input no_vsids no_restarts stats timeout_ms max_conflicts certify
-    metrics trace_out =
+let run input no_vsids no_restarts no_phase_saving jobs stats timeout_ms
+    max_conflicts certify metrics trace_out =
   obs_start ~metrics ~trace_out;
   match
     Result.bind (read_input input) (fun text ->
@@ -41,6 +48,7 @@ let run input no_vsids no_restarts stats timeout_ms max_conflicts certify
         Solver.default_options with
         use_vsids = not no_vsids;
         use_restarts = not no_restarts;
+        use_phase_saving = not no_phase_saving;
       }
     in
     let budget =
@@ -51,7 +59,25 @@ let run input no_vsids no_restarts stats timeout_ms max_conflicts certify
     let solver =
       Trace.span "encode" (fun () -> Dimacs.load ~options ~proof:certify problem)
     in
-    let result = Trace.span "solve" (fun () -> Solver.solve ~budget solver) in
+    let outcome =
+      Trace.span "solve" (fun () ->
+          Portfolio.solve_portfolio ~budget ~proof:certify ~jobs solver)
+    in
+    let result = outcome.Portfolio.verdict in
+    if jobs > 1 then
+      Printf.printf "c portfolio: %d seats raced, winner %s\n"
+        outcome.Portfolio.seats_run
+        (if outcome.Portfolio.winner < 0 then "none"
+         else "seat " ^ string_of_int outcome.Portfolio.winner);
+    (* The seat that produced the verdict carries the artifacts the
+       rest of the run inspects: the DRUP proof for UNSAT, the model
+       and the search counters otherwise. With --jobs 1 this is the
+       base solver itself. *)
+    let solver =
+      match outcome.Portfolio.winner_solver with
+      | Some s -> s
+      | None -> solver
+    in
     (* Independent certification of the verdict: model evaluation for
        SAT, DRUP proof replay for UNSAT. The check runs under the same
        budget as the search, so it degrades to "unchecked" rather than
@@ -115,6 +141,20 @@ let input_arg =
 
 let no_vsids = Arg.(value & flag & info [ "no-vsids" ] ~doc:"Disable VSIDS.")
 let no_restarts = Arg.(value & flag & info [ "no-restarts" ] ~doc:"Disable restarts.")
+
+let no_phase_saving =
+  Arg.(
+    value & flag
+    & info [ "no-phase-saving" ]
+        ~doc:"Disable phase saving (decisions use the fixed initial polarity).")
+
+let jobs_arg =
+  let doc =
+    "Race $(docv) diversified solver configurations on OCaml domains; the \
+     first decisive seat wins and cancels the rest. 1 = sequential \
+     (bit-identical to earlier releases). Defaults to $(b,QCA_JOBS) when set."
+  in
+  Arg.(value & opt int default_jobs & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 let stats = Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print solver statistics.")
 
 let timeout_arg =
@@ -148,7 +188,8 @@ let cmd =
   let doc = "CDCL SAT solver (DIMACS CNF)" in
   Cmd.v (Cmd.info "qca-sat" ~doc)
     Term.(
-      const run $ input_arg $ no_vsids $ no_restarts $ stats $ timeout_arg
-      $ conflicts_arg $ certify_arg $ metrics_arg $ trace_out_arg)
+      const run $ input_arg $ no_vsids $ no_restarts $ no_phase_saving
+      $ jobs_arg $ stats $ timeout_arg $ conflicts_arg $ certify_arg
+      $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,6 +7,7 @@ module Dl = Qca_diff_logic.Dl
 module Fault = Qca_util.Fault
 module Obs = Qca_obs.Metrics
 module Trace = Qca_obs.Trace
+module Portfolio = Qca_par.Portfolio
 
 (* OMT-driver telemetry: round count and the incumbent-objective
    trajectory (Eq. 8-10 values), both in the metrics registry and as a
@@ -224,7 +225,7 @@ let sat_stats t = Smt.sat_stats t.smt
 
 let default_round_budget = 120
 
-let optimize ?round_budget ?(budget = Solver.no_budget) t obj =
+let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
   if t.consumed then Error `Already_consumed
   else begin
   t.consumed <- true;
@@ -382,7 +383,11 @@ let optimize ?round_budget ?(budget = Solver.no_budget) t obj =
     match
       Trace.span "omt.round"
         ~args:[ ("round", string_of_int !rounds) ]
-        (fun () -> Solver.solve ~assumptions ~budget sat)
+        (fun () ->
+          (* jobs > 1: every round — including the final UNSAT-proving
+             one, where most conflicts are spent — races a portfolio of
+             diversified clones; jobs = 1 is exactly [Solver.solve]. *)
+          (Portfolio.solve_portfolio ~assumptions ~budget ~jobs sat).verdict)
     with
     | Solver.Unsat -> best
     | Solver.Unknown r ->

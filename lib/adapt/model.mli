@@ -56,6 +56,7 @@ type error =
 val optimize :
   ?round_budget:int ->
   ?budget:Solver.budget ->
+  ?jobs:int ->
   t ->
   objective ->
   (solution, error) result
@@ -68,7 +69,13 @@ val optimize :
     (fault sites {!Qca_util.Fault.Warm_start}, [Omt_round] and
     [Sat_step]); when it trips after an incumbent exists the incumbent
     is returned with [stopped] set, before one exists the typed
-    [`Budget_exhausted] error is returned. Never raises. *)
+    [`Budget_exhausted] error is returned. Never raises.
+
+    [jobs > 1] races a {!Qca_par.Portfolio} of diversified CDCL clones
+    on every OMT round (the final UNSAT-proving round included); the
+    objective value is unchanged — optimality is closed by an UNSAT
+    answer whatever seat produces it. [jobs = 1] (default) is the
+    bit-identical sequential path. *)
 
 val evaluate_choice : t -> objective -> Rules.t list -> int
 (** Exact integer objective of an arbitrary conflict-free choice of

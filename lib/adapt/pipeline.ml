@@ -176,7 +176,7 @@ let greedy_choose_governed ?(budget = Solver.no_budget) model obj subs =
 let greedy_choose model obj subs =
   fst (greedy_choose_governed model obj subs)
 
-let adapt_with_info ?options hw method_ circuit =
+let adapt_with_info ?options ?(jobs = 1) hw method_ circuit =
   Obs.incr m_adaptations;
   let part = Trace.span "partition" (fun () -> Block.partition circuit) in
   match method_ with
@@ -204,7 +204,7 @@ let adapt_with_info ?options hw method_ circuit =
     let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
     let model = Trace.span "encode" (fun () -> Model.build ?options hw part subs) in
     let sol =
-      match Trace.span "solve" (fun () -> Model.optimize model obj) with
+      match Trace.span "solve" (fun () -> Model.optimize ~jobs model obj) with
       | Ok sol -> sol
       | Error (`Already_consumed | `Budget_exhausted _) ->
         (* fresh model, unlimited budget: neither error can occur *)
@@ -228,7 +228,8 @@ let adapt_with_info ?options hw method_ circuit =
         substitutions_chosen = List.length chosen;
       } )
 
-let adapt ?options hw method_ circuit = fst (adapt_with_info ?options hw method_ circuit)
+let adapt ?options ?jobs hw method_ circuit =
+  fst (adapt_with_info ?options ?jobs hw method_ circuit)
 
 (* {1 Resource-governed adaptation} *)
 
@@ -261,7 +262,7 @@ let degraded o = o.tier <> Full || o.reason <> None
    Every rung always terminates (the lower rungs are polynomial), so a
    governed request never hangs and never raises: the worst case is the
    direct basis translation, which is always a valid adapted circuit. *)
-let adapt_governed ?options ?budget hw method_ circuit =
+let adapt_governed ?options ?budget ?(jobs = 1) hw method_ circuit =
   let budget = match budget with Some b -> b | None -> Solver.budget () in
   let finish ?claimed_makespan ~tier ~reason ~info circuit =
     if tier <> Full || reason <> None then begin
@@ -307,7 +308,7 @@ let adapt_governed ?options ?budget hw method_ circuit =
       let model =
         Trace.span "encode" (fun () -> Model.build ?options hw part subs)
       in
-      match Trace.span "solve" (fun () -> Model.optimize ~budget model obj) with
+      match Trace.span "solve" (fun () -> Model.optimize ~budget ~jobs model obj) with
       | Ok sol ->
         let info =
           {
@@ -377,5 +378,5 @@ let adapt_governed ?options ?budget hw method_ circuit =
           (Trace.span "apply" (fun () -> apply_substitutions part chosen))))
   | Direct | Kak_only_cz | Kak_only_cz_db | Template_f | Template_r ->
     (* polynomial methods: always complete, no ladder needed *)
-    let c, info = adapt_with_info ?options hw method_ circuit in
+    let c, info = adapt_with_info ?options ~jobs hw method_ circuit in
     finish ~tier:Full ~reason:None ~info c

@@ -39,12 +39,21 @@ type info = {
   theory_conflicts : int;
 }
 
-val adapt : ?options:Solver.options -> Hardware.t -> method_ -> Circuit.t -> Circuit.t
+val adapt :
+  ?options:Solver.options ->
+  ?jobs:int ->
+  Hardware.t ->
+  method_ ->
+  Circuit.t ->
+  Circuit.t
 (** Adapts the circuit; the result contains only native gates and is
-    unitary-equivalent to the input (up to global phase). *)
+    unitary-equivalent to the input (up to global phase). [jobs > 1]
+    enables portfolio solving on the SAT method's OMT rounds (see
+    {!Qca_adapt.Model.optimize}); default 1 = sequential. *)
 
 val adapt_with_info :
   ?options:Solver.options ->
+  ?jobs:int ->
   Hardware.t ->
   method_ ->
   Circuit.t ->
@@ -104,6 +113,7 @@ val degraded : outcome -> bool
 val adapt_governed :
   ?options:Solver.options ->
   ?budget:Solver.budget ->
+  ?jobs:int ->
   Hardware.t ->
   method_ ->
   Circuit.t ->
@@ -111,4 +121,6 @@ val adapt_governed :
 (** Adapt under a resource budget (default: a fresh unlimited budget,
     so [spent] is still reported). With an unlimited budget the served
     circuit is identical to {!adapt}'s. Total: never raises, never
-    hangs — see the ladder above. *)
+    hangs — see the ladder above. [jobs] as in {!adapt}: a portfolio of
+    diversified CDCL seats per OMT round, cancelled cooperatively
+    through this same budget. *)

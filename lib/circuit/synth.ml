@@ -66,7 +66,10 @@ let template_four_cx (x, y, z) =
     Gate.Two (Gate.Cx, 0, 1);
   ]
 
-let cached_variant = ref None
+(* Last successful template variant. Atomic: worker domains adapt
+   circuits concurrently; the cache is a hint, so a racy overwrite only
+   costs a re-search. *)
+let cached_variant = Atomic.make None
 
 type aligned = { t_gates : Gate.t list; t_kak : Kak.t; t_canon : Kak.canonical }
 
@@ -86,7 +89,7 @@ let try_align t_gates vc =
 let find_three_cx_core vc =
   let try_variant variant = try_align (template_three_cx ~variant vc) vc in
   let from_cache =
-    match !cached_variant with None -> None | Some v -> try_variant v
+    match Atomic.get cached_variant with None -> None | Some v -> try_variant v
   in
   match from_cache with
   | Some a -> Some a
@@ -96,7 +99,7 @@ let find_three_cx_core vc =
       else
         match try_variant variant with
         | Some a ->
-          cached_variant := Some variant;
+          Atomic.set cached_variant (Some variant);
           Some a
         | None -> search (variant + 1)
     in

@@ -10,6 +10,7 @@ module Workloads = Qca_workloads.Workloads
 module Density = Qca_sim.Density
 module Hellinger = Qca_sim.Hellinger
 module Solver = Qca_sat.Solver
+module Pool = Qca_par.Pool
 
 type row = {
   case : string;
@@ -54,36 +55,70 @@ let notify on_progress ~case ~meth o =
         p_elapsed_ms = o.Pipeline.spent.Pipeline.elapsed_ms;
       }
 
-let evaluate_case ?(methods = methods) ?timeout_ms ?on_progress hw kase =
-  let circuit = kase.Workloads.circuit in
-  let baseline = Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit) in
-  let row_of m =
-    let o = governed ?timeout_ms hw m circuit in
-    let s = Metrics.summarize hw o.Pipeline.circuit in
-    notify on_progress ~case:kase.Workloads.label
-      ~meth:(Pipeline.method_name m) o;
-    {
-      case = kase.Workloads.label;
-      method_ = Pipeline.method_name m;
-      fidelity_change = Metrics.fidelity_change_pct ~baseline s;
-      idle_decrease = Metrics.idle_decrease_pct ~baseline s;
-      duration = s.Metrics.duration;
-      fidelity = s.Metrics.fidelity;
-      idle = s.Metrics.idle_total;
-      two_qubit_gates = s.Metrics.two_qubit_gates;
-      degraded = Pipeline.degraded o;
-      tier = Pipeline.tier_name o.Pipeline.tier;
-      elapsed_ms = o.Pipeline.spent.Pipeline.elapsed_ms;
-      conflicts = o.Pipeline.spent.Pipeline.conflicts;
-      omt_rounds = o.Pipeline.info.Pipeline.omt_rounds;
-    }
-  in
-  List.map row_of methods
+let row_of ?timeout_ms ?on_progress hw kase ~baseline m =
+  let o = governed ?timeout_ms hw m kase.Workloads.circuit in
+  let s = Metrics.summarize hw o.Pipeline.circuit in
+  notify on_progress ~case:kase.Workloads.label
+    ~meth:(Pipeline.method_name m) o;
+  {
+    case = kase.Workloads.label;
+    method_ = Pipeline.method_name m;
+    fidelity_change = Metrics.fidelity_change_pct ~baseline s;
+    idle_decrease = Metrics.idle_decrease_pct ~baseline s;
+    duration = s.Metrics.duration;
+    fidelity = s.Metrics.fidelity;
+    idle = s.Metrics.idle_total;
+    two_qubit_gates = s.Metrics.two_qubit_gates;
+    degraded = Pipeline.degraded o;
+    tier = Pipeline.tier_name o.Pipeline.tier;
+    elapsed_ms = o.Pipeline.spent.Pipeline.elapsed_ms;
+    conflicts = o.Pipeline.spent.Pipeline.conflicts;
+    omt_rounds = o.Pipeline.info.Pipeline.omt_rounds;
+  }
 
-let fig5_fig6 ?methods ?timeout_ms ?on_progress hw cases =
-  List.concat_map
-    (fun kase -> evaluate_case ?methods ?timeout_ms ?on_progress hw kase)
-    cases
+(* The direct-translation baseline every percentage is computed against.
+   Deterministic, so batch workers recomputing it per task agree with
+   the sequential path exactly. *)
+let baseline_of hw kase =
+  Metrics.summarize hw
+    (Pipeline.adapt hw Pipeline.Direct kase.Workloads.circuit)
+
+let evaluate_case ?(methods = methods) ?timeout_ms ?(jobs = 1) ?on_progress hw
+    kase =
+  let baseline = baseline_of hw kase in
+  let row = row_of ?timeout_ms ?on_progress hw kase ~baseline in
+  if jobs <= 1 then List.map row methods
+  else
+    Pool.with_pool ~jobs (fun pool ->
+        Array.to_list
+          (Pool.parallel_map pool ~f:row (Array.of_list methods)))
+
+(* Batch adaptation. [jobs > 1] spreads the whole (case × method)
+   matrix over a domain pool — every adaptation is independent, which
+   is exactly the divide-and-conquer axis the pool exploits; rows come
+   back in the same order as the sequential path. Each worker task
+   recomputes its case's (cheap, deterministic) direct baseline rather
+   than sharing one, so tasks share nothing mutable. *)
+let fig5_fig6 ?(methods = methods) ?timeout_ms ?(jobs = 1) ?on_progress hw
+    cases =
+  if jobs <= 1 then
+    List.concat_map
+      (fun kase -> evaluate_case ~methods ?timeout_ms ?on_progress hw kase)
+      cases
+  else
+    let tasks =
+      Array.of_list
+        (List.concat_map
+           (fun kase -> List.map (fun m -> (kase, m)) methods)
+           cases)
+    in
+    Pool.with_pool ~jobs (fun pool ->
+        Array.to_list
+          (Pool.parallel_map pool
+             ~f:(fun (kase, m) ->
+               row_of ?timeout_ms ?on_progress hw kase
+                 ~baseline:(baseline_of hw kase) m)
+             tasks))
 
 type sim_row = {
   sim_case : string;
@@ -102,10 +137,9 @@ let noise_of hw =
     t2 = hw.Hardware.t2;
   }
 
-let fig7 ?(methods = methods) ?timeout_ms ?on_progress hw cases =
+let fig7 ?(methods = methods) ?timeout_ms ?(jobs = 1) ?on_progress hw cases =
   let noise = noise_of hw in
-  List.concat_map
-    (fun kase ->
+  let sim_case kase =
       let circuit = kase.Workloads.circuit in
       let ideal = Density.probabilities (Density.run_ideal circuit) in
       let run m =
@@ -134,8 +168,17 @@ let fig7 ?(methods = methods) ?timeout_ms ?on_progress hw cases =
             hellinger = h;
             sim_degraded = was_degraded;
           })
-        methods)
-    cases
+        methods
+  in
+  if jobs <= 1 then List.concat_map sim_case cases
+  else
+    (* One task per case: the ideal-state simulation and the direct
+       baseline are shared across that case's methods, so the case is
+       the natural grain here. *)
+    Pool.with_pool ~jobs (fun pool ->
+        List.concat
+          (Array.to_list
+             (Pool.parallel_map pool ~f:sim_case (Array.of_list cases))))
 
 type headline = {
   max_fidelity_change : float;

@@ -41,22 +41,31 @@ val methods : Pipeline.method_ list
 val evaluate_case :
   ?methods:Pipeline.method_ list ->
   ?timeout_ms:float ->
+  ?jobs:int ->
   ?on_progress:(progress -> unit) ->
   Hardware.t ->
   Workloads.case ->
   row list
 (** Adapts one workload with every method and computes the Fig. 5/6
     metrics against the direct-translation baseline. [timeout_ms]
-    bounds each adaptation independently (degraded rows are flagged). *)
+    bounds each adaptation independently (degraded rows are flagged).
+    [jobs > 1] adapts the methods concurrently on a
+    {!Qca_par.Pool} of OCaml domains; rows keep their order. *)
 
 val fig5_fig6 :
   ?methods:Pipeline.method_ list ->
   ?timeout_ms:float ->
+  ?jobs:int ->
   ?on_progress:(progress -> unit) ->
   Hardware.t ->
   Workloads.case list ->
   row list
-(** The full Fig. 5 + Fig. 6 matrix for a gate-timing variant. *)
+(** The full Fig. 5 + Fig. 6 matrix for a gate-timing variant.
+    [jobs > 1] spreads the whole (case × method) matrix over a
+    work-stealing domain pool — each adaptation is an independent
+    task; row order matches the sequential run. [on_progress]
+    callbacks may then fire from worker domains (and out of matrix
+    order); the built-in CLI progress printer tolerates this. *)
 
 type sim_row = {
   sim_case : string;
@@ -70,13 +79,16 @@ type sim_row = {
 val fig7 :
   ?methods:Pipeline.method_ list ->
   ?timeout_ms:float ->
+  ?jobs:int ->
   ?on_progress:(progress -> unit) ->
   Hardware.t ->
   Workloads.case list ->
   sim_row list
 (** Noisy density-matrix simulation (depolarizing per gate + thermal
     relaxation on idle windows, T2 = 2900 ns, T1 = 1000·T2): Hellinger
-    fidelity change and idle-time decrease per method. *)
+    fidelity change and idle-time decrease per method. [jobs > 1] runs
+    one pool task per case (the ideal-state simulation is shared by
+    that case's methods). *)
 
 type headline = {
   max_fidelity_change : float;  (** paper: up to +15 % (Fig. 5) *)

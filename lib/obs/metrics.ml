@@ -4,26 +4,31 @@ type kind = Counter | Gauge | Histogram
 
 let num_buckets = 32
 
+(* Every cell is an [Atomic.t] so concurrent domains (portfolio seats,
+   pool workers) never lose updates: int cells use fetch-and-add, float
+   cells a CAS retry loop. The per-update cost with the registry off is
+   still a single boolean load. *)
 type metric = {
   m_name : string;
   m_kind : kind;
-  mutable c_value : int;  (* counters *)
-  mutable g_value : float;  (* gauges *)
-  buckets : int array;  (* histograms only; [||] otherwise *)
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_max : float;
+  c_value : int Atomic.t;  (* counters *)
+  g_value : float Atomic.t;  (* gauges *)
+  buckets : int Atomic.t array;  (* histograms only; [||] otherwise *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_max : float Atomic.t;
 }
 
 type id = int
 
 (* Registry storage: a growable array indexed by id plus the interning
-   table. Updates go through [metrics.(id)] — one bounds-checked array
-   read — so the per-site cost with the registry enabled is a couple of
-   loads and one store. *)
+   table, both guarded by [intern_m]. Growth blits the existing metric
+   records (pointers) into the fresh array, so updaters racing through
+   a stale [!metrics] still hit the same atomic cells. *)
 let metrics : metric array ref = ref [||]
 let n_metrics = ref 0
 let by_name : (string, id) Hashtbl.t = Hashtbl.create 64
+let intern_m = Mutex.create ()
 
 let live = ref false
 let enabled () = !live
@@ -42,67 +47,64 @@ let kind_name = function
   | Gauge -> "gauge"
   | Histogram -> "histogram"
 
+let fresh_metric name kind =
+  {
+    m_name = name;
+    m_kind = kind;
+    c_value = Atomic.make 0;
+    g_value = Atomic.make 0.0;
+    buckets =
+      (if kind = Histogram then Array.init num_buckets (fun _ -> Atomic.make 0)
+       else [||]);
+    h_count = Atomic.make 0;
+    h_sum = Atomic.make 0.0;
+    h_max = Atomic.make 0.0;
+  }
+
 let intern name kind =
-  match Hashtbl.find_opt by_name name with
-  | Some id ->
-    let m = !metrics.(id) in
-    if m.m_kind <> kind then
-      invalid_arg
-        (Printf.sprintf "Metrics.%s: %S is already a %s" (kind_name kind) name
-           (kind_name m.m_kind));
-    id
-  | None ->
-    let id = !n_metrics in
-    if id >= Array.length !metrics then begin
-      let cap = max 64 (2 * Array.length !metrics) in
-      let fresh =
-        Array.make cap
-          {
-            m_name = "";
-            m_kind = Counter;
-            c_value = 0;
-            g_value = 0.0;
-            buckets = [||];
-            h_count = 0;
-            h_sum = 0.0;
-            h_max = 0.0;
-          }
-      in
-      Array.blit !metrics 0 fresh 0 id;
-      metrics := fresh
-    end;
-    !metrics.(id) <-
-      {
-        m_name = name;
-        m_kind = kind;
-        c_value = 0;
-        g_value = 0.0;
-        buckets = (if kind = Histogram then Array.make num_buckets 0 else [||]);
-        h_count = 0;
-        h_sum = 0.0;
-        h_max = 0.0;
-      };
-    incr n_metrics;
-    Hashtbl.add by_name name id;
-    id
+  Mutex.lock intern_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock intern_m)
+    (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some id ->
+        let m = !metrics.(id) in
+        if m.m_kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Metrics.%s: %S is already a %s" (kind_name kind)
+               name
+               (kind_name m.m_kind));
+        id
+      | None ->
+        let id = !n_metrics in
+        if id >= Array.length !metrics then begin
+          let cap = max 64 (2 * Array.length !metrics) in
+          let fresh = Array.make cap (fresh_metric "" Counter) in
+          Array.blit !metrics 0 fresh 0 id;
+          metrics := fresh
+        end;
+        !metrics.(id) <- fresh_metric name kind;
+        incr n_metrics;
+        Hashtbl.add by_name name id;
+        id)
 
 let counter name = intern name Counter
 let gauge name = intern name Gauge
 let histogram name = intern name Histogram
 
-let incr id =
-  if !live then begin
-    let m = !metrics.(id) in
-    m.c_value <- m.c_value + 1
-  end
+(* CAS loops for float cells. [accum_max] bails out as soon as the
+   current maximum already dominates the sample. *)
+let rec accum_float cell v =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. v)) then accum_float cell v
 
-let add id n =
-  if !live then begin
-    let m = !metrics.(id) in
-    m.c_value <- m.c_value + n
-  end
+let rec accum_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then accum_max cell v
 
-let set id v = if !live then !metrics.(id).g_value <- v
+let incr id = if !live then Atomic.incr !metrics.(id).c_value
+let add id n = if !live then ignore (Atomic.fetch_and_add !metrics.(id).c_value n)
+let set id v = if !live then Atomic.set !metrics.(id).g_value v
 
 (* Bucket 0: v < 1 (zero, clamped negatives, NaN). Bucket i in 1..30:
    2^(i-1) <= v < 2^i (frexp exponent). Bucket 31: overflow. *)
@@ -122,10 +124,10 @@ let observe id v =
   if !live then begin
     let m = !metrics.(id) in
     let v = if v >= 0.0 then v else 0.0 (* clamp negatives and NaN *) in
-    m.buckets.(bucket_of v) <- m.buckets.(bucket_of v) + 1;
-    m.h_count <- m.h_count + 1;
-    m.h_sum <- m.h_sum +. v;
-    if v > m.h_max then m.h_max <- v
+    Atomic.incr m.buckets.(bucket_of v);
+    Atomic.incr m.h_count;
+    accum_float m.h_sum v;
+    accum_max m.h_max v
   end
 
 let get id =
@@ -134,9 +136,9 @@ let get id =
 
 let name id = (get id).m_name
 let kind_of id = (get id).m_kind
-let value id = (get id).c_value
-let gauge_value id = (get id).g_value
-let bucket_counts id = Array.copy (get id).buckets
+let value id = Atomic.get (get id).c_value
+let gauge_value id = Atomic.get (get id).g_value
+let bucket_counts id = Array.map Atomic.get (get id).buckets
 
 type hist_summary = {
   h_count : int;
@@ -146,15 +148,15 @@ type hist_summary = {
   h_p95 : float;
 }
 
-let quantile (m : metric) q =
-  if m.h_count = 0 then 0.0
+let quantile (m : metric) count q =
+  if count = 0 then 0.0
   else begin
-    let target = int_of_float (ceil (q *. float_of_int m.h_count)) in
+    let target = int_of_float (ceil (q *. float_of_int count)) in
     let target = max 1 target in
     let acc = ref 0 and b = ref 0 in
     (try
        for i = 0 to num_buckets - 1 do
-         acc := !acc + m.buckets.(i);
+         acc := !acc + Atomic.get m.buckets.(i);
          if !acc >= target then begin
            b := i;
            raise Exit
@@ -162,16 +164,17 @@ let quantile (m : metric) q =
        done
      with Exit -> ());
     let _, hi = bucket_bounds !b in
-    if hi = infinity then m.h_max else hi
+    if hi = infinity then Atomic.get m.h_max else hi
   end
 
 let summarize_m (m : metric) =
+  let count = Atomic.get m.h_count in
   {
-    h_count = m.h_count;
-    h_sum = m.h_sum;
-    h_max = m.h_max;
-    h_p50 = quantile m 0.5;
-    h_p95 = quantile m 0.95;
+    h_count = count;
+    h_sum = Atomic.get m.h_sum;
+    h_max = Atomic.get m.h_max;
+    h_p50 = quantile m count 0.5;
+    h_p95 = quantile m count 0.95;
   }
 
 let summarize id = summarize_m (get id)
@@ -185,8 +188,8 @@ let export () =
   List.init !n_metrics (fun id ->
       let m = !metrics.(id) in
       match m.m_kind with
-      | Counter -> Counter_v (m.m_name, m.c_value)
-      | Gauge -> Gauge_v (m.m_name, m.g_value)
+      | Counter -> Counter_v (m.m_name, Atomic.get m.c_value)
+      | Gauge -> Gauge_v (m.m_name, Atomic.get m.g_value)
       | Histogram -> Histogram_v (m.m_name, summarize_m m))
 
 let pp_summary fmt () =
@@ -252,11 +255,11 @@ let json_object () =
 let reset () =
   for id = 0 to !n_metrics - 1 do
     let m = !metrics.(id) in
-    m.c_value <- 0;
-    m.g_value <- 0.0;
-    Array.fill m.buckets 0 (Array.length m.buckets) 0;
-    m.h_count <- 0;
-    m.h_sum <- 0.0;
-    m.h_max <- 0.0
+    Atomic.set m.c_value 0;
+    Atomic.set m.g_value 0.0;
+    Array.iter (fun b -> Atomic.set b 0) m.buckets;
+    Atomic.set m.h_count 0;
+    Atomic.set m.h_sum 0.0;
+    Atomic.set m.h_max 0.0
   done;
   started := Clock.now ()

@@ -10,8 +10,16 @@
     The registry is global on purpose: several solvers, models and
     pipeline phases in one process accumulate into the same series,
     which is what the CLI `--metrics` report and the Chrome-trace
-    export want. It is not thread-safe (nothing in this repository
-    is). *)
+    export want.
+
+    Updates are domain-safe: every cell is an [Atomic.t] (int cells
+    use fetch-and-add, float cells a CAS retry loop) and interning is
+    mutex-guarded, so concurrent portfolio seats and pool workers never
+    lose increments. Reads ({!export}, {!summarize}) take no global
+    snapshot — a histogram exported mid-update may be off by the
+    in-flight sample, which is fine for reporting. {!set_enabled} and
+    {!reset} are management operations: call them from one domain while
+    no workers are updating. *)
 
 type id
 (** An interned metric. Ids stay valid across {!reset}. *)

@@ -15,7 +15,14 @@
     process: [QCA_TRACE=1] prints the tree summary to stderr at exit,
     any other non-empty value (except [0]) is a file path that receives
     the Chrome JSON at exit. Both forms also enable the metrics
-    registry. *)
+    registry.
+
+    Recording is domain-safe: the event log is mutex-guarded and each
+    domain keeps its own open-span stack (spans nest within a domain
+    and never migrate). Events carry the recording domain's id, which
+    becomes the [tid] in the Chrome export (with a [thread_name]
+    metadata row per domain). {!set_enabled} and {!reset} are
+    management operations for the coordinating domain. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
@@ -52,7 +59,8 @@ type span_record = {
   s_name : string;
   s_ts_us : int;  (** start, microseconds since tracer start *)
   s_dur_us : int;
-  s_depth : int;  (** nesting depth at begin time *)
+  s_depth : int;  (** nesting depth at begin time, within [s_tid] *)
+  s_tid : int;  (** recording domain's id (0 = main) *)
   s_args : (string * string) list;
 }
 

@@ -27,10 +27,12 @@ type options = {
   use_restarts : bool;
   use_clause_deletion : bool;
   use_minimization : bool;
+  use_phase_saving : bool;
   var_decay : float;
   clause_decay : float;
   restart_base : int;
-  seed : int;
+  phase_init : bool;  (* polarity of fresh vars / fixed polarity *)
+  seed : int;  (* <> 0: occasional random decision polarity *)
 }
 
 let default_options =
@@ -39,9 +41,11 @@ let default_options =
     use_restarts = true;
     use_clause_deletion = true;
     use_minimization = true;
+    use_phase_saving = true;
     var_decay = 0.95;
     clause_decay = 0.999;
     restart_base = 64;
+    phase_init = false;
     seed = 0;
   }
 
@@ -70,29 +74,35 @@ type result = Sat | Unsat | Unknown of stop_reason
 type budget = {
   max_conflicts : int;
   max_propagations : int;
+  max_theory_rounds : int;  (* DPLL(T) refinement rounds per Smt.solve *)
   deadline : float;  (* absolute Clock.now seconds; infinity = none *)
   cancelled : unit -> bool;
   fault : Fault.t;
   created : float;
   mutable conflicts_spent : int;
   mutable propagations_spent : int;
+  mutable theory_rounds_spent : int;
 }
+
+let default_theory_rounds = 1_000_000
 
 let no_budget =
   {
     max_conflicts = max_int;
     max_propagations = max_int;
+    max_theory_rounds = default_theory_rounds;
     deadline = infinity;
     cancelled = (fun () -> false);
     fault = Fault.none;
     created = 0.0;
     conflicts_spent = 0;
     propagations_spent = 0;
+    theory_rounds_spent = 0;
   }
 
 let budget ?timeout_ms ?(max_conflicts = max_int)
-    ?(max_propagations = max_int) ?(cancelled = fun () -> false)
-    ?(fault = Fault.none) () =
+    ?(max_propagations = max_int) ?(max_theory_rounds = default_theory_rounds)
+    ?(cancelled = fun () -> false) ?(fault = Fault.none) () =
   let created = Clock.now () in
   let deadline =
     match timeout_ms with
@@ -102,12 +112,14 @@ let budget ?timeout_ms ?(max_conflicts = max_int)
   {
     max_conflicts;
     max_propagations;
+    max_theory_rounds;
     deadline;
     cancelled;
     fault;
     created;
     conflicts_spent = 0;
     propagations_spent = 0;
+    theory_rounds_spent = 0;
   }
 
 (* Caps / deadline / cancellation only — fault plans are consulted at
@@ -187,6 +199,7 @@ type t = {
   mutable lbd_tick : int;
   mutable var_inc : float;
   mutable cla_inc : float;
+  mutable rnd : int;  (* xorshift state; only advanced when seed <> 0 *)
   (* DRUP proof log (off by default): a flat int stream of events, each
      a header word [n lsl 1 lor is_delete] followed by n literals in the
      internal encoding. Grown amortized; never read by the solver
@@ -220,7 +233,7 @@ let create ?(options = default_options) () =
     wdata = Array.make (2 * initial_cap) [||];
     wsize = Array.make (2 * initial_cap) 0;
     assigns = Array.make initial_cap (-1);
-    phase = Array.make initial_cap false;
+    phase = Array.make initial_cap options.phase_init;
     reason = Array.make initial_cap no_reason;
     level = Array.make initial_cap 0;
     seen = Array.make initial_cap false;
@@ -245,6 +258,7 @@ let create ?(options = default_options) () =
     lbd_tick = 0;
     var_inc = 1.0;
     cla_inc = 1.0;
+    rnd = (if options.seed = 0 then 1 else options.seed land max_int lor 1);
     proof_on = false;
     proof_buf = [||];
     proof_len = 0;
@@ -338,7 +352,7 @@ let grow_arrays t n =
       fresh
     in
     t.assigns <- copy_arr t.assigns (-1);
-    t.phase <- copy_arr t.phase false;
+    t.phase <- copy_arr t.phase t.opts.phase_init;
     t.reason <- copy_arr t.reason no_reason;
     t.level <- copy_arr t.level 0;
     t.seen <- copy_arr t.seen false;
@@ -981,6 +995,26 @@ let pick_branch_var t =
     scan 0
   end
 
+(* Decision polarity. Saved phase (progress saving) by default; fixed
+   [phase_init] when phase saving is ablated. With a nonzero [seed] the
+   portfolio seats additionally flip a random polarity about 1 decision
+   in 32 (xorshift, deterministic per seed). [seed = 0] never touches
+   [t.rnd], keeping the default path bit-identical. *)
+let[@inline] next_rand t =
+  let x = t.rnd in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 1 else x in
+  t.rnd <- x;
+  x
+
+let[@inline] decide_polarity t v =
+  if t.opts.seed <> 0 && next_rand t land 31 = 0 then next_rand t land 1 = 0
+  else if t.opts.use_phase_saving then t.phase.(v)
+  else t.opts.phase_init
+
 exception Answered of result
 
 let solve ?(assumptions = []) ?(budget = no_budget) t =
@@ -1134,7 +1168,7 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
           else begin
             t.n_decisions <- t.n_decisions + 1;
             new_level t;
-            enqueue t (Lit.make v t.phase.(v)) no_reason
+            enqueue t (Lit.make v (decide_polarity t v)) no_reason
           end
         end
       done;
@@ -1152,6 +1186,38 @@ let lit_value t l = if Lit.sign l then value t (Lit.var l) else not (value t (Li
 let model t = Array.init t.nvars (fun v -> value t v)
 
 let unsat_core t = t.core
+
+let options t = t.opts
+
+(* Problem snapshot for portfolio cloning: the original clauses plus
+   every root-level fact as a unit clause (root facts subsume any unit
+   clauses that were never stored as crefs). Learnt clauses are implied
+   and deliberately not exported — each seat re-learns under its own
+   configuration. An already-refuted solver exports one empty clause. *)
+type problem = { p_nvars : int; p_clauses : Lit.t list list }
+
+let export_problem t =
+  backtrack_to t 0;
+  let cls = ref [] in
+  if not t.ok then cls := [ [] ]
+  else begin
+    for i = t.trail_size - 1 downto 0 do
+      cls := [ t.trail.(i) ] :: !cls
+    done;
+    Vec.iter
+      (fun cr ->
+        let n = Arena.size t.arena cr in
+        cls := List.init n (fun k -> Arena.lit t.arena cr k) :: !cls)
+      t.clauses
+  end;
+  { p_nvars = t.nvars; p_clauses = List.rev !cls }
+
+let import_problem ?options ?(proof = false) p =
+  let s = create ?options () in
+  if proof then enable_proof s;
+  for _ = 1 to p.p_nvars do ignore (new_var s) done;
+  List.iter (fun c -> add_clause s c) p.p_clauses;
+  s
 
 (* Read-only snapshot of the internal state for the invariant auditor
    (lib/check). Scalar fields are copies; the arrays are shared with the

@@ -25,10 +25,18 @@ type options = {
   use_restarts : bool;
   use_clause_deletion : bool;
   use_minimization : bool;  (** recursive learnt-clause minimization *)
+  use_phase_saving : bool;
+      (** decide with the last-assigned polarity (progress saving); off:
+          always decide [phase_init] *)
   var_decay : float;  (** VSIDS decay, e.g. 0.95 *)
   clause_decay : float;
   restart_base : int;  (** conflicts per Luby unit *)
-  seed : int;  (** reserved for randomized polarity experiments *)
+  phase_init : bool;  (** initial / fixed decision polarity *)
+  seed : int;
+      (** [<> 0]: flip a pseudo-random decision polarity about 1 in 32
+          (deterministic xorshift keyed by the seed) — the portfolio
+          diversification knob. [0] (default) consults no RNG and is
+          bit-identical to the classic search. *)
 }
 
 val default_options : options
@@ -60,12 +68,18 @@ val string_of_stop_reason : stop_reason -> string
 type budget = {
   max_conflicts : int;
   max_propagations : int;
+  max_theory_rounds : int;
+      (** DPLL(T) refinement rounds, cumulative across calls sharing the
+          budget; exhaustion surfaces as [Unknown Theory_divergence] *)
   deadline : float;  (** absolute {!Qca_util.Clock.now} seconds; [infinity] = none *)
-  cancelled : unit -> bool;  (** polled cooperatively *)
+  cancelled : unit -> bool;
+      (** polled cooperatively; must be domain-safe when the budget is
+          shared with portfolio seats *)
   fault : Qca_util.Fault.t;
   created : float;
   mutable conflicts_spent : int;
   mutable propagations_spent : int;
+  mutable theory_rounds_spent : int;
 }
 
 val no_budget : budget
@@ -76,6 +90,7 @@ val budget :
   ?timeout_ms:float ->
   ?max_conflicts:int ->
   ?max_propagations:int ->
+  ?max_theory_rounds:int ->
   ?cancelled:(unit -> bool) ->
   ?fault:Qca_util.Fault.t ->
   unit ->
@@ -121,6 +136,26 @@ val model : t -> bool array
 val unsat_core : t -> Lit.t list
 (** After [Unsat] under assumptions: a subset of the assumptions that is
     already unsatisfiable together with the clauses. *)
+
+val options : t -> options
+(** The options the solver was created with. *)
+
+(** {1 Problem export (portfolio cloning)}
+
+    {!export_problem} snapshots the problem a solver holds — variable
+    count, original clauses, and every root-level fact as a unit clause
+    — after backtracking to level 0. Learnt clauses are implied and not
+    exported; a refuted solver exports one empty clause.
+    {!import_problem} rebuilds an equivalent fresh solver, possibly
+    under different {!options} — this is how {!Qca_par.Portfolio} seats
+    diversified clones without sharing any mutable solver state. *)
+
+type problem = { p_nvars : int; p_clauses : Lit.t list list }
+
+val export_problem : t -> problem
+val import_problem : ?options:options -> ?proof:bool -> problem -> t
+(** [proof] arms DRUP logging before any clause is added, so the
+    clone's log covers its whole derivation. *)
 
 (** {1 DRUP proof logging}
 

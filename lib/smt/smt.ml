@@ -86,12 +86,15 @@ let theory_constraints t =
         | Ge -> Some { Dl.x = a.ay; y = a.ax; k = -a.ak; tag = a.lit })
     t.atom_list
 
-let rec solve_loop t assumptions budget fuel =
+let rec solve_loop t assumptions budget fuel ~jobs =
   if fuel <= 0 then Unknown Solver.Theory_divergence
   else begin
     t.n_rounds <- t.n_rounds + 1;
     Obs.incr m_theory_rounds;
-    match Solver.solve ~assumptions ~budget t.sat with
+    match
+      (Qca_par.Portfolio.solve_portfolio ~assumptions ~budget ~jobs t.sat)
+        .verdict
+    with
     | Solver.Unsat -> Unsat
     | Solver.Unknown r -> Unknown r
     | Solver.Sat -> (
@@ -100,7 +103,7 @@ let rec solve_loop t assumptions budget fuel =
         (* injected transient theory failure: burn fuel and re-check —
            no clause is learnt, so soundness is untouched *)
         t.n_theory_conflicts <- t.n_theory_conflicts + 1;
-        solve_loop t assumptions budget (fuel - 1)
+        solve_loop t assumptions budget (fuel - 1) ~jobs
       | Some Fault.Cancel -> Unknown Solver.Cancelled
       | Some Fault.Exhaust -> Unknown Solver.Theory_divergence
       | None -> (
@@ -114,12 +117,24 @@ let rec solve_loop t assumptions budget fuel =
           Obs.incr m_theory_conflicts;
           (* the conjunction of blamed literals is theory-inconsistent *)
           Solver.add_clause t.sat (List.map Lit.negate blamed);
-          solve_loop t assumptions budget (fuel - 1)))
+          solve_loop t assumptions budget (fuel - 1) ~jobs))
   end
 
-let solve ?(assumptions = []) ?(budget = Solver.no_budget) t =
+(* Theory-round fuel comes from the budget (cumulative across calls
+   sharing it, like the conflict/propagation accounts). [no_budget] is a
+   shared constant and must never be written to, so its spent counter is
+   left alone — its [max_theory_rounds] default keeps the historical
+   1e6 cap. *)
+let solve ?(assumptions = []) ?(budget = Solver.no_budget) ?(jobs = 1) t =
   t.n_rounds <- 0;
-  solve_loop t assumptions budget 1_000_000
+  let fuel =
+    max 0 (budget.Solver.max_theory_rounds - budget.Solver.theory_rounds_spent)
+  in
+  let r = solve_loop t assumptions budget fuel ~jobs in
+  if budget != Solver.no_budget then
+    budget.Solver.theory_rounds_spent <-
+      budget.Solver.theory_rounds_spent + t.n_rounds;
+  r
 
 let bool_value t v = Solver.value t.sat v
 let lit_value t l = Solver.lit_value t.sat l
@@ -140,7 +155,7 @@ type minimize_outcome = {
 }
 
 let minimize t ~evaluate ~prune ~block ?(assumptions = [])
-    ?(max_rounds = 100_000) ?(budget = Solver.no_budget) () =
+    ?(max_rounds = 100_000) ?(budget = Solver.no_budget) ?(jobs = 1) () =
   let total_rounds = ref 0 in
   let conflicts_before = t.n_theory_conflicts in
   let finish best ~complete ~stopped =
@@ -163,7 +178,7 @@ let minimize t ~evaluate ~prune ~block ?(assumptions = [])
       finish best ~complete:false ~stopped:(Some Solver.Out_of_rounds)
     else begin
       let extra = match best with None -> [] | Some b -> prune ~best:b in
-      match solve ~assumptions:(assumptions @ extra) ~budget t with
+      match solve ~assumptions:(assumptions @ extra) ~budget ~jobs t with
       | Unsat -> finish best ~complete:true ~stopped:None
       | Unknown r -> finish best ~complete:false ~stopped:(Some r)
       | Sat ->

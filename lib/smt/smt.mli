@@ -48,15 +48,21 @@ val atom_ge : t -> ivar -> ivar -> int -> Lit.t
 
 type verdict = Sat | Unsat | Unknown of Solver.stop_reason
 
-val solve : ?assumptions:Lit.t list -> ?budget:Solver.budget -> t -> verdict
+val solve :
+  ?assumptions:Lit.t list -> ?budget:Solver.budget -> ?jobs:int -> t -> verdict
 (** Lazy DPLL(T). With a [budget], [Unknown reason] reports budget
     exhaustion, cancellation or an injected fault; without one the only
-    [Unknown] is [Theory_divergence] when the refinement fuel
-    (1e6 rounds) runs out. The budget's {!Qca_util.Fault} plan is
-    consulted at {!Qca_util.Fault.Theory_check} before every
-    difference-logic check: an injected [Spurious_conflict] makes the
-    loop retry (consuming fuel) without learning a clause, so soundness
-    is preserved. *)
+    [Unknown] is [Theory_divergence] when the refinement fuel runs out.
+    The fuel is the budget's [max_theory_rounds] (cumulative across
+    calls sharing the budget; the default budget keeps the historical
+    1e6 cap). The budget's {!Qca_util.Fault} plan is consulted at
+    {!Qca_util.Fault.Theory_check} before every difference-logic check:
+    an injected [Spurious_conflict] makes the loop retry (consuming
+    fuel) without learning a clause, so soundness is preserved.
+
+    [jobs > 1] races that many diversified CDCL configurations per
+    Boolean solve ({!Qca_par.Portfolio.solve_portfolio}); [jobs = 1]
+    (default) is the bit-identical sequential path. *)
 
 val bool_value : t -> Lit.var -> bool
 (** After {!Sat}. *)
@@ -90,6 +96,7 @@ val minimize :
   ?assumptions:Lit.t list ->
   ?max_rounds:int ->
   ?budget:Solver.budget ->
+  ?jobs:int ->
   unit ->
   minimize_outcome
 (** Branch-and-bound minimization. Repeatedly solves; for each

@@ -1,8 +1,16 @@
-let last = ref 0.0
+(* Monotone watermark over the wall clock, shared by every domain: a
+   CAS loop keeps [now] non-decreasing process-wide even when several
+   domains read the clock concurrently (gettimeofday itself may step
+   backwards under NTP). *)
+let last = Atomic.make 0.0
 
 let now () =
   let t = Unix.gettimeofday () in
-  if t > !last then last := t;
-  !last
+  let rec bump () =
+    let l = Atomic.get last in
+    if t > l then if Atomic.compare_and_set last l t then t else bump ()
+    else l
+  in
+  bump ()
 
 let ms_between t0 t1 = Float.max 0.0 ((t1 -. t0) *. 1000.0)

@@ -28,5 +28,6 @@ let () =
       ("fidelity", Test_fidelity.suite);
       ("schedule+heap", Test_schedule_heap.suite);
       ("governance", Test_governance.suite);
+      ("par", Test_par.suite);
       ("integration", Test_integration.suite);
     ]

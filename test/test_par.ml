@@ -1,0 +1,378 @@
+(* Parallelism layer: work-stealing pool semantics, portfolio racing
+   (bit-identity at jobs = 1, model/proof validity at jobs > 1,
+   join-all on every exit path), domain-safety of the metrics
+   registry, theory-round fuel, and the phase-saving ablation. *)
+
+open Qca_sat
+module Pool = Qca_par.Pool
+module Portfolio = Qca_par.Portfolio
+module Smt = Qca_smt.Smt
+module Drup = Qca_check.Drup
+module Obs = Qca_obs.Metrics
+module Rng = Qca_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let result =
+  Alcotest.testable
+    (fun fmt r ->
+      Format.pp_print_string fmt
+        (match r with
+        | Solver.Sat -> "SAT"
+        | Solver.Unsat -> "UNSAT"
+        | Solver.Unknown reason ->
+          "UNKNOWN(" ^ Solver.string_of_stop_reason reason ^ ")"))
+    ( = )
+
+(* {1 Domain-safe metrics} *)
+
+(* Four domains hammer one counter and one histogram concurrently; the
+   registry must come out exact — no lost updates, no torn buckets. *)
+let test_metrics_hammer () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let c = Obs.counter "par.test.hammer" in
+      let h = Obs.histogram "par.test.hammer_hist" in
+      let per_domain = 25_000 in
+      let body () =
+        for i = 1 to per_domain do
+          Obs.incr c;
+          Obs.add c 2;
+          Obs.observe h (float_of_int (i mod 7))
+        done
+      in
+      let domains = Array.init 3 (fun _ -> Domain.spawn body) in
+      body ();
+      Array.iter Domain.join domains;
+      checki "counter exact" (4 * per_domain * 3) (Obs.value c);
+      let s = Obs.summarize h in
+      checki "histogram count exact" (4 * per_domain) s.Obs.h_count)
+
+(* {1 Pool} *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      checki "live workers" 3 (Pool.live_workers pool);
+      let out =
+        Pool.parallel_map pool ~f:(fun i -> i * i) (Array.init 100 Fun.id)
+      in
+      Alcotest.(check (array int))
+        "squares in order"
+        (Array.init 100 (fun i -> i * i))
+        out)
+
+let test_pool_jobs1_is_map () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      checki "no worker domains" 0 (Pool.live_workers pool);
+      let out = Pool.parallel_map pool ~f:succ (Array.init 10 Fun.id) in
+      Alcotest.(check (array int)) "plain map" (Array.init 10 succ) out)
+
+let test_pool_exception () =
+  let ran = Atomic.make 0 in
+  let raised =
+    try
+      Pool.with_pool ~jobs:3 (fun pool ->
+          ignore
+            (Pool.parallel_map pool
+               ~f:(fun i ->
+                 Atomic.incr ran;
+                 if i = 17 then failwith "task 17")
+               (Array.init 40 Fun.id)));
+      false
+    with Failure msg ->
+      Alcotest.(check string) "first exception" "task 17" msg;
+      true
+  in
+  checkb "exception re-raised" true raised;
+  (* every task still ran: a failing batch must not strand work *)
+  checki "all tasks ran" 40 (Atomic.get ran)
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~jobs:3 in
+  checki "workers up" 2 (Pool.live_workers pool);
+  Pool.shutdown pool;
+  checki "workers joined" 0 (Pool.live_workers pool)
+
+(* {1 Portfolio: sequential bit-identity} *)
+
+let random_instance seed nvars nclauses =
+  let rng = Rng.create seed in
+  List.init nclauses (fun _ ->
+      List.init 3 (fun _ -> Lit.make (Rng.int rng nvars) (Rng.bool rng)))
+
+let fresh_solver ?options clauses nvars =
+  let s = Solver.create ?options () in
+  for _ = 1 to nvars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (Solver.add_clause s) clauses;
+  s
+
+let model_satisfies s clauses =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l ->
+          if Lit.sign l then Solver.value s (Lit.var l)
+          else not (Solver.value s (Lit.var l)))
+        clause)
+    clauses
+
+(* jobs = 1 must be the sequential solver, bit for bit: same verdict,
+   same search (every counter in [stats]), same model. *)
+let test_jobs1_bit_identity () =
+  List.iter
+    (fun seed ->
+      let nvars = 30 and nclauses = 120 in
+      let clauses = random_instance seed nvars nclauses in
+      let a = fresh_solver clauses nvars in
+      let b = fresh_solver clauses nvars in
+      let ra = Solver.solve a in
+      let o = Portfolio.solve_portfolio ~jobs:1 b in
+      Alcotest.check result "same verdict" ra o.Portfolio.verdict;
+      checki "winner is seat 0" 0 o.Portfolio.winner;
+      checkb "no clone consulted" true (o.Portfolio.winner_solver = None);
+      checkb "same search counters" true (Solver.stats a = Solver.stats b);
+      if ra = Solver.Sat then
+        for v = 0 to nvars - 1 do
+          checkb "same model" (Solver.value a v) (Solver.value b v)
+        done)
+    [ 3; 17; 42; 99; 123 ]
+
+(* {1 Portfolio: parallel verdict validity} *)
+
+let test_portfolio_sat_model_valid () =
+  let nvars = 40 in
+  (* under-constrained, so SAT with near-certainty at these seeds *)
+  let clauses = random_instance 7 nvars 80 in
+  let base = fresh_solver clauses nvars in
+  let o = Portfolio.solve_portfolio ~jobs:4 base in
+  Alcotest.check result "sat" Solver.Sat o.Portfolio.verdict;
+  checki "four seats raced" 4 o.Portfolio.seats_run;
+  checkb "a seat won" true (o.Portfolio.winner >= 0);
+  (* the winner's model was adopted into the base solver *)
+  checkb "base model satisfies every clause" true
+    (model_satisfies base clauses);
+  checki "all domains joined" 0 (Portfolio.live_domains ())
+
+let php_clauses pigeons holes =
+  let var i j = (i * holes) + j in
+  let place =
+    List.init pigeons (fun i -> List.init holes (fun j -> Lit.pos (var i j)))
+  in
+  let excl = ref [] in
+  for j = 0 to holes - 1 do
+    for i1 = 0 to pigeons - 1 do
+      for i2 = i1 + 1 to pigeons - 1 do
+        excl := [ Lit.neg_of_var (var i1 j); Lit.neg_of_var (var i2 j) ] :: !excl
+      done
+    done
+  done;
+  (pigeons * holes, place @ !excl)
+
+(* An UNSAT portfolio verdict is only as good as its certificate: the
+   winning seat logs DRUP, and the independent checker must replay it
+   against the original clauses. *)
+let test_portfolio_unsat_certified () =
+  let num_vars, clauses = php_clauses 6 5 in
+  let base = fresh_solver clauses num_vars in
+  let o = Portfolio.solve_portfolio ~proof:true ~jobs:4 base in
+  Alcotest.check result "unsat" Solver.Unsat o.Portfolio.verdict;
+  checkb "a seat won" true (o.Portfolio.winner >= 0);
+  let winner =
+    match o.Portfolio.winner_solver with
+    | Some s -> s
+    | None -> Alcotest.fail "winner solver missing"
+  in
+  let c = Drup.certify ~num_vars clauses ~solver:winner Solver.Unsat in
+  checkb "DRUP replay certifies the winner" true
+    (c.Drup.verdict = Drup.Certified);
+  checki "all domains joined" 0 (Portfolio.live_domains ())
+
+(* Seat configurations are a pure function of (base, index): the same
+   portfolio twice is the same race. *)
+let test_seats_deterministic () =
+  let base = Solver.default_options in
+  let a = Portfolio.seats ~base 6 and b = Portfolio.seats ~base 6 in
+  checkb "seat tables equal" true (a = b);
+  (match a with
+  | s0 :: _ -> checkb "seat 0 is the base config" true (s0.Portfolio.seat_options = base)
+  | [] -> Alcotest.fail "no seats");
+  (* diversified seats carry deterministic non-zero RNG seeds *)
+  List.iteri
+    (fun i s ->
+      if i > 0 then
+        checkb "seat seed set" true (s.Portfolio.seat_options.Solver.seed <> 0))
+    a
+
+(* {1 Portfolio: join-all on every exit path} *)
+
+let test_race_exception_joins_all () =
+  let raised =
+    try
+      ignore
+        (Portfolio.race
+           (fun i ~should_stop ->
+             ignore should_stop;
+             if i = 1 then failwith "boom" else None)
+           4);
+      false
+    with Failure msg ->
+      Alcotest.(check string) "racer exception" "boom" msg;
+      true
+  in
+  checkb "exception re-raised" true raised;
+  checki "all domains joined after exception" 0 (Portfolio.live_domains ())
+
+let test_portfolio_budget_exhaustion_joins_all () =
+  let num_vars, clauses = php_clauses 7 6 in
+  let base = fresh_solver clauses num_vars in
+  let budget = Solver.budget ~timeout_ms:0.0 () in
+  let o = Portfolio.solve_portfolio ~budget ~jobs:3 base in
+  (match o.Portfolio.verdict with
+  | Solver.Unknown _ -> ()
+  | r -> Alcotest.failf "expected Unknown, got %a" (Alcotest.pp result) r);
+  checki "no decisive seat" (-1) o.Portfolio.winner;
+  checki "all domains joined after exhaustion" 0 (Portfolio.live_domains ())
+
+(* {1 Theory-round fuel} *)
+
+let divergent_smt () =
+  let t = Smt.create () in
+  let x = Smt.new_int t "x" and y = Smt.new_int t "y" in
+  let o = Smt.origin t in
+  Smt.add_clause t [ Smt.atom_ge t x o 0 ];
+  Smt.add_clause t [ Smt.atom_ge t y x 10 ];
+  Smt.add_clause t [ Smt.atom_le t y o 5 ];
+  t
+
+let test_theory_fuel_exhaustion () =
+  (* the instance needs at least one theory refinement round; with no
+     fuel the loop must stop with the dedicated reason, not loop or
+     mislabel the exit *)
+  let t = divergent_smt () in
+  let budget = Solver.budget ~max_theory_rounds:0 () in
+  Alcotest.check
+    (Alcotest.testable
+       (fun fmt -> function
+         | Smt.Sat -> Format.pp_print_string fmt "SAT"
+         | Smt.Unsat -> Format.pp_print_string fmt "UNSAT"
+         | Smt.Unknown r ->
+           Format.fprintf fmt "UNKNOWN(%s)" (Solver.string_of_stop_reason r))
+       ( = ))
+    "fuel exhausted" (Smt.Unknown Solver.Theory_divergence)
+    (Smt.solve ~budget t);
+  (* with fuel, the same instance closes *)
+  let t = divergent_smt () in
+  checkb "with fuel: unsat" true (Smt.solve t = Smt.Unsat)
+
+let test_theory_fuel_cumulative () =
+  (* fuel is charged across calls sharing a budget: a budget with room
+     for the first solve has none left for a second fresh instance *)
+  let budget = Solver.budget ~max_theory_rounds:2 () in
+  let t1 = divergent_smt () in
+  let r1 = Smt.solve ~budget t1 in
+  checkb "first call spends fuel" true (budget.Solver.theory_rounds_spent > 0);
+  checkb "first call decided or exhausted" true
+    (r1 = Smt.Unsat || r1 = Smt.Unknown Solver.Theory_divergence)
+
+(* {1 Smt/portfolio agreement} *)
+
+let test_smt_jobs_agree () =
+  let t1 = divergent_smt () in
+  let t2 = divergent_smt () in
+  checkb "sequential unsat" true (Smt.solve t1 = Smt.Unsat);
+  checkb "portfolio unsat" true (Smt.solve ~jobs:3 t2 = Smt.Unsat);
+  checki "all domains joined" 0 (Portfolio.live_domains ())
+
+(* {1 Pipeline-level agreement and certification} *)
+
+module Pipeline = Qca_adapt.Pipeline
+module Hardware = Qca_adapt.Hardware
+module Lint = Qca_adapt.Lint
+module Workloads = Qca_workloads.Workloads
+
+(* The portfolio must not change what the OMT search proves: same
+   claimed makespan as the sequential run, and the adapted circuit
+   passes the full end-to-end certifier. *)
+let test_pipeline_jobs_objective_equal () =
+  let hw = Hardware.d0 in
+  let circuit = Workloads.random_template ~seed:3 ~num_qubits:3 ~depth:10 in
+  let meth = Pipeline.Sat Qca_adapt.Model.Sat_p in
+  let o1 = Pipeline.adapt_governed hw meth circuit in
+  let o3 = Pipeline.adapt_governed ~jobs:3 hw meth circuit in
+  checkb "both full service" true
+    (not (Pipeline.degraded o1) && not (Pipeline.degraded o3));
+  checkb "same claimed makespan" true
+    (o1.Pipeline.claimed_makespan = o3.Pipeline.claimed_makespan);
+  let issues =
+    Lint.certify_adaptation hw ~original:circuit ~adapted:o3.Pipeline.circuit
+      ?claimed_makespan:o3.Pipeline.claimed_makespan ()
+  in
+  checkb "portfolio adaptation certifies" true (Lint.errors issues = []);
+  checki "all domains joined" 0 (Portfolio.live_domains ())
+
+(* {1 Phase-saving ablation} *)
+
+let test_phase_ablation_verdicts_agree () =
+  List.iter
+    (fun seed ->
+      let nvars = 25 and nclauses = 100 in
+      let clauses = random_instance (seed + 500) nvars nclauses in
+      let configs =
+        [
+          Solver.default_options;
+          { Solver.default_options with use_phase_saving = false };
+          { Solver.default_options with phase_init = true };
+          { Solver.default_options with seed = 12345 };
+        ]
+      in
+      let verdicts =
+        List.map
+          (fun options ->
+            let s = fresh_solver ~options clauses nvars in
+            let r = Solver.solve s in
+            if r = Solver.Sat then
+              checkb "model valid under ablation" true
+                (model_satisfies s clauses);
+            r)
+          configs
+      in
+      match verdicts with
+      | v :: rest ->
+        List.iter (fun v' -> Alcotest.check result "ablations agree" v v') rest
+      | [] -> ())
+    [ 1; 2; 3; 4 ]
+
+let suite =
+  [
+    ("metrics: 4-domain hammer is exact", `Quick, test_metrics_hammer);
+    ("pool: parallel_map order", `Quick, test_pool_map_order);
+    ("pool: jobs=1 is plain map", `Quick, test_pool_jobs1_is_map);
+    ("pool: exception propagation", `Quick, test_pool_exception);
+    ("pool: shutdown joins workers", `Quick, test_pool_shutdown);
+    ("portfolio: jobs=1 bit-identity", `Quick, test_jobs1_bit_identity);
+    ("portfolio: SAT model adopted and valid", `Quick,
+     test_portfolio_sat_model_valid);
+    ("portfolio: UNSAT winner DRUP-certified", `Quick,
+     test_portfolio_unsat_certified);
+    ("portfolio: seat table deterministic", `Quick, test_seats_deterministic);
+    ("portfolio: exception joins all domains", `Quick,
+     test_race_exception_joins_all);
+    ("portfolio: budget exhaustion joins all domains", `Quick,
+     test_portfolio_budget_exhaustion_joins_all);
+    ("smt: theory fuel exhaustion is Unknown", `Quick,
+     test_theory_fuel_exhaustion);
+    ("smt: theory fuel is cumulative", `Quick, test_theory_fuel_cumulative);
+    ("smt: sequential and portfolio agree", `Quick, test_smt_jobs_agree);
+    ("pipeline: portfolio objective equals sequential", `Quick,
+     test_pipeline_jobs_objective_equal);
+    ("sat: phase-saving ablations agree", `Quick,
+     test_phase_ablation_verdicts_agree);
+  ]
