@@ -83,7 +83,8 @@ let paper_part = Block.partition bench_circuit
 let paper_subs = Rules.find_all hw paper_part
 
 let php_instance options =
-  (* PHP(6,5): a small but non-trivial UNSAT instance *)
+  (* PHP(6,5): a small but non-trivial UNSAT instance. Returns the
+     solver so the JSON telemetry can read the search counters back. *)
   let s = Sat.create ~options () in
   let v = Array.init 6 (fun _ -> Array.init 5 (fun _ -> Sat.new_var s)) in
   for i = 0 to 5 do
@@ -96,16 +97,35 @@ let php_instance options =
       done
     done
   done;
-  assert (Sat.solve s = Sat.Unsat)
+  assert (Sat.solve s = Sat.Unsat);
+  s
 
 let totalizer_instance ~max_out =
   let s = Sat.create () in
   let terms =
     List.init 24 (fun i -> (Lit.pos (Sat.new_var s), 37 + (13 * (i mod 5))))
   in
-  match max_out with
+  (match max_out with
   | None -> ignore (Totalizer.assume_at_most s terms 500)
-  | Some r -> ignore (Totalizer.assume_at_most_approx ~resolution:r s terms 500)
+  | Some r -> ignore (Totalizer.assume_at_most_approx ~resolution:r s terms 500));
+  s
+
+(* The exact totalizer CNF put through one eager full inprocessing
+   pass and then solved under its bound assumption: the encoding is
+   clause-heavy and highly redundant, so this row prices the simplify
+   machinery (occurrence index, subsumption, BVE, probing,
+   vivification) on a real encoding. *)
+let totalizer_solved_instance () =
+  let s = Sat.create () in
+  let terms =
+    List.init 24 (fun i -> (Lit.pos (Sat.new_var s), 37 + (13 * (i mod 5))))
+  in
+  (match Totalizer.assume_at_most s terms 500 with
+  | Some a ->
+    Sat.simplify s;
+    assert (Sat.solve ~assumptions:[ a ] s = Sat.Sat)
+  | None -> assert false);
+  s
 
 let noise =
   {
@@ -143,24 +163,35 @@ let tests =
         (stage (fun () -> ignore (Density.run_noisy noise adapted_for_sim)));
       (* Ablations: CDCL heuristics (DESIGN.md section 7) *)
       Test.make ~name:"ablation-sat/default"
-        (stage (fun () -> php_instance Sat.default_options));
+        (stage (fun () -> ignore (php_instance Sat.default_options)));
       Test.make ~name:"ablation-sat/no-vsids"
         (stage (fun () ->
-             php_instance { Sat.default_options with use_vsids = false }));
+             ignore (php_instance { Sat.default_options with use_vsids = false })));
       Test.make ~name:"ablation-sat/no-restarts"
         (stage (fun () ->
-             php_instance { Sat.default_options with use_restarts = false }));
+             ignore
+               (php_instance { Sat.default_options with use_restarts = false })));
       Test.make ~name:"ablation-sat/no-deletion"
         (stage (fun () ->
-             php_instance { Sat.default_options with use_clause_deletion = false }));
+             ignore
+               (php_instance
+                  { Sat.default_options with use_clause_deletion = false })));
       Test.make ~name:"ablation-sat/no-phase-saving"
         (stage (fun () ->
-             php_instance { Sat.default_options with use_phase_saving = false }));
+             ignore
+               (php_instance
+                  { Sat.default_options with use_phase_saving = false })));
+      Test.make ~name:"ablation-sat/no-simplify"
+        (stage (fun () ->
+             ignore
+               (php_instance { Sat.default_options with use_simplify = false })));
       (* Ablations: exact vs thinned PB encodings *)
       Test.make ~name:"ablation-encoding/totalizer-exact"
-        (stage (fun () -> totalizer_instance ~max_out:None));
+        (stage (fun () -> ignore (totalizer_instance ~max_out:None)));
       Test.make ~name:"ablation-encoding/totalizer-thinned"
-        (stage (fun () -> totalizer_instance ~max_out:(Some 16)));
+        (stage (fun () -> ignore (totalizer_instance ~max_out:(Some 16))));
+      Test.make ~name:"ablation-encoding/totalizer-exact-simplify"
+        (stage (fun () -> ignore (totalizer_solved_instance ())));
       (* Ablations: exact OMT vs the greedy heuristic *)
       Test.make ~name:"ablation-omt/sat-p"
         (stage (fun () ->
@@ -193,6 +224,65 @@ let plain_row ns =
   { ns; budget_exhausted = false; degraded_tier = None; proof_checked = None;
     proof_overhead_ms = None; conflicts = None; propagations = None;
     omt_rounds = None; row_jobs = None; winner_seat = None }
+
+(* {1 Micro-benchmark telemetry}
+
+   One un-timed rerun of every solver-touching micro-benchmark, with
+   the search counters read back afterwards, so the JSON rows carry
+   conflicts/propagations/omt_rounds instead of nulls and the simplify
+   ablation rows are comparable on work done, not just wall time. All
+   workloads here are deterministic, so the counters match what the
+   timed Bechamel runs did. *)
+
+let sat_counters s =
+  let st = Sat.stats s in
+  (st.Sat.conflicts, st.Sat.propagations, 0)
+
+let adapt_counters method_ =
+  let o =
+    Pipeline.adapt_governed ~budget:(Sat.budget ()) hw method_ bench_circuit
+  in
+  ( o.Pipeline.spent.Pipeline.conflicts,
+    o.Pipeline.spent.Pipeline.propagations,
+    o.Pipeline.info.Pipeline.omt_rounds )
+
+let model_build_counters () =
+  let m = Model.build hw paper_part paper_subs in
+  let st = Model.sat_stats m in
+  (st.Sat.conflicts, st.Sat.propagations, 0)
+
+let micro_telemetry () =
+  [
+    ("qca/eq11/model-build", model_build_counters ());
+    ("qca/fig5/sat-f-adapt", adapt_counters (Pipeline.Sat Model.Sat_f));
+    ("qca/fig6/sat-r-adapt", adapt_counters (Pipeline.Sat Model.Sat_r));
+    ( "qca/ablation-sat/default",
+      sat_counters (php_instance Sat.default_options) );
+    ( "qca/ablation-sat/no-vsids",
+      sat_counters (php_instance { Sat.default_options with use_vsids = false })
+    );
+    ( "qca/ablation-sat/no-restarts",
+      sat_counters
+        (php_instance { Sat.default_options with use_restarts = false }) );
+    ( "qca/ablation-sat/no-deletion",
+      sat_counters
+        (php_instance { Sat.default_options with use_clause_deletion = false })
+    );
+    ( "qca/ablation-sat/no-phase-saving",
+      sat_counters
+        (php_instance { Sat.default_options with use_phase_saving = false }) );
+    ( "qca/ablation-sat/no-simplify",
+      sat_counters
+        (php_instance { Sat.default_options with use_simplify = false }) );
+    ( "qca/ablation-encoding/totalizer-exact",
+      sat_counters (totalizer_instance ~max_out:None) );
+    ( "qca/ablation-encoding/totalizer-thinned",
+      sat_counters (totalizer_instance ~max_out:(Some 16)) );
+    ( "qca/ablation-encoding/totalizer-exact-simplify",
+      sat_counters (totalizer_solved_instance ()) );
+    ("qca/ablation-omt/sat-p", adapt_counters (Pipeline.Sat Model.Sat_p));
+    ("qca/ablation-omt/greedy-p", adapt_counters (Pipeline.Greedy Model.Sat_p));
+  ]
 
 let deep_circuit =
   lazy (Workloads.random_template ~seed:160 ~num_qubits:3 ~depth:160)
@@ -404,10 +494,20 @@ let run_benchmarks () =
        { ns, budget_exhausted, degraded_tier, proof_checked,
          proof_overhead_ms, conflicts, propagations, omt_rounds,
          jobs, winner_seat } *)
-    let all =
-      List.map (fun (name, ns) -> (name, plain_row ns)) rows
-      @ governed @ proof @ par
+    let telemetry = micro_telemetry () in
+    let micro (name, ns) =
+      match List.assoc_opt name telemetry with
+      | None -> (name, plain_row ns)
+      | Some (c, p, r) ->
+        ( name,
+          {
+            (plain_row ns) with
+            conflicts = Some c;
+            propagations = Some p;
+            omt_rounds = Some r;
+          } )
     in
+    let all = List.map micro rows @ governed @ proof @ par in
     let int_opt = function None -> "null" | Some n -> string_of_int n in
     let oc = open_out file in
     output_string oc "{\n";

@@ -55,7 +55,7 @@ let read_input = function
     with Sys_error msg -> Error msg)
 
 let run method_name hw_name input show_circuit timeout_ms max_conflicts jobs
-    certify metrics trace_out =
+    no_simplify certify metrics trace_out =
   obs_start ~metrics ~trace_out;
   let ( let* ) = Result.bind in
   let result =
@@ -72,7 +72,10 @@ let run method_name hw_name input show_circuit timeout_ms max_conflicts jobs
         ?max_conflicts:(Option.map (fun n -> max 0 n) max_conflicts)
         ()
     in
-    let o = Pipeline.adapt_governed ~budget ~jobs hw method_ circuit in
+    let options =
+      { Solver.default_options with use_simplify = not no_simplify }
+    in
+    let o = Pipeline.adapt_governed ~options ~budget ~jobs hw method_ circuit in
     let baseline =
       Metrics.summarize hw (Pipeline.adapt hw Pipeline.Direct circuit)
     in
@@ -159,6 +162,13 @@ let jobs_arg =
   in
   Arg.(value & opt int default_jobs & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let no_simplify_arg =
+  let doc =
+    "Disable CDCL inprocessing (subsumption, variable elimination, probing, \
+     vivification) in every solver call of the pipeline."
+  in
+  Arg.(value & flag & info [ "no-simplify" ] ~doc)
+
 let certify_arg =
   let doc =
     "Certify the adapted circuit end to end: unitary equivalence with the \
@@ -185,6 +195,7 @@ let cmd =
   Cmd.v (Cmd.info "qca-adapt" ~doc)
     Term.(
       const run $ method_arg $ hw_arg $ input_arg $ show_arg $ timeout_arg
-      $ conflicts_arg $ jobs_arg $ certify_arg $ metrics_arg $ trace_out_arg)
+      $ conflicts_arg $ jobs_arg $ no_simplify_arg $ certify_arg $ metrics_arg
+      $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

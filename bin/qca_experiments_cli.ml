@@ -7,6 +7,7 @@ open Cmdliner
 module E = Qca_experiments.Experiments
 module Workloads = Qca_workloads.Workloads
 module Hardware = Qca_adapt.Hardware
+module Solver = Qca_sat.Solver
 module Clock = Qca_util.Clock
 module Obs = Qca_obs.Metrics
 module Trace = Qca_obs.Trace
@@ -46,7 +47,8 @@ let artifacts = [ "table1"; "eq11"; "fig5"; "fig6"; "fig7"; "all" ]
 let suite fast =
   if fast then Workloads.simulation_suite () else Workloads.evaluation_suite ()
 
-let run what hw_name fast timeout_ms jobs csv_out metrics trace_out =
+let run what hw_name fast timeout_ms jobs no_simplify csv_out metrics trace_out
+    =
   obs_start ~metrics ~trace_out;
   let checked =
     if List.mem what artifacts then hw_of_string hw_name
@@ -60,6 +62,9 @@ let run what hw_name fast timeout_ms jobs csv_out metrics trace_out =
     prerr_endline ("error: " ^ msg);
     3
   | Ok hw ->
+    let options =
+      { Solver.default_options with use_simplify = not no_simplify }
+    in
     let on_progress = progress_line (Clock.now ()) in
     let some_degraded = ref false in
     let note rows =
@@ -78,12 +83,13 @@ let run what hw_name fast timeout_ms jobs csv_out metrics trace_out =
     let figs56 () =
       note
         (Trace.span "fig5_fig6" (fun () ->
-             E.fig5_fig6 ?timeout_ms ~jobs ~on_progress hw (suite fast)))
+             E.fig5_fig6 ~options ?timeout_ms ~jobs ~on_progress hw
+               (suite fast)))
     in
     let sim () =
       note_sim
         (Trace.span "fig7" (fun () ->
-             E.fig7 ?timeout_ms ~jobs ~on_progress hw
+             E.fig7 ~options ?timeout_ms ~jobs ~on_progress hw
                (Workloads.simulation_suite ())))
     in
     (match what with
@@ -136,6 +142,13 @@ let jobs_arg =
   in
   Arg.(value & opt int default_jobs & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let no_simplify_arg =
+  let doc =
+    "Disable CDCL inprocessing (subsumption, variable elimination, probing, \
+     vivification) in every adaptation of the matrix."
+  in
+  Arg.(value & flag & info [ "no-simplify" ] ~doc)
+
 let csv_arg =
   let doc =
     "Also write the Fig. 5/6 rows as CSV to $(docv), including the \
@@ -160,6 +173,6 @@ let cmd =
     (Cmd.info "qca-experiments" ~doc)
     Term.(
       const run $ what_arg $ hw_arg $ fast_arg $ timeout_arg $ jobs_arg
-      $ csv_arg $ metrics_arg $ trace_out_arg)
+      $ no_simplify_arg $ csv_arg $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

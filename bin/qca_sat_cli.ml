@@ -32,8 +32,8 @@ let read_input = function
     try Ok (In_channel.with_open_text path In_channel.input_all)
     with Sys_error msg -> Error msg)
 
-let run input no_vsids no_restarts no_phase_saving jobs stats timeout_ms
-    max_conflicts certify metrics trace_out =
+let run input no_vsids no_restarts no_phase_saving no_simplify jobs stats
+    timeout_ms max_conflicts certify metrics trace_out =
   obs_start ~metrics ~trace_out;
   match
     Result.bind (read_input input) (fun text ->
@@ -49,6 +49,7 @@ let run input no_vsids no_restarts no_phase_saving jobs stats timeout_ms
         use_vsids = not no_vsids;
         use_restarts = not no_restarts;
         use_phase_saving = not no_phase_saving;
+        use_simplify = not no_simplify;
       }
     in
     let budget =
@@ -59,6 +60,10 @@ let run input no_vsids no_restarts no_phase_saving jobs stats timeout_ms
     let solver =
       Trace.span "encode" (fun () -> Dimacs.load ~options ~proof:certify problem)
     in
+    (* File-based solving is one-shot: run the full inprocessing pass
+       eagerly instead of waiting for the restart-gated schedule. *)
+    if not no_simplify then
+      Trace.span "simplify" (fun () -> Solver.simplify solver);
     let outcome =
       Trace.span "solve" (fun () ->
           Portfolio.solve_portfolio ~budget ~proof:certify ~jobs solver)
@@ -108,7 +113,12 @@ let run input no_vsids no_restarts no_phase_saving jobs stats timeout_ms
         st.Solver.deleted_clauses;
       Printf.printf "c minimized    %d literals\n" st.Solver.minimized_literals;
       Printf.printf "c arena gcs    %d\n" st.Solver.arena_gcs;
-      Printf.printf "c avg lbd      %.2f\n" st.Solver.avg_lbd
+      Printf.printf "c avg lbd      %.2f\n" st.Solver.avg_lbd;
+      Printf.printf "c simplify     %d rounds: %d subsumed, %d strengthened, \
+                     %d vars eliminated, %d vivified, %d failed literals\n"
+        st.Solver.simplify_rounds st.Solver.subsumed_clauses
+        st.Solver.strengthened_clauses st.Solver.eliminated_vars
+        st.Solver.vivified_clauses st.Solver.failed_literals
     end;
     let verdict_exit =
       match result with
@@ -147,6 +157,14 @@ let no_phase_saving =
     value & flag
     & info [ "no-phase-saving" ]
         ~doc:"Disable phase saving (decisions use the fixed initial polarity).")
+
+let no_simplify =
+  Arg.(
+    value & flag
+    & info [ "no-simplify" ]
+        ~doc:
+          "Disable inprocessing (subsumption, bounded variable elimination, \
+           probing, vivification); solve the raw clause set.")
 
 let jobs_arg =
   let doc =
@@ -189,7 +207,7 @@ let cmd =
   Cmd.v (Cmd.info "qca-sat" ~doc)
     Term.(
       const run $ input_arg $ no_vsids $ no_restarts $ no_phase_saving
-      $ jobs_arg $ stats $ timeout_arg $ conflicts_arg $ certify_arg
-      $ metrics_arg $ trace_out_arg)
+      $ no_simplify $ jobs_arg $ stats $ timeout_arg $ conflicts_arg
+      $ certify_arg $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -257,7 +257,9 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
         | Some sel -> sel
         | None ->
           let sel =
-            Totalizer.at_most_selector ~resolution:256 sat pb_terms ~max:budget
+            Trace.span "omt.selector.build" (fun () ->
+                Totalizer.at_most_selector ~resolution:256 sat pb_terms
+                  ~max:budget)
           in
           prune_selector := Some sel;
           sel
@@ -298,7 +300,8 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
         List.fold_left (fun acc b -> acc + t.base_dur.(b)) 0 path
       in
       let bound = best - 1 - terms.constant - (terms.d_weight * path_base) in
-      Totalizer.enforce_at_most ~resolution:48 sat cut_terms bound
+      Trace.span "omt.cut" (fun () ->
+          Totalizer.enforce_at_most ~resolution:8 sat cut_terms bound)
     end
   in
   (* Fault/budget consultation shared by the warm start and the OMT

@@ -104,17 +104,19 @@ let kak_substitutions hw part (blk : Block.block) ~fresh =
   | Block.Solo _ -> []
   | Block.Pair (a, b) ->
     let u = Block.block_unitary part blk in
-    let make kind ent =
-      let replacement = Synth.two_qubit_on ent u ~a ~b in
-      let gates = Circuit.gates part.Block.circuit in
-      let ref_dur =
-        List.fold_left (fun acc i -> acc + reference_duration hw gates.(i)) 0
-          blk.Block.gate_ids
-      in
-      let ref_fid =
-        List.fold_left (fun acc i -> acc + reference_log_fid hw gates.(i)) 0
-          blk.Block.gate_ids
-      in
+    let gates = Circuit.gates part.Block.circuit in
+    (* the reference sums and the KAK decomposition are shared between
+       the cz and cz_db variants; only the final entangler lowering
+       differs (see {!Synth.two_qubit_on_each}) *)
+    let ref_dur =
+      List.fold_left (fun acc i -> acc + reference_duration hw gates.(i)) 0
+        blk.Block.gate_ids
+    in
+    let ref_fid =
+      List.fold_left (fun acc i -> acc + reference_log_fid hw gates.(i)) 0
+        blk.Block.gate_ids
+    in
+    let make kind replacement =
       {
         id = fresh ();
         kind;
@@ -125,9 +127,9 @@ let kak_substitutions hw part (blk : Block.block) ~fresh =
         delta_log_fid = gates_log_fid hw replacement - ref_fid;
       }
     in
-    let kak_cz = make Kak_cz Synth.Use_cz in
-    let kak_cz_db = make Kak_cz_db Synth.Use_cz_db in
-    [ kak_cz; kak_cz_db ]
+    (match Synth.two_qubit_on_each [ Synth.Use_cz; Synth.Use_cz_db ] u ~a ~b with
+    | [ r_cz; r_cz_db ] -> [ make Kak_cz r_cz; make Kak_cz_db r_cz_db ]
+    | _ -> assert false)
 
 let find_all hw part =
   let gates = Circuit.gates part.Block.circuit in

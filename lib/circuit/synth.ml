@@ -147,7 +147,12 @@ let lower_entangler ent gate_list =
         | other -> [ other ])
       gate_list
 
-let two_qubit ent u =
+(* The entangler-independent part of the synthesis: KAK-decompose,
+   align a template core, factor the local brackets — everything up to
+   (but not including) entangler lowering. Shared across entanglers by
+   {!two_qubit_each}: the decomposition is the dominant cost and the
+   result is the same CX-basis gate list for every target entangler. *)
+let two_qubit_core u =
   if Mat.rows u <> 4 || Mat.cols u <> 4 then invalid_arg "Synth.two_qubit: not 4x4";
   let d = Kak.decompose u in
   let c = Kak.canonicalize d.Kak.x d.Kak.y d.Kak.z in
@@ -178,26 +183,39 @@ let two_qubit ent u =
   let r0, r1 =
     match Kak.factor_tensor_product right with Some ab -> ab | None -> fail_factor ()
   in
-  let gates = single_layer r0 r1 @ aligned.t_gates @ single_layer l0 l1 in
-  let gates = lower_entangler ent gates in
+  single_layer r0 r1 @ aligned.t_gates @ single_layer l0 l1
+
+(* Entangler lowering plus per-result verification. The check runs on
+   the lowered circuit, so a wrong lowering is caught exactly as a
+   wrong core would be. *)
+let lower_and_verify ent u core_gates =
+  let gates = lower_entangler ent core_gates in
   let circ = Circuit.merge_single_qubit_runs (Circuit.of_gates 2 gates) in
   let result = Circuit.unitary circ in
   if not (Mat.equal_up_to_global_phase ~tol:1e-6 result u) then
     invalid_arg "Synth.two_qubit: verification failed";
   Array.to_list (Circuit.gates circ)
 
-let two_qubit_on ent u ~a ~b =
-  let remap = function
-    | Gate.Single (g, 0) -> Gate.Single (g, a)
-    | Gate.Single (g, 1) -> Gate.Single (g, b)
-    | Gate.Two (g, 0, 1) -> Gate.Two (g, a, b)
-    | Gate.Two (g, 1, 0) -> Gate.Two (g, b, a)
-    | g ->
-      invalid_arg
-        (Printf.sprintf "Synth.two_qubit_on: unexpected local gate %s"
-           (Gate.to_string g))
-  in
-  List.map remap (two_qubit ent u)
+let two_qubit ent u = lower_and_verify ent u (two_qubit_core u)
+
+let two_qubit_each ents u =
+  let core = two_qubit_core u in
+  List.map (fun ent -> lower_and_verify ent u core) ents
+
+let remap_local ~a ~b = function
+  | Gate.Single (g, 0) -> Gate.Single (g, a)
+  | Gate.Single (g, 1) -> Gate.Single (g, b)
+  | Gate.Two (g, 0, 1) -> Gate.Two (g, a, b)
+  | Gate.Two (g, 1, 0) -> Gate.Two (g, b, a)
+  | g ->
+    invalid_arg
+      (Printf.sprintf "Synth.two_qubit_on: unexpected local gate %s"
+         (Gate.to_string g))
+
+let two_qubit_on ent u ~a ~b = List.map (remap_local ~a ~b) (two_qubit ent u)
+
+let two_qubit_on_each ents u ~a ~b =
+  List.map (List.map (remap_local ~a ~b)) (two_qubit_each ents u)
 
 let entangler_count u = Kak.cnot_cost u
 

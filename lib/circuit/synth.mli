@@ -25,6 +25,18 @@ val two_qubit : entangler -> Mat.t -> Gate.t list
 val two_qubit_on : entangler -> Mat.t -> a:int -> b:int -> Gate.t list
 (** Same, with local wires mapped to circuit wires [a] (msb) and [b]. *)
 
+val two_qubit_each : entangler list -> Mat.t -> Gate.t list list
+(** One synthesis per entangler, sharing a single KAK decomposition
+    and template alignment (the entangler only affects the final
+    lowering). Each result is verified independently; equivalent to
+    [List.map (fun e -> two_qubit e u) ents] but roughly half the cost
+    for two entanglers. *)
+
+val two_qubit_on_each :
+  entangler list -> Mat.t -> a:int -> b:int -> Gate.t list list
+(** {!two_qubit_each} with local wires mapped to circuit wires [a]
+    (msb) and [b]. *)
+
 val entangler_count : Mat.t -> int
 (** Number of entangling gates {!two_qubit} will use (= KAK CNOT cost). *)
 

@@ -39,9 +39,9 @@ let methods = Pipeline.all_methods
 
 (* Each adaptation gets its own budget so one slow workload cannot
    starve the rest of the matrix. *)
-let governed ?timeout_ms hw m circuit =
+let governed ?options ?timeout_ms hw m circuit =
   let budget = Solver.budget ?timeout_ms () in
-  Pipeline.adapt_governed ~budget hw m circuit
+  Pipeline.adapt_governed ?options ~budget hw m circuit
 
 let notify on_progress ~case ~meth o =
   match on_progress with
@@ -55,8 +55,8 @@ let notify on_progress ~case ~meth o =
         p_elapsed_ms = o.Pipeline.spent.Pipeline.elapsed_ms;
       }
 
-let row_of ?timeout_ms ?on_progress hw kase ~baseline m =
-  let o = governed ?timeout_ms hw m kase.Workloads.circuit in
+let row_of ?options ?timeout_ms ?on_progress hw kase ~baseline m =
+  let o = governed ?options ?timeout_ms hw m kase.Workloads.circuit in
   let s = Metrics.summarize hw o.Pipeline.circuit in
   notify on_progress ~case:kase.Workloads.label
     ~meth:(Pipeline.method_name m) o;
@@ -83,10 +83,10 @@ let baseline_of hw kase =
   Metrics.summarize hw
     (Pipeline.adapt hw Pipeline.Direct kase.Workloads.circuit)
 
-let evaluate_case ?(methods = methods) ?timeout_ms ?(jobs = 1) ?on_progress hw
-    kase =
+let evaluate_case ?(methods = methods) ?options ?timeout_ms ?(jobs = 1)
+    ?on_progress hw kase =
   let baseline = baseline_of hw kase in
-  let row = row_of ?timeout_ms ?on_progress hw kase ~baseline in
+  let row = row_of ?options ?timeout_ms ?on_progress hw kase ~baseline in
   if jobs <= 1 then List.map row methods
   else
     Pool.with_pool ~jobs (fun pool ->
@@ -99,11 +99,12 @@ let evaluate_case ?(methods = methods) ?timeout_ms ?(jobs = 1) ?on_progress hw
    back in the same order as the sequential path. Each worker task
    recomputes its case's (cheap, deterministic) direct baseline rather
    than sharing one, so tasks share nothing mutable. *)
-let fig5_fig6 ?(methods = methods) ?timeout_ms ?(jobs = 1) ?on_progress hw
-    cases =
+let fig5_fig6 ?(methods = methods) ?options ?timeout_ms ?(jobs = 1)
+    ?on_progress hw cases =
   if jobs <= 1 then
     List.concat_map
-      (fun kase -> evaluate_case ~methods ?timeout_ms ?on_progress hw kase)
+      (fun kase ->
+        evaluate_case ~methods ?options ?timeout_ms ?on_progress hw kase)
       cases
   else
     let tasks =
@@ -116,7 +117,7 @@ let fig5_fig6 ?(methods = methods) ?timeout_ms ?(jobs = 1) ?on_progress hw
         Array.to_list
           (Pool.parallel_map pool
              ~f:(fun (kase, m) ->
-               row_of ?timeout_ms ?on_progress hw kase
+               row_of ?options ?timeout_ms ?on_progress hw kase
                  ~baseline:(baseline_of hw kase) m)
              tasks))
 
@@ -137,13 +138,14 @@ let noise_of hw =
     t2 = hw.Hardware.t2;
   }
 
-let fig7 ?(methods = methods) ?timeout_ms ?(jobs = 1) ?on_progress hw cases =
+let fig7 ?(methods = methods) ?options ?timeout_ms ?(jobs = 1) ?on_progress hw
+    cases =
   let noise = noise_of hw in
   let sim_case kase =
       let circuit = kase.Workloads.circuit in
       let ideal = Density.probabilities (Density.run_ideal circuit) in
       let run m =
-        let o = governed ?timeout_ms hw m circuit in
+        let o = governed ?options ?timeout_ms hw m circuit in
         notify on_progress ~case:kase.Workloads.label
           ~meth:(Pipeline.method_name m) o;
         let adapted = o.Pipeline.circuit in

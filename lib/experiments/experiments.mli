@@ -40,6 +40,7 @@ val methods : Pipeline.method_ list
 
 val evaluate_case :
   ?methods:Pipeline.method_ list ->
+  ?options:Qca_sat.Solver.options ->
   ?timeout_ms:float ->
   ?jobs:int ->
   ?on_progress:(progress -> unit) ->
@@ -47,13 +48,16 @@ val evaluate_case :
   Workloads.case ->
   row list
 (** Adapts one workload with every method and computes the Fig. 5/6
-    metrics against the direct-translation baseline. [timeout_ms]
-    bounds each adaptation independently (degraded rows are flagged).
-    [jobs > 1] adapts the methods concurrently on a
-    {!Qca_par.Pool} of OCaml domains; rows keep their order. *)
+    metrics against the direct-translation baseline. [options] is
+    forwarded to every solver the pipeline builds (e.g. to ablate
+    inprocessing). [timeout_ms] bounds each adaptation independently
+    (degraded rows are flagged). [jobs > 1] adapts the methods
+    concurrently on a {!Qca_par.Pool} of OCaml domains; rows keep
+    their order. *)
 
 val fig5_fig6 :
   ?methods:Pipeline.method_ list ->
+  ?options:Qca_sat.Solver.options ->
   ?timeout_ms:float ->
   ?jobs:int ->
   ?on_progress:(progress -> unit) ->
@@ -78,6 +82,7 @@ type sim_row = {
 
 val fig7 :
   ?methods:Pipeline.method_ list ->
+  ?options:Qca_sat.Solver.options ->
   ?timeout_ms:float ->
   ?jobs:int ->
   ?on_progress:(progress -> unit) ->

@@ -38,43 +38,104 @@ let thin ~max_out weights =
     List.filter (fun w -> Hashtbl.mem kept w) weights
   end
 
-let merge s ~cap ~max_out (a : node) (b : node) : node =
-  let weights = Hashtbl.create 64 in
-  let add w = if w > 0 then Hashtbl.replace weights (min w cap) () in
-  List.iter (fun (w, _) -> add w) a;
-  List.iter (fun (w, _) -> add w) b;
-  List.iter (fun (wa, _) -> List.iter (fun (wb, _) -> add (wa + wb)) b) a;
-  let sorted =
-    Hashtbl.fold (fun w () acc -> w :: acc) weights [] |> List.sort compare
-  in
+(* Candidate output weights of a merge: both inputs' weights plus their
+   pairwise sums, clamped at [cap]; only candidates reaching at least
+   [keep_below] are returned (ascending). Dense merges (candidate count
+   on the order of the cap) dedupe-and-sort through a flat seen-bitmap
+   over [1..cap] in one O(|a|·|b| + cap) sweep; sparse merges — huge
+   cap, few candidates, the norm inside thinned trees where every node
+   carries at most [max_out] outputs — collect into a flat int array
+   and sort, so neither the O(cap) memset/scan nor any boxing is
+   paid. *)
+let merge_candidates ~cap ~keep_below (a : node) (b : node) =
+  let na = List.length a and nb = List.length b in
+  let ncand = (na * nb) + na + nb in
+  if cap <= 1024 || cap <= 4 * ncand then begin
+    let seen = Bytes.make (cap + 1) '\000' in
+    let add w =
+      if w > 0 then Bytes.unsafe_set seen (if w < cap then w else cap) '\001'
+    in
+    List.iter (fun (w, _) -> add w) a;
+    List.iter (fun (w, _) -> add w) b;
+    List.iter (fun (wa, _) -> List.iter (fun (wb, _) -> add (wa + wb)) b) a;
+    let acc = ref [] in
+    for w = cap downto keep_below do
+      if Bytes.unsafe_get seen w <> '\000' then acc := w :: !acc
+    done;
+    !acc
+  end
+  else begin
+    let arr = Array.make ncand 0 in
+    let n = ref 0 in
+    let add w =
+      if w > 0 then begin
+        let w = if w < cap then w else cap in
+        if w >= keep_below then begin
+          Array.unsafe_set arr !n w;
+          incr n
+        end
+      end
+    in
+    List.iter (fun (w, _) -> add w) a;
+    List.iter (fun (w, _) -> add w) b;
+    List.iter (fun (wa, _) -> List.iter (fun (wb, _) -> add (wa + wb)) b) a;
+    let filled = Array.sub arr 0 !n in
+    Array.sort (fun (x : int) y -> compare x y) filled;
+    let acc = ref [] in
+    for i = !n - 1 downto 0 do
+      let w = Array.unsafe_get filled i in
+      match !acc with
+      | hd :: _ when hd = w -> ()
+      | _ -> acc := w :: !acc
+    done;
+    !acc
+  end
+
+let merge s ~cap ~max_out ?(keep_below = 1) (a : node) (b : node) : node =
+  (* [keep_below] prunes the output range: only sums reaching at least
+     [keep_below] (after clamping at [cap]) get output variables and
+     implication clauses. The default 1 keeps everything; the root
+     merge of a single-marker encoding passes [keep_below = cap], since
+     downstream only the cap marker is ever consulted — sub-cap root
+     outputs would be dead variables fed by dead clauses. *)
+  let keep_below = min keep_below cap in
+  let sorted = merge_candidates ~cap ~keep_below a b in
   let kept = thin ~max_out sorted in
   let outs = List.map (fun w -> (w, Lit.pos (Solver.new_var s))) kept in
   let kept_arr = Array.of_list kept in
+  (* outs is built positionally from kept, so the two arrays share
+     indices and the binary search resolves straight to the literal *)
+  let outs_arr = Array.of_list outs in
   let out_for w =
-    (* largest kept weight ≤ clamped w (exists: the smallest candidate
-       weight is always kept and is ≤ w for any reachable w) *)
+    (* largest kept weight ≤ clamped w (exists: callers only ask for
+       w ≥ keep_below, and the smallest such candidate is kept) *)
     let w = min w cap in
     let lo = ref 0 and hi = ref (Array.length kept_arr - 1) in
     while !lo < !hi do
       let mid = (!lo + !hi + 1) / 2 in
-      if kept_arr.(mid) <= w then lo := mid else hi := mid - 1
+      if Array.unsafe_get kept_arr mid <= w then lo := mid else hi := mid - 1
     done;
-    let target = kept_arr.(!lo) in
-    let rec find = function
-      | [] -> assert false
-      | (w', l) :: rest -> if w' = target then l else find rest
-    in
-    find outs
+    snd (Array.unsafe_get outs_arr !lo)
   in
   (* (a ≥ wa) ∧ (b ≥ wb) → (out ≥ wa+wb); the unit contributions are the
-     wb = 0 / wa = 0 cases. *)
-  List.iter (fun (wa, la) -> Solver.add_clause s [ Lit.negate la; out_for wa ]) a;
-  List.iter (fun (wb, lb) -> Solver.add_clause s [ Lit.negate lb; out_for wb ]) b;
+     wb = 0 / wa = 0 cases. Conclusions below [keep_below] are pruned
+     with their outputs. *)
+  List.iter
+    (fun (wa, la) ->
+      if wa >= keep_below then
+        Solver.add_clause s [ Lit.negate la; out_for wa ])
+    a;
+  List.iter
+    (fun (wb, lb) ->
+      if wb >= keep_below then
+        Solver.add_clause s [ Lit.negate lb; out_for wb ])
+    b;
   List.iter
     (fun (wa, la) ->
       List.iter
         (fun (wb, lb) ->
-          Solver.add_clause s [ Lit.negate la; Lit.negate lb; out_for (wa + wb) ])
+          if wa + wb >= keep_below then
+            Solver.add_clause s [ Lit.negate la; Lit.negate lb; out_for (wa + wb) ])
         b)
     a;
   outs
@@ -120,7 +181,11 @@ let group_node s ~cap ~max_out (w, lits) : node =
        []
   |> List.rev
 
-let rec build_nodes s ~cap ~max_out = function
+(* [root_keep] applies only to the outermost merge (the root node):
+   callers that consult nothing but the cap marker pass the cap so the
+   root's sub-cap outputs — never read by anyone — are not encoded.
+   Inner merges always keep everything; their outputs feed upward. *)
+let rec build_nodes s ~cap ~max_out ?(root_keep = 1) = function
   | [] -> []
   | [ n ] -> n
   | nodes ->
@@ -131,32 +196,34 @@ let rec build_nodes s ~cap ~max_out = function
     in
     let n = List.length nodes in
     let left, right = split (n / 2) [] nodes in
-    merge s ~cap ~max_out
+    merge s ~cap ~max_out ~keep_below:root_keep
       (build_nodes s ~cap ~max_out left)
       (build_nodes s ~cap ~max_out right)
 
-(* Group equal weights (a unary counter per group is linear-size), then
-   totalizer-merge the group nodes. *)
-let build s ~cap ~max_out terms =
+(* Group equal weights (a unary counter per group is linear-size). *)
+let group_nodes s ~cap ~max_out terms =
   let groups = Hashtbl.create 8 in
   List.iter
     (fun (l, w) ->
       let prev = Option.value ~default:[] (Hashtbl.find_opt groups w) in
       Hashtbl.replace groups w (l :: prev))
     terms;
-  let nodes =
-    Hashtbl.fold
-      (fun w lits acc -> group_node s ~cap ~max_out (w, lits) :: acc)
-      groups []
-  in
-  build_nodes s ~cap ~max_out nodes
+  Hashtbl.fold
+    (fun w lits acc -> group_node s ~cap ~max_out (w, lits) :: acc)
+    groups []
+
+(* Group equal weights, then totalizer-merge the group nodes. *)
+let build s ~cap ~max_out ?root_keep terms =
+  build_nodes s ~cap ~max_out ?root_keep (group_nodes s ~cap ~max_out terms)
 
 let marker_geq_sized s ~max_out terms bound =
   if bound <= 0 then invalid_arg "Totalizer.marker_geq: bound must be ≥ 1";
   let total = List.fold_left (fun acc (_, w) -> acc + w) 0 terms in
   if total < bound then None
   else begin
-    let outs = build s ~cap:bound ~max_out terms in
+    (* only the [bound] marker is consulted downstream, so the root
+       node is pruned to it (see [build_nodes]) *)
+    let outs = build s ~cap:bound ~max_out ~root_keep:bound terms in
     (* the clamp value [bound] is reachable (total ≥ bound) and always
        kept by [thin], so the marker exists at the root. *)
     let rec find = function
@@ -199,11 +266,25 @@ let enforce_at_most ?resolution s terms k =
     (* even the all-false assignment violates the cut: unsatisfiable *)
     Solver.add_clause s []
 
+(* The root merge of a selector, held back for lazy emission. Root
+   outputs carry no ladder clauses between them, so the clauses
+   concluding at one output are invisible to queries against any other
+   — each bucket can be materialized on its first query. The OMT loop
+   touches a handful of the root's outputs over a whole optimization,
+   so most buckets are never encoded at all. *)
+type pending_root = {
+  r_cap : int;
+  r_left : node;
+  r_right : node;
+  r_emitted : bool array;  (* per root-output index *)
+}
+
 type selector = {
   sel_solver : Solver.t;
   offset : int;  (* Σ original = Σ positive + offset *)
   total : int;  (* maximum possible positive sum *)
   outputs : (int * Lit.t) array;  (* root outputs, ascending weights *)
+  root : pending_root option;  (* when the tree has a root merge *)
   mutable negations : (int, Lit.t) Hashtbl.t option;  (* memo: weight -> assumption *)
 }
 
@@ -211,11 +292,78 @@ let at_most_selector ?(resolution = 256) s terms ~max =
   let pos_terms, offset = normalize terms in
   let total = List.fold_left (fun acc (_, w) -> acc + w) 0 pos_terms in
   let cap = min total (Stdlib.max 1 (max - offset + 1)) in
-  let outputs =
-    if pos_terms = [] then [||]
-    else Array.of_list (build s ~cap ~max_out:resolution pos_terms)
+  let outputs, root =
+    if pos_terms = [] then ([||], None)
+    else begin
+      match group_nodes s ~cap ~max_out:resolution pos_terms with
+      | [] -> ([||], None)
+      | [ n ] -> (Array.of_list n, None)
+      | nodes ->
+        (* children are built eagerly (their outputs feed the root from
+           every direction); only the root merge's own clauses wait *)
+        let rec split i left = function
+          | rest when i = 0 -> (List.rev left, rest)
+          | [] -> (List.rev left, [])
+          | t :: rest -> split (i - 1) (t :: left) rest
+        in
+        let ln, rn = split (List.length nodes / 2) [] nodes in
+        let a = build_nodes s ~cap ~max_out:resolution ln in
+        let b = build_nodes s ~cap ~max_out:resolution rn in
+        let kept =
+          thin ~max_out:resolution (merge_candidates ~cap ~keep_below:1 a b)
+        in
+        let outs =
+          Array.of_list
+            (List.map (fun w -> (w, Lit.pos (Solver.new_var s))) kept)
+        in
+        ( outs,
+          Some
+            {
+              r_cap = cap;
+              r_left = a;
+              r_right = b;
+              r_emitted = Array.make (Array.length outs) false;
+            } )
+    end
   in
-  { sel_solver = s; offset; total; outputs; negations = Some (Hashtbl.create 8) }
+  { sel_solver = s; offset; total; outputs; root; negations = Some (Hashtbl.create 8) }
+
+(* Emit the root-merge clauses concluding at output [idx] — the bucket
+   of sums that round down to its weight — on first query. *)
+let materialize_root sel idx =
+  match sel.root with
+  | None -> ()
+  | Some r ->
+    if not r.r_emitted.(idx) then begin
+      r.r_emitted.(idx) <- true;
+      let s = sel.sel_solver in
+      let w = fst sel.outputs.(idx) in
+      let target = snd sel.outputs.(idx) in
+      let hi =
+        if idx + 1 < Array.length sel.outputs then fst sel.outputs.(idx + 1)
+        else max_int
+      in
+      let in_bucket x =
+        let x = min x r.r_cap in
+        x >= w && x < hi
+      in
+      List.iter
+        (fun (wa, la) ->
+          if in_bucket wa then Solver.add_clause s [ Lit.negate la; target ])
+        r.r_left;
+      List.iter
+        (fun (wb, lb) ->
+          if in_bucket wb then Solver.add_clause s [ Lit.negate lb; target ])
+        r.r_right;
+      List.iter
+        (fun (wa, la) ->
+          List.iter
+            (fun (wb, lb) ->
+              if in_bucket (wa + wb) then
+                Solver.add_clause s [ Lit.negate la; Lit.negate lb; target ])
+            r.r_right)
+        r.r_left
+    end
 
 let select sel k =
   let k' = k - sel.offset in
@@ -235,6 +383,7 @@ let select sel k =
       let idx = find 0 n in
       if idx >= n then None (* no output can witness the violation: vacuous *)
       else begin
+        materialize_root sel idx;
         let w, marker = sel.outputs.(idx) in
         let memo =
           match sel.negations with

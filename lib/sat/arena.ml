@@ -21,8 +21,7 @@ let ensure t extra =
 
 (* header bits: 0 = reloced, 1 = deleted, 2 = learnt, 3.. = size *)
 
-let alloc t ~learnt lits =
-  let n = Array.length lits in
+let alloc_slice t ~learnt lits n =
   ensure t (n + header_words);
   let c = t.used in
   t.data.(c) <- (n lsl 3) lor (if learnt then 4 else 0);
@@ -31,6 +30,8 @@ let alloc t ~learnt lits =
   Array.blit lits 0 t.data (c + header_words) n;
   t.used <- c + header_words + n;
   c
+
+let alloc t ~learnt lits = alloc_slice t ~learnt lits (Array.length lits)
 
 let[@inline] size t c = Array.unsafe_get t.data c lsr 3
 let[@inline] learnt t c = Array.unsafe_get t.data c land 4 <> 0

@@ -39,6 +39,10 @@ val create : ?capacity:int -> unit -> t
 val alloc : t -> learnt:bool -> int array -> cref
 (** Copies the literals into the arena. Size must be at least 1. *)
 
+val alloc_slice : t -> learnt:bool -> int array -> int -> cref
+(** [alloc_slice t ~learnt buf n] copies [buf.(0 .. n-1)] — {!alloc}
+    without the caller-side [Array.sub] (the add-clause hot path). *)
+
 val size : t -> cref -> int
 val learnt : t -> cref -> bool
 val deleted : t -> cref -> bool

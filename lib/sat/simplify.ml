@@ -1,0 +1,54 @@
+(* Pure clause algebra for the inprocessing pass (see Solver's
+   simplification driver and DESIGN.md section 7.6). Clauses are plain
+   arrays of literals in the internal encoding of {!Lit}. Everything
+   here is stateless so it can be unit-tested away from the arena. *)
+
+(* 63-bit Bloom signature over the variables of a clause. [c] can only
+   subsume [d] when [signature c] is bit-subset of [signature d], which
+   rejects almost every candidate pair without touching the literals.
+   Variable-based (not literal-based) so the same signature also
+   pre-filters self-subsuming resolution, where one literal appears
+   negated. *)
+let signature lits =
+  Array.fold_left (fun s l -> s lor (1 lsl ((l lsr 1) mod 63))) 0 lits
+
+let[@inline] may_subsume sig_c sig_d = sig_c land lnot sig_d = 0
+
+let[@inline] mem l lits =
+  let n = Array.length lits in
+  let rec go i = i < n && (Array.unsafe_get lits i = l || go (i + 1)) in
+  go 0
+
+(* [subsumes c d]: every literal of [c] occurs in [d] (so [c ⊆ d] as
+   sets — clauses are duplicate-free). O(|c|·|d|), fine for the short
+   clauses the driver feeds it after the signature filter. *)
+let subsumes c d =
+  Array.length c <= Array.length d && Array.for_all (fun l -> mem l d) c
+
+(* Self-subsuming resolution test: [c] with [pivot] flipped subsumes
+   [d], i.e. [c \ {pivot} ⊆ d] and [¬pivot ∈ d]. When it holds, [d] can
+   be strengthened to [d \ {¬pivot}] (the resolvent of [c] and [d] on
+   the pivot, which subsumes [d]). *)
+let subsumes_with_flip ~pivot c d =
+  Array.length c <= Array.length d
+  && mem (pivot lxor 1) d
+  && Array.for_all (fun l -> l = pivot || mem l d) c
+
+let strengthen d l = Array.of_list (List.filter (fun m -> m <> l) (Array.to_list d))
+
+(* Resolvent of [c] and [d] on [pivot_var] (c holds one polarity, d the
+   other): the union of both clauses minus the pivot literals,
+   deduplicated. [None] when the resolvent is a tautology. The merge
+   works on sorted literals, where the two polarities of a variable are
+   adjacent ([2v] and [2v+1]). *)
+let resolve ~pivot_var c d =
+  let keep l = l lsr 1 <> pivot_var in
+  let all =
+    List.sort_uniq compare
+      (List.filter keep (Array.to_list c @ Array.to_list d))
+  in
+  let rec tautology = function
+    | l :: (m :: _ as rest) -> l lxor 1 = m || tautology rest
+    | _ -> false
+  in
+  if tautology all then None else Some (Array.of_list all)

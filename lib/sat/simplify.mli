@@ -1,0 +1,30 @@
+(** Pure clause algebra for the inprocessing (simplification) pass.
+
+    The stateful driver — occurrence lists, the elimination stack, DRUP
+    emission, watch surgery — lives in {!Solver}; this module holds the
+    clause-level predicates and constructions it is built from, on plain
+    literal arrays in the internal {!Lit.t} encoding, so they can be
+    unit-tested in isolation. See DESIGN.md section 7.6. *)
+
+val signature : int array -> int
+(** 63-bit Bloom signature over the {e variables} of a clause. *)
+
+val may_subsume : int -> int -> bool
+(** [may_subsume sig_c sig_d]: false means [c] certainly does not
+    subsume [d] (and cannot self-subsume against it either). *)
+
+val mem : int -> int array -> bool
+
+val subsumes : int array -> int array -> bool
+(** Set inclusion [c ⊆ d] for duplicate-free clauses. *)
+
+val subsumes_with_flip : pivot:int -> int array -> int array -> bool
+(** [c] with [pivot] negated subsumes [d]: then [d] can be strengthened
+    by removing [¬pivot] (self-subsuming resolution). *)
+
+val strengthen : int array -> int -> int array
+(** [strengthen d l] is [d] without literal [l]. *)
+
+val resolve : pivot_var:int -> int array -> int array -> int array option
+(** Resolvent on [pivot_var], deduplicated and sorted; [None] for
+    tautological resolvents. *)

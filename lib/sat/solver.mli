@@ -37,6 +37,20 @@ type options = {
           (deterministic xorshift keyed by the seed) — the portfolio
           diversification knob. [0] (default) consults no RNG and is
           bit-identical to the classic search. *)
+  use_simplify : bool;
+      (** inprocessing (on by default): subsumption and self-subsuming
+          resolution, bounded variable elimination, failed-literal
+          probing and clause vivification. Effort-gated: the full pass
+          first runs at the first restart (an instance decided by
+          propagation alone never pays for it), then every
+          [simplify_period] restarts — full again after substantial
+          clause-DB growth, light (probing + learnt vivification)
+          otherwise. All derivations and deletions flow through the
+          DRUP stream, so certification works unchanged (see DESIGN.md
+          section 7.6). {!simplify} forces an eager pass. *)
+  simplify_period : int;
+      (** restarts between inprocessing passes (default 8); the
+          portfolio seats diversify this *)
 }
 
 val default_options : options
@@ -125,6 +139,14 @@ val solve : ?assumptions:Lit.t list -> ?budget:budget -> t -> result
     retracted and the solver can be reused. Without a budget the answer
     is always [Sat] or [Unsat]. *)
 
+val simplify : t -> unit
+(** Runs one full inprocessing pass (subsumption, bounded variable
+    elimination, probing, vivification) at the root right now,
+    regardless of the effort-gated schedule. Invalidates any model the
+    solver holds. A root conflict derived here makes every future
+    {!solve} return [Unsat], exactly as {!add_clause} would. A no-op
+    when the solver was created with [use_simplify = false]. *)
+
 val value : t -> Lit.var -> bool
 (** Model value after [Sat]; raises [Invalid_argument] otherwise. *)
 
@@ -143,12 +165,14 @@ val options : t -> options
 (** {1 Problem export (portfolio cloning)}
 
     {!export_problem} snapshots the problem a solver holds — variable
-    count, original clauses, and every root-level fact as a unit clause
-    — after backtracking to level 0. Learnt clauses are implied and not
-    exported; a refuted solver exports one empty clause.
-    {!import_problem} rebuilds an equivalent fresh solver, possibly
-    under different {!options} — this is how {!Qca_par.Portfolio} seats
-    diversified clones without sharing any mutable solver state. *)
+    count plus exactly the clauses that were added, verbatim, untouched
+    by simplification or root-level rewriting (the importer
+    re-normalizes and re-derives root facts). Learnt clauses are
+    implied and not exported; a refuted solver exports one empty
+    clause. {!import_problem} rebuilds an equivalent fresh solver,
+    possibly under different {!options} — this is how
+    {!Qca_par.Portfolio} seats diversified clones without sharing any
+    mutable solver state. *)
 
 type problem = { p_nvars : int; p_clauses : Lit.t list list }
 
@@ -229,11 +253,21 @@ type view = {
   v_hsize : int;
   v_hindex : int array;
   v_hact : float array;
+  v_eliminated : bool array;
+      (** var -> removed by bounded variable elimination (never
+          assigned, absent from the decision order) *)
 }
 (** Read-only snapshot for the auditor: scalars are copied, arrays are
     shared with the live solver. *)
 
 val view : t -> view
+
+val elimination_stack : t -> (Lit.var * int array array) list
+(** The bounded-variable-elimination stack, most recent entry first:
+    each eliminated variable with the occurrence clauses (internal
+    literal encoding, copied) that were moved out of the problem. The
+    auditor's model-reconstruction check verifies that a [Sat] model
+    extended over these variables satisfies every saved clause. *)
 
 val force_reduce_db : t -> unit
 (** Debug/test entry point: run a learnt-database reduction (with its
@@ -253,6 +287,13 @@ type stats = {
       (** literals removed from learnt clauses by minimization *)
   arena_gcs : int;  (** clause-arena compactions *)
   avg_lbd : float;  (** mean literal-block-distance of learnt clauses *)
+  subsumed_clauses : int;  (** clauses removed by subsumption *)
+  strengthened_clauses : int;
+      (** clauses shortened by self-subsuming resolution *)
+  eliminated_vars : int;  (** variables removed by bounded elimination *)
+  vivified_clauses : int;  (** clauses shortened or removed by vivification *)
+  failed_literals : int;  (** root units found by probing *)
+  simplify_rounds : int;  (** inprocessing passes (full + light) *)
 }
 
 val stats : t -> stats

@@ -184,14 +184,23 @@ let test_audit_clean_states () =
   let sat_s, _ = solve_with_proof (php_clauses 4 4) in
   checkb "sat state audits clean" true (Audit.check sat_s = [])
 
+(* First variable the solver actually assigned (inprocessing may have
+   eliminated low-numbered variables, whose assigns slot is already -1). *)
+let first_assigned v =
+  let rec go i =
+    if v.Solver.v_assigns.(i) >= 0 then i else go (i + 1)
+  in
+  go 0
+
 let test_audit_detects_corruption () =
   let s, _ = solve_with_proof (php_clauses 4 4) in
   let v = Solver.view s in
   (* assignment vanishes while its literal is still on the trail *)
-  let saved = v.Solver.v_assigns.(0) in
-  v.Solver.v_assigns.(0) <- -1;
+  let corrupt = first_assigned v in
+  let saved = v.Solver.v_assigns.(corrupt) in
+  v.Solver.v_assigns.(corrupt) <- -1;
   checkb "corrupted assignment detected" true (Audit.check s <> []);
-  v.Solver.v_assigns.(0) <- saved;
+  v.Solver.v_assigns.(corrupt) <- saved;
   checkb "restored state clean" true (Audit.check s = []);
   (* a watch word pointing into the void *)
   let lit0_watches = v.Solver.v_wsize.(0) in
@@ -209,13 +218,14 @@ let test_audit_hook_fires () =
   (* must not raise on a coherent solver *)
   Solver.audit s;
   let v = Solver.view s in
-  let saved = v.Solver.v_assigns.(0) in
-  v.Solver.v_assigns.(0) <- -1;
+  let corrupt = first_assigned v in
+  let saved = v.Solver.v_assigns.(corrupt) in
+  v.Solver.v_assigns.(corrupt) <- -1;
   checkb "hook raises on corruption" true
     (match Solver.audit s with
     | () -> false
     | exception Audit.Violation (_ :: _) -> true);
-  v.Solver.v_assigns.(0) <- saved
+  v.Solver.v_assigns.(corrupt) <- saved
 
 (* Interleave clause addition, budgeted solving, forced database
    reductions and forced arena compactions, auditing the full state

@@ -15,6 +15,7 @@ let () =
       ("quantum", Test_quantum.suite);
       ("circuit", Test_circuit.suite);
       ("sat", Test_sat.suite);
+      ("simplify", Test_simplify.suite);
       ("pseudo_bool", Test_pseudo_bool.suite);
       ("diff_logic", Test_diff_logic.suite);
       ("smt", Test_smt.suite);
