@@ -18,13 +18,18 @@ let default_jobs =
   | Some n when n > 0 -> n
   | _ -> 1
 
-let obs_start ~metrics ~trace_out =
-  if metrics || trace_out <> None then Obs.set_enabled true;
-  if trace_out <> None then Trace.set_enabled true
-
 let obs_stop ~metrics ~trace_out =
   (match trace_out with Some file -> Trace.write_chrome file | None -> ());
   if metrics then Format.eprintf "%a@." Obs.pp_summary ()
+
+(* An interrupted run must not lose its trace: flush the observability
+   output on SIGINT/SIGTERM as well as on the normal exit path. *)
+let obs_start ~metrics ~trace_out =
+  if metrics || trace_out <> None then begin
+    Obs.set_enabled true;
+    Qca_obs.Sigexit.install ~flush:(fun () -> obs_stop ~metrics ~trace_out)
+  end;
+  if trace_out <> None then Trace.set_enabled true
 
 let read_input = function
   | "-" -> Ok (In_channel.input_all stdin)

@@ -1,0 +1,313 @@
+(* The adaptation-as-a-service daemon and its companion client.
+
+   `qca-serve daemon` runs the long-lived server (binary QCA1 protocol
+   plus an HTTP/1.1 shim on the same port); `qca-serve adapt`, `ping`
+   and `metrics` are one-shot binary-protocol clients for scripting
+   and smoke tests.
+
+   Client exit codes mirror qca-adapt: 0 full service, 2 degraded
+   (fallback tier or shed), 3 invalid input / transport failure. *)
+
+open Cmdliner
+module Solver = Qca_sat.Solver
+module Fault = Qca_util.Fault
+open Qca_serve
+
+let host_arg =
+  let doc = "Bind/connect address." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_arg =
+  let doc = "TCP port (daemon: 0 picks an ephemeral port)." in
+  Arg.(value & opt int 7333 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+(* {1 daemon} *)
+
+let daemon host port workers jobs queue_capacity shed_fraction direct_fraction
+    cache_capacity default_timeout_ms max_timeout_ms max_request_bytes retries
+    certify revalidate_period no_simplify fault_spec =
+  match
+    match fault_spec with
+    | None -> Ok Fault.none
+    | Some spec -> Fault.of_spec spec
+  with
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    3
+  | Ok fault ->
+    let cfg =
+      {
+        Server.default_config with
+        host;
+        port;
+        workers;
+        solver_jobs = jobs;
+        queue_capacity;
+        shed_fraction;
+        direct_fraction;
+        cache_capacity;
+        default_timeout_ms;
+        max_timeout_ms;
+        max_request_bytes;
+        retries;
+        certify;
+        revalidate_period;
+        fault;
+        options =
+          { Solver.default_options with use_simplify = not no_simplify };
+      }
+    in
+    (try
+       Server.run cfg;
+       0
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
+         (Unix.error_message e);
+       3)
+
+let daemon_cmd =
+  let workers =
+    let doc = "Request-handling worker domains." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let jobs =
+    let doc = "Portfolio CDCL seats per solve (as qca-adapt --jobs)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let queue =
+    let doc =
+      "Admission bound: connections queued beyond the workers. Above \
+       --shed-at the daemon demotes SAT requests to the greedy tier, above \
+       --direct-at to direct adaptation, and at capacity it refuses with a \
+       typed overloaded response and a retry-after hint."
+    in
+    Arg.(value & opt int 16 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let shed_at =
+    let doc = "Queue fill fraction that starts shedding SAT to greedy." in
+    Arg.(value & opt float 0.5 & info [ "shed-at" ] ~docv:"FRAC" ~doc)
+  in
+  let direct_at =
+    let doc = "Queue fill fraction that sheds everything to direct." in
+    Arg.(value & opt float 0.875 & info [ "direct-at" ] ~docv:"FRAC" ~doc)
+  in
+  let cache =
+    let doc =
+      "Entries in the content-addressed result cache (circuit x hardware x \
+       method). 0 disables caching."
+    in
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let default_timeout =
+    let doc = "Deadline for requests that do not name one, in ms." in
+    Arg.(value & opt float 2000.0 & info [ "default-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_timeout =
+    let doc = "Hard cap on any per-request deadline, in ms." in
+    Arg.(value & opt float 30000.0 & info [ "max-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_bytes =
+    let doc = "Byte cap on request frames and HTTP bodies." in
+    Arg.(
+      value
+      & opt int Qca_circuit.Wire.default_max_bytes
+      & info [ "max-request-bytes" ] ~docv:"N" ~doc)
+  in
+  let retries =
+    let doc =
+      "Bounded retries (exponential backoff) when a solve degrades on a \
+       transient conflict/propagation budget, deadline permitting."
+    in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let certify =
+    let doc =
+      "Certify every successful response end to end before sending it; a \
+       refuted certificate becomes a typed internal error, never a wrong \
+       answer."
+    in
+    Arg.(value & flag & info [ "certify" ] ~doc)
+  in
+  let revalidate =
+    let doc =
+      "Re-certify every $(docv)th cache hit against the stored circuit \
+       (0 = never)."
+    in
+    Arg.(value & opt int 8 & info [ "revalidate-period" ] ~docv:"N" ~doc)
+  in
+  let no_simplify =
+    let doc = "Disable CDCL inprocessing in every solve." in
+    Arg.(value & flag & info [ "no-simplify" ] ~doc)
+  in
+  let fault =
+    let doc =
+      "Deterministic fault-injection plan (SITE:N:ACTION, see qca-sat \
+       --fault) — exercises the serve-side robustness paths."
+    in
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+  in
+  let doc = "run the adaptation service" in
+  Cmd.v (Cmd.info "daemon" ~doc)
+    Term.(
+      const daemon $ host_arg $ port_arg $ workers $ jobs $ queue $ shed_at
+      $ direct_at $ cache $ default_timeout $ max_timeout $ max_bytes $ retries
+      $ certify $ revalidate $ no_simplify $ fault)
+
+(* {1 client subcommands} *)
+
+let read_input = function
+  | "-" -> Ok (In_channel.input_all stdin)
+  | path -> (
+    try Ok (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error msg -> Error msg)
+
+let adapt host port method_name hw_name format_name input show_circuit
+    timeout_ms max_conflicts no_cache =
+  let ( let* ) = Result.bind in
+  let result =
+    let* method_ = Protocol.method_of_string method_name in
+    let* hardware = Protocol.hardware_of_string hw_name in
+    let* format =
+      match format_name with
+      | "text" -> Ok Protocol.Text
+      | "qasm" -> Ok Protocol.Qasm
+      | other -> Error (Printf.sprintf "unknown format %S" other)
+    in
+    let* circuit_text = read_input input in
+    let request =
+      Protocol.Adapt
+        {
+          Protocol.method_;
+          hardware;
+          format;
+          timeout_ms;
+          max_conflicts;
+          use_cache = not no_cache;
+          circuit_text;
+        }
+    in
+    Client.call ~host ~port request
+  in
+  match result with
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    3
+  | Ok (Protocol.Error_resp { code; message; retry_after_ms }) ->
+    Printf.eprintf "error [%s]: %s%s\n"
+      (Protocol.error_code_to_string code)
+      message
+      (match retry_after_ms with
+      | Some ms -> Printf.sprintf " (retry after %d ms)" ms
+      | None -> "");
+    3
+  | Ok (Protocol.Pong | Protocol.Metrics_text _) ->
+    prerr_endline "error: unexpected response kind";
+    3
+  | Ok (Protocol.Result p) ->
+    if show_circuit then print_string p.Protocol.adapted_text;
+    Format.printf "served   : tier %s%s@."
+      (Protocol.tier_to_string p.Protocol.tier)
+      (match p.Protocol.reason with
+      | None -> ""
+      | Some r -> Printf.sprintf " (%s)" r);
+    Format.printf "shed     : %s@." (Protocol.shed_to_string p.Protocol.shed);
+    Format.printf "cache    : %s (key %s)@."
+      (match p.Protocol.cache with
+      | Protocol.Cache_hit -> "hit"
+      | Protocol.Cache_miss -> "miss"
+      | Protocol.Cache_revalidated -> "hit, revalidated")
+      p.Protocol.cache_key;
+    Format.printf "spent    : %d conflicts, %d propagations, %.1f ms@."
+      p.Protocol.conflicts p.Protocol.propagations p.Protocol.elapsed_ms;
+    (match p.Protocol.makespan with
+    | Some m -> Format.printf "makespan : %d@." m
+    | None -> ());
+    (match p.Protocol.certified with
+    | Some b -> Format.printf "certified: %s@." (if b then "yes" else "NO")
+    | None -> ());
+    if
+      p.Protocol.tier <> Qca_adapt.Pipeline.Full
+      || p.Protocol.shed <> Protocol.No_shed
+    then 2
+    else 0
+
+let adapt_cmd =
+  let method_ =
+    let doc =
+      "Adaptation method: direct, kak-cz, kak-czdb, tmp-f, tmp-r, sat-f, \
+       sat-r, sat-p, greedy-f, greedy-r, greedy-p."
+    in
+    Arg.(value & opt string "sat-p" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+  in
+  let hw =
+    let doc = "Hardware timing variant (Table I): d0 or d1." in
+    Arg.(value & opt string "d0" & info [ "hw" ] ~docv:"HW" ~doc)
+  in
+  let format =
+    let doc = "Circuit input format: text or qasm." in
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let input =
+    let doc = "Input circuit file, or - for stdin." in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+  in
+  let show =
+    let doc = "Print the adapted circuit." in
+    Arg.(value & flag & info [ "c"; "circuit" ] ~doc)
+  in
+  let timeout =
+    let doc = "Per-request deadline in ms (the server caps it)." in
+    Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let conflicts =
+    let doc = "Cap on CDCL conflicts for this request." in
+    Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N" ~doc)
+  in
+  let no_cache =
+    let doc = "Bypass the server-side result cache." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let doc = "send one adaptation request to a running daemon" in
+  Cmd.v (Cmd.info "adapt" ~doc)
+    Term.(
+      const adapt $ host_arg $ port_arg $ method_ $ hw $ format $ input $ show
+      $ timeout $ conflicts $ no_cache)
+
+let ping host port =
+  match Client.call ~host ~port Protocol.Ping with
+  | Ok Protocol.Pong ->
+    print_endline "pong";
+    0
+  | Ok _ ->
+    prerr_endline "error: unexpected response kind";
+    3
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    3
+
+let ping_cmd =
+  let doc = "check that a daemon is alive" in
+  Cmd.v (Cmd.info "ping" ~doc) Term.(const ping $ host_arg $ port_arg)
+
+let metrics host port =
+  match Client.call ~host ~port Protocol.Get_metrics with
+  | Ok (Protocol.Metrics_text text) ->
+    print_string text;
+    0
+  | Ok _ ->
+    prerr_endline "error: unexpected response kind";
+    3
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    3
+
+let metrics_cmd =
+  let doc = "fetch the daemon's metrics-registry summary" in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const metrics $ host_arg $ port_arg)
+
+let cmd =
+  let doc = "quantum circuit adaptation as a service" in
+  Cmd.group (Cmd.info "qca-serve" ~doc)
+    [ daemon_cmd; adapt_cmd; ping_cmd; metrics_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -108,14 +108,26 @@ let parse text =
 let parse_exn text =
   match parse text with Ok c -> c | Error msg -> invalid_arg ("Parse: " ^ msg)
 
+let parse_untrusted ?max_bytes text =
+  match Wire.validate ?max_bytes text with
+  | Error e -> Error (`Wire e)
+  | Ok () -> (
+    match parse text with
+    | Ok c -> Ok c
+    | Error msg -> Error (`Syntax msg)
+    | exception Invalid_argument msg -> Error (`Syntax msg))
+
 let gate_to_text g =
   let open Printf in
   match g with
+  (* U3(θ,φ,λ) = Rz(φ)·Ry(θ)·Rz(λ) as a matrix product, so Rz(λ) is
+     applied first and must be emitted first — circuit text applies
+     gates top to bottom. *)
   | Gate.Single (Gate.Su2 m, q) ->
     let theta, phi, lambda, _ = Qca_quantum.Su2.to_u3 m in
-    sprintf "rz(%.9g) %d\nry(%.9g) %d\nrz(%.9g) %d" phi q theta q lambda q
+    sprintf "rz(%.9g) %d\nry(%.9g) %d\nrz(%.9g) %d" lambda q theta q phi q
   | Gate.Single (Gate.U3 (t, p, l), q) ->
-    sprintf "rz(%.9g) %d\nry(%.9g) %d\nrz(%.9g) %d" p q t q l q
+    sprintf "rz(%.9g) %d\nry(%.9g) %d\nrz(%.9g) %d" l q t q p q
   | Gate.Single (Gate.Rx a, q) -> sprintf "rx(%.9g) %d" a q
   | Gate.Single (Gate.Ry a, q) -> sprintf "ry(%.9g) %d" a q
   | Gate.Single (Gate.Rz a, q) -> sprintf "rz(%.9g) %d" a q

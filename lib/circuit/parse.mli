@@ -12,6 +12,16 @@ val parse : string -> (Circuit.t, string) result
 
 val parse_exn : string -> Circuit.t
 
+val parse_untrusted :
+  ?max_bytes:int ->
+  string ->
+  (Circuit.t, [ `Wire of Wire.error | `Syntax of string ]) result
+(** {!parse} behind the {!Wire} gate, for attacker-controlled bytes:
+    the size cap and binary-garbage check run before the parser sees
+    the input ([`Wire]), and any parse failure comes back as
+    [`Syntax] with the usual line-carrying message. Never raises.
+    [max_bytes] defaults to {!Wire.default_max_bytes}. *)
+
 val to_text : Circuit.t -> string
 (** Prints a circuit back into the textual format ([Su2]/[U4] gates are
     emitted as [u3]/synthesized gates are not re-synthesized — opaque

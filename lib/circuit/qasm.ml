@@ -284,3 +284,12 @@ let of_qasm text =
 
 let of_qasm_exn text =
   match of_qasm text with Ok c -> c | Error e -> invalid_arg ("Qasm: " ^ e)
+
+let of_qasm_untrusted ?max_bytes text =
+  match Wire.validate ?max_bytes text with
+  | Error e -> Error (`Wire e)
+  | Ok () -> (
+    match of_qasm text with
+    | Ok c -> Ok c
+    | Error msg -> Error (`Syntax msg)
+    | exception Invalid_argument msg -> Error (`Syntax msg))

@@ -15,3 +15,11 @@ val of_qasm : string -> (Circuit.t, string) result
 (** Parses a program; the error carries the offending line. *)
 
 val of_qasm_exn : string -> Circuit.t
+
+val of_qasm_untrusted :
+  ?max_bytes:int ->
+  string ->
+  (Circuit.t, [ `Wire of Wire.error | `Syntax of string ]) result
+(** {!of_qasm} behind the {!Wire} gate (size cap, NUL/UTF-8 check) for
+    attacker-controlled bytes; never raises. [max_bytes] defaults to
+    {!Wire.default_max_bytes}. *)

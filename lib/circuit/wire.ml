@@ -1,0 +1,53 @@
+type error =
+  | Too_large of { size : int; limit : int }
+  | Invalid_byte of { offset : int; reason : string }
+
+let describe = function
+  | Too_large { size; limit } ->
+    Printf.sprintf "input too large: %d bytes (limit %d)" size limit
+  | Invalid_byte { offset; reason } ->
+    Printf.sprintf "invalid byte at offset %d: %s" offset reason
+
+let default_max_bytes = 1 lsl 20
+
+(* One-pass UTF-8 validation (RFC 3629: no overlongs, no surrogates,
+   no code points past U+10FFFF) that also rejects NUL — text this
+   toolchain emits is ASCII, but hand-written circuits may carry
+   comments in any language, so full UTF-8 is allowed. *)
+let validate ?(max_bytes = default_max_bytes) s =
+  let n = String.length s in
+  if n > max_bytes then Error (Too_large { size = n; limit = max_bytes })
+  else begin
+    let err off reason = Some (Invalid_byte { offset = off; reason }) in
+    let cont i = i < n && Char.code s.[i] land 0xc0 = 0x80 in
+    let rec scan i =
+      if i >= n then None
+      else
+        let b = Char.code s.[i] in
+        if b = 0 then err i "NUL"
+        else if b < 0x80 then scan (i + 1)
+        else if b < 0xc2 then err i "stray continuation or overlong lead"
+        else if b < 0xe0 then
+          if cont (i + 1) then scan (i + 2) else err i "truncated 2-byte sequence"
+        else if b < 0xf0 then begin
+          if not (cont (i + 1) && cont (i + 2)) then
+            err i "truncated 3-byte sequence"
+          else
+            let b1 = Char.code s.[i + 1] in
+            if b = 0xe0 && b1 < 0xa0 then err i "overlong 3-byte sequence"
+            else if b = 0xed && b1 >= 0xa0 then err i "UTF-16 surrogate"
+            else scan (i + 3)
+        end
+        else if b < 0xf5 then begin
+          if not (cont (i + 1) && cont (i + 2) && cont (i + 3)) then
+            err i "truncated 4-byte sequence"
+          else
+            let b1 = Char.code s.[i + 1] in
+            if b = 0xf0 && b1 < 0x90 then err i "overlong 4-byte sequence"
+            else if b = 0xf4 && b1 >= 0x90 then err i "code point past U+10FFFF"
+            else scan (i + 4)
+        end
+        else err i "invalid lead byte"
+    in
+    match scan 0 with None -> Ok () | Some e -> Error e
+  end

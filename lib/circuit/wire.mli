@@ -1,0 +1,29 @@
+(** Validation of untrusted wire input.
+
+    The circuit parsers ({!Parse}, {!Qasm}) were written for trusted
+    files; a network daemon feeds them attacker-controlled bytes. This
+    module is the shared front gate: a byte-size cap (a parse bomb must
+    be rejected before the parser allocates anything proportional to
+    it) and a cheap binary-garbage check (NUL bytes and invalid UTF-8
+    are rejected with the offending offset instead of flowing into
+    [Str] matching and error messages).
+
+    Errors are typed so a server can map them onto protocol status
+    codes without string matching. *)
+
+type error =
+  | Too_large of { size : int; limit : int }
+      (** input exceeds the byte cap; nothing past the cap was read *)
+  | Invalid_byte of { offset : int; reason : string }
+      (** NUL byte or malformed UTF-8 sequence at [offset] *)
+
+val describe : error -> string
+(** One-line human-readable rendering (no newlines, no raw bytes). *)
+
+val default_max_bytes : int
+(** 1 MiB — generous for any realistic circuit (a gate line is tens of
+    bytes; 4096 qubits × deep circuits fit comfortably). *)
+
+val validate : ?max_bytes:int -> string -> (unit, error) result
+(** Checks the cap first, then scans for NUL bytes and UTF-8 validity
+    (one pass, no allocation). ASCII input always passes the scan. *)

@@ -1,0 +1,20 @@
+(** Flush observability output when a CLI is interrupted.
+
+    A `--metrics`/`--trace-out` run that is killed by Ctrl-C or a
+    supervisor's SIGTERM used to lose everything it had recorded — the
+    export only happened on the normal exit path. {!install} arms
+    SIGINT and SIGTERM with a handler that runs a flush callback once
+    and then exits with the conventional [128 + signal] code, so an
+    interrupted run still leaves its trace and metrics summary behind.
+
+    This is termination, not graceful drain: the process exits from the
+    handler (after OCaml's [at_exit]). A server that must finish
+    in-flight work installs its own handlers instead (see
+    [Qca_serve.Server]). *)
+
+val install : flush:(unit -> unit) -> unit
+(** Installs SIGINT/SIGTERM handlers that run [flush] once (even when
+    both signals arrive) and then [exit (128 + signo)] — 130 for
+    SIGINT, 143 for SIGTERM. A second [install] replaces the callback.
+    An exception escaping [flush] is swallowed: the process is dying
+    anyway, and the exit code should still say why. *)

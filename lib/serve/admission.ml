@@ -1,0 +1,17 @@
+type decision =
+  | Admit of Protocol.shed
+  | Refuse of { retry_after_ms : int }
+
+let retry_hint_ms ~depth = max 100 (min 5000 (100 * depth))
+
+let decide ~depth ~capacity ~shed_fraction ~direct_fraction =
+  let clamp f = Float.max 0.0 (Float.min 1.0 f) in
+  let shed_fraction = clamp shed_fraction in
+  let direct_fraction = Float.max shed_fraction (clamp direct_fraction) in
+  let frac =
+    if capacity <= 0 then 1.0 else float_of_int depth /. float_of_int capacity
+  in
+  if depth >= capacity then Refuse { retry_after_ms = retry_hint_ms ~depth }
+  else if frac >= direct_fraction then Admit Protocol.Shed_direct
+  else if frac >= shed_fraction then Admit Protocol.Shed_greedy
+  else Admit Protocol.No_shed

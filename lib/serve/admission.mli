@@ -1,0 +1,36 @@
+(** Admission control and load shedding.
+
+    The daemon's backpressure story, keyed off the request-queue depth
+    at accept time. Rather than queue work it cannot finish, the
+    server degrades in two steps before it ever refuses:
+
+    - depth below [shed_fraction·capacity]: admit at the requested
+      method;
+    - between [shed_fraction] and [direct_fraction]: admit, but demote
+      a SAT request to the greedy rung of the degradation ladder
+      (polynomial, same substitution space);
+    - between [direct_fraction] and capacity: admit, but serve by
+      direct basis translation (constant-factor work);
+    - at capacity: refuse with a typed [Overloaded] response carrying
+      a retry hint proportional to the backlog.
+
+    Pure and deterministic — the policy is unit-testable without a
+    socket in sight. *)
+
+type decision =
+  | Admit of Protocol.shed
+  | Refuse of { retry_after_ms : int }
+
+val decide :
+  depth:int ->
+  capacity:int ->
+  shed_fraction:float ->
+  direct_fraction:float ->
+  decision
+(** [depth] is the queue length the new request would join;
+    [capacity] the queue bound. Fractions are clamped to [0, 1] and
+    ordered ([direct_fraction] at least [shed_fraction]). *)
+
+val retry_hint_ms : depth:int -> int
+(** The [retry-after-ms] hint for a refusal: 100 ms per queued
+    request, clamped to [100, 5000]. *)

@@ -1,0 +1,31 @@
+let call ~host ~port ?(timeout_s = 30.0) request =
+  match
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     with e ->
+       Io.close_quiet fd;
+       raise e);
+    Fun.protect
+      ~finally:(fun () -> Io.close_quiet fd)
+      (fun () ->
+        if not (Io.write_all fd (Protocol.encode_request request)) then
+          Error "write failed"
+        else
+          match Io.read_exact fd Protocol.header_bytes with
+          | None -> Error "connection closed before a response header"
+          | Some header -> (
+            match Protocol.decode_header header with
+            | Error `Bad_magic -> Error "bad magic in response header"
+            | Error `Bad_length -> Error "bad length in response header"
+            | Ok (kind, len) -> (
+              match Io.read_exact fd len with
+              | None -> Error "truncated response payload"
+              | Some payload -> Protocol.decode_response ~kind payload)))
+  with
+  | result -> result
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "connect to %s:%d failed: %s" host port
+             (Unix.error_message e))

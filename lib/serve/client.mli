@@ -1,0 +1,13 @@
+(** A minimal blocking client for the binary {!Protocol} — used by the
+    CLI's client mode and the tests. One request per connection. *)
+
+val call :
+  host:string ->
+  port:int ->
+  ?timeout_s:float ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** Connects, sends the encoded request, reads exactly one response
+    frame, closes. [timeout_s] (default 30 s) bounds both the socket
+    reads and writes. Any transport failure — refused connection,
+    timeout, truncated frame, undecodable response — is [Error]. *)

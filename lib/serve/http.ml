@@ -1,0 +1,91 @@
+let looks_like_http s =
+  List.exists
+    (fun p -> String.length s >= String.length p && String.sub s 0 (String.length p) = p)
+    [ "GET "; "POST"; "HEAD"; "PUT "; "DELE" ]
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ~status ?(headers = []) body =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "Content-Type: text/plain; charset=utf-8\r\n";
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let parse_head head =
+  (* request line \r\n header lines; tolerate bare \n *)
+  let lines =
+    String.split_on_char '\n' head
+    |> List.map (fun l ->
+           let n = String.length l in
+           if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty request"
+  | request_line :: header_lines -> (
+    match
+      String.split_on_char ' ' request_line |> List.filter (fun s -> s <> "")
+    with
+    | [ meth; target; version ]
+      when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+      let parse_header l =
+        match String.index_opt l ':' with
+        | None -> Error (Printf.sprintf "malformed header %S" l)
+        | Some i ->
+          Ok
+            ( String.lowercase_ascii (String.trim (String.sub l 0 i)),
+              String.trim (String.sub l (i + 1) (String.length l - i - 1)) )
+      in
+      let rec all acc = function
+        | [] -> Ok (List.rev acc)
+        | l :: rest -> (
+          match parse_header l with
+          | Ok kv -> all (kv :: acc) rest
+          | Error _ as e -> e)
+      in
+      match all [] header_lines with
+      | Ok headers -> Ok (meth, target, headers)
+      | Error e -> Error e)
+    | _ -> Error (Printf.sprintf "malformed request line %S" request_line))
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+    let path = String.sub target 0 i in
+    let query = String.sub target (i + 1) (String.length target - i - 1) in
+    let params =
+      String.split_on_char '&' query
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> (kv, "")
+             | Some j ->
+               ( String.sub kv 0 j,
+                 String.sub kv (j + 1) (String.length kv - j - 1) ))
+    in
+    (path, params)
+
+let content_length headers =
+  match List.assoc_opt "content-length" headers with
+  | None -> Ok None
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 0 -> Ok (Some n)
+    | Some _ | None -> Error "malformed Content-Length")

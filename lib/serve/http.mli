@@ -1,0 +1,31 @@
+(** Minimal HTTP/1.1 shim — pure parsing/rendering helpers.
+
+    Just enough HTTP for `GET /metrics`, `GET /healthz` and
+    `POST /adapt`: one request per connection, `Connection: close`,
+    no chunked encoding, no percent-decoding of query values (method
+    and hardware names are plain tokens). The socket work stays in
+    {!Server}; everything here is a pure function on strings, which is
+    what the protocol tests exercise. *)
+
+val looks_like_http : string -> bool
+(** [true] when the first bytes of a connection read as an HTTP method
+    token ([GET ]/[POST]/[HEAD]/[PUT ]/[DELE]). *)
+
+val parse_head :
+  string ->
+  (string * string * (string * string) list, string) result
+(** Parses a header block (without the terminating blank line) into
+    (method, target, headers). Header names are lowercased. *)
+
+val split_target : string -> string * (string * string) list
+(** ["/adapt?method=sat-p&cache=off"] → path and query pairs. *)
+
+val content_length : (string * string) list -> (int option, string) result
+(** [Ok None] when absent; [Error] on a malformed value. *)
+
+val response :
+  status:int -> ?headers:(string * string) list -> string -> string
+(** A complete response with [Content-Length] and
+    [Connection: close]. *)
+
+val status_text : int -> string

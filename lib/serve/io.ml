@@ -1,0 +1,30 @@
+let read_exact fd n =
+  if n = 0 then Some ""
+  else begin
+    let buf = Bytes.create n in
+    let rec go off =
+      if off = n then Some (Bytes.unsafe_to_string buf)
+      else
+        match Unix.read fd buf off (n - off) with
+        | 0 -> None
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (_, _, _) -> None
+    in
+    go 0
+  end
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write_substring fd s off (n - off) with
+      | 0 -> false
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()

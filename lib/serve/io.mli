@@ -1,0 +1,14 @@
+(** Blocking socket I/O helpers shared by the server and the client.
+
+    Reads honour the socket's [SO_RCVTIMEO]: a timeout (or any other
+    socket error, or EOF) surfaces as [None] — the caller treats the
+    peer as gone. [EINTR] is always retried. *)
+
+val read_exact : Unix.file_descr -> int -> string option
+(** Exactly [n] bytes, or [None] on EOF / timeout / error. *)
+
+val write_all : Unix.file_descr -> string -> bool
+(** Writes the whole string; [false] on any error (best-effort —
+    the peer may have hung up, which must never hurt the writer). *)
+
+val close_quiet : Unix.file_descr -> unit

@@ -1,0 +1,765 @@
+module Circuit = Qca_circuit.Circuit
+module Parse = Qca_circuit.Parse
+module Qasm = Qca_circuit.Qasm
+module Wire = Qca_circuit.Wire
+module Solver = Qca_sat.Solver
+module Fault = Qca_util.Fault
+module Clock = Qca_util.Clock
+module Chan = Qca_par.Chan
+module Obs = Qca_obs.Metrics
+module Trace = Qca_obs.Trace
+open Qca_adapt
+
+(* {1 Telemetry} *)
+
+let m_accepted = Obs.counter "serve.accepted"
+let m_accept_faults = Obs.counter "serve.accept_faults"
+let m_refused = Obs.counter "serve.refused"
+let m_shed = Obs.counter "serve.shed"
+let m_requests = Obs.counter "serve.requests"
+let m_ok = Obs.counter "serve.ok"
+let m_failed = Obs.counter "serve.errors"
+let m_retries = Obs.counter "serve.retries"
+let m_crashes = Obs.counter "serve.crashes"
+let m_cancelled = Obs.counter "serve.cancelled"
+let m_refuted = Obs.counter "serve.refuted_certificates"
+let m_revalidations = Obs.counter "serve.cache.revalidations"
+let m_revalidation_failures = Obs.counter "serve.cache.revalidation_failures"
+let m_http = Obs.counter "serve.http_requests"
+let m_queue_depth = Obs.gauge "serve.queue_depth"
+let m_request_ms = Obs.histogram "serve.request_ms"
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  solver_jobs : int;
+  queue_capacity : int;
+  shed_fraction : float;
+  direct_fraction : float;
+  cache_capacity : int;
+  default_timeout_ms : float;
+  max_timeout_ms : float;
+  max_request_bytes : int;
+  io_timeout_s : float;
+  retries : int;
+  retry_backoff_ms : float;
+  certify : bool;
+  revalidate_period : int;
+  metrics : bool;
+  fault : Fault.t;
+  options : Solver.options;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7333;
+    workers = 2;
+    solver_jobs = 1;
+    queue_capacity = 16;
+    shed_fraction = 0.5;
+    direct_fraction = 0.875;
+    cache_capacity = 256;
+    default_timeout_ms = 2_000.0;
+    max_timeout_ms = 30_000.0;
+    max_request_bytes = Wire.default_max_bytes;
+    io_timeout_s = 10.0;
+    retries = 2;
+    retry_backoff_ms = 25.0;
+    certify = false;
+    revalidate_period = 8;
+    metrics = true;
+    fault = Fault.none;
+    options = Solver.default_options;
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  queue : (Unix.file_descr * Protocol.shed) Chan.t;
+  cache : Cache.t;
+  shutdown : bool Atomic.t;
+  cache_hits_seen : int Atomic.t;
+  mutable acceptor : unit Domain.t option;
+  mutable workers : unit Domain.t list;
+  joined : bool Atomic.t;
+}
+
+(* Raised when the fault plan simulates a client gone mid-request: the
+   connection is abandoned without a response, and the worker lives. *)
+exception Client_cancelled
+
+(* Raised when the fault plan simulates a handler crash: the isolation
+   layer must convert it into a typed Internal response. *)
+exception Injected_crash
+
+(* {1 The request core (protocol-independent)} *)
+
+type served =
+  | Done of Protocol.result_payload
+  | Failed of Protocol.error_code * string * int option  (* retry-after *)
+
+let demote shed method_ =
+  match (shed, method_) with
+  | Protocol.No_shed, m -> m
+  | Protocol.Shed_greedy, Pipeline.Sat obj -> Pipeline.Greedy obj
+  | Protocol.Shed_greedy, m -> m
+  | Protocol.Shed_direct, (Pipeline.Sat _ | Pipeline.Greedy _) ->
+    Pipeline.Direct
+  | Protocol.Shed_direct, m -> m
+
+let no_info =
+  {
+    Pipeline.substitutions_considered = 0;
+    substitutions_chosen = 0;
+    omt_rounds = 0;
+    theory_conflicts = 0;
+  }
+
+(* Solve with bounded retry: a request degraded by *transient* budget
+   exhaustion (conflict/propagation caps — not the deadline, which a
+   retry cannot outrun) is retried with exponential backoff while the
+   deadline allows. *)
+let solve_with_retries t ~circuit ~eff_method ~deadline_at
+    (r : Protocol.adapt_request) =
+  let cfg = t.cfg in
+  let backoff k = cfg.retry_backoff_ms *. Float.pow 2.0 (float_of_int k) in
+  let rec attempt k =
+    let injected =
+      match Fault.check cfg.fault Fault.Serve_request with
+      | None -> `Real
+      | Some Fault.Exhaust -> `Exhaust
+      | Some Fault.Cancel -> raise Client_cancelled
+      | Some Fault.Spurious_conflict -> raise Injected_crash
+    in
+    let remaining_ms = Clock.ms_between (Clock.now ()) deadline_at in
+    let outcome =
+      match injected with
+      | `Exhaust ->
+        (* simulated transient exhaustion: the ladder's floor serves,
+           and the transient reason makes the retry path eligible *)
+        {
+          Pipeline.circuit =
+            Pipeline.adapt ~options:cfg.options r.Protocol.hardware
+              Pipeline.Direct circuit;
+          requested = eff_method;
+          tier = Pipeline.Direct_fallback;
+          reason = Some Solver.Out_of_conflicts;
+          spent = { Pipeline.conflicts = 0; propagations = 0; elapsed_ms = 0.0 };
+          info = no_info;
+          claimed_makespan = None;
+        }
+      | `Real ->
+        let budget =
+          Solver.budget ~timeout_ms:remaining_ms
+            ?max_conflicts:r.Protocol.max_conflicts ()
+        in
+        Pipeline.adapt_governed ~options:cfg.options ~budget
+          ~jobs:cfg.solver_jobs r.Protocol.hardware eff_method circuit
+    in
+    let transient =
+      match outcome.Pipeline.reason with
+      | Some (Solver.Out_of_conflicts | Solver.Out_of_propagations) -> true
+      | Some _ | None -> false
+    in
+    let remaining_ms = Clock.ms_between (Clock.now ()) deadline_at in
+    if transient && k < cfg.retries && remaining_ms > 2.0 *. backoff k then begin
+      Obs.incr m_retries;
+      Trace.instant "serve.retry" ~args:[ ("attempt", string_of_int (k + 1)) ];
+      Unix.sleepf (Float.min (backoff k) (remaining_ms /. 2.0) /. 1000.0);
+      attempt (k + 1)
+    end
+    else outcome
+  in
+  Trace.span "serve.solve" (fun () -> attempt 0)
+
+let serve_adapt t ~shed (r : Protocol.adapt_request) =
+  let cfg = t.cfg in
+  let hw = r.Protocol.hardware in
+  let started = Clock.now () in
+  Trace.span "serve.request"
+    ~args:
+      [
+        ("method", Protocol.method_to_string r.Protocol.method_);
+        ("shed", Protocol.shed_to_string shed);
+      ]
+  @@ fun () ->
+  let parsed =
+    Trace.span "serve.parse" @@ fun () ->
+    match r.Protocol.format with
+    | Protocol.Text ->
+      Parse.parse_untrusted ~max_bytes:cfg.max_request_bytes
+        r.Protocol.circuit_text
+    | Protocol.Qasm ->
+      Qasm.of_qasm_untrusted ~max_bytes:cfg.max_request_bytes
+        r.Protocol.circuit_text
+  in
+  match parsed with
+  | Error (`Wire (Wire.Too_large _ as e)) ->
+    Failed (Protocol.Too_large, Wire.describe e, None)
+  | Error (`Wire e) -> Failed (Protocol.Invalid_circuit, Wire.describe e, None)
+  | Error (`Syntax msg) -> Failed (Protocol.Invalid_circuit, msg, None)
+  | Ok circuit -> (
+    let eff_method = demote shed r.Protocol.method_ in
+    let canonical = Parse.to_text circuit in
+    let ckey =
+      Cache.key ~hardware:hw.Hardware.name
+        ~method_:(Protocol.method_to_string eff_method)
+        ~circuit:canonical
+    in
+    let digest = Cache.digest_hex ckey in
+    let cacheable =
+      r.Protocol.use_cache
+      && match eff_method with Pipeline.Sat _ -> true | _ -> false
+    in
+    let timeout_ms =
+      Float.min
+        (Option.value r.Protocol.timeout_ms ~default:cfg.default_timeout_ms)
+        cfg.max_timeout_ms
+    in
+    let deadline_at = started +. (timeout_ms /. 1000.0) in
+    let elapsed () = Clock.ms_between started (Clock.now ()) in
+    let from_cache (entry : Cache.entry) status certified =
+      Done
+        {
+          Protocol.tier = Pipeline.Full;
+          reason = None;
+          shed;
+          cache = status;
+          cache_key = digest;
+          conflicts = 0;
+          propagations = 0;
+          elapsed_ms = elapsed ();
+          makespan = entry.Cache.makespan;
+          certified;
+          adapted_text = Parse.to_text entry.Cache.adapted;
+        }
+    in
+    let solve_fresh ~cache_status () =
+      let outcome =
+        solve_with_retries t ~circuit ~eff_method ~deadline_at r
+      in
+      let certified =
+        if not cfg.certify then None
+        else begin
+          let issues =
+            Trace.span "serve.certify" (fun () ->
+                Lint.certify_adaptation hw ~original:circuit
+                  ~adapted:outcome.Pipeline.circuit
+                  ?claimed_makespan:outcome.Pipeline.claimed_makespan ())
+          in
+          Some (Lint.errors issues = [])
+        end
+      in
+      match certified with
+      | Some false ->
+        Obs.incr m_refuted;
+        Failed
+          ( Protocol.Internal,
+            "refuted certificate: the adapted circuit failed end-to-end \
+             certification",
+            None )
+      | _ ->
+        if
+          cacheable
+          && outcome.Pipeline.tier = Pipeline.Full
+          && outcome.Pipeline.reason = None
+        then
+          Cache.add t.cache ~key:ckey ~adapted:outcome.Pipeline.circuit
+            ~makespan:outcome.Pipeline.claimed_makespan;
+        Done
+          {
+            Protocol.tier = outcome.Pipeline.tier;
+            reason =
+              Option.map Solver.string_of_stop_reason outcome.Pipeline.reason;
+            shed;
+            cache = cache_status;
+            cache_key = digest;
+            conflicts = outcome.Pipeline.spent.Pipeline.conflicts;
+            propagations = outcome.Pipeline.spent.Pipeline.propagations;
+            elapsed_ms = elapsed ();
+            makespan = outcome.Pipeline.claimed_makespan;
+            certified;
+            adapted_text = Parse.to_text outcome.Pipeline.circuit;
+          }
+    in
+    match (if cacheable then Cache.find t.cache ckey else None) with
+    | Some entry ->
+      let nth = Atomic.fetch_and_add t.cache_hits_seen 1 in
+      let revalidate =
+        cfg.certify
+        || (cfg.revalidate_period > 0 && nth mod cfg.revalidate_period = 0)
+      in
+      if not revalidate then from_cache entry Protocol.Cache_hit None
+      else begin
+        Obs.incr m_revalidations;
+        let issues =
+          Trace.span "serve.revalidate" (fun () ->
+              Lint.certify_adaptation hw ~original:circuit
+                ~adapted:entry.Cache.adapted
+                ?claimed_makespan:entry.Cache.makespan ())
+        in
+        if Lint.errors issues = [] then
+          from_cache entry Protocol.Cache_revalidated (Some true)
+        else begin
+          (* a poisoned or stale entry: drop it and solve honestly *)
+          Obs.incr m_revalidation_failures;
+          Cache.invalidate t.cache ckey;
+          solve_fresh ~cache_status:Protocol.Cache_miss ()
+        end
+      end
+    | None -> solve_fresh ~cache_status:Protocol.Cache_miss ())
+
+(* Crash isolation: everything a request can throw — a parse-bomb
+   exception we missed, a solver invariant violation, an injected
+   crash — becomes a typed Internal response; only the deliberate
+   abandon signal passes through. *)
+let protected_serve t ~shed r =
+  try serve_adapt t ~shed r with
+  | Client_cancelled -> raise Client_cancelled
+  | e ->
+    Obs.incr m_crashes;
+    Failed (Protocol.Internal, Printexc.to_string e, None)
+
+let metrics_text () = Format.asprintf "%a" Obs.pp_summary ()
+
+(* {1 Binary protocol connection} *)
+
+let respond fd response = ignore (Io.write_all fd (Protocol.encode_response response))
+
+let handle_binary t fd shed first4 =
+  match Io.read_exact fd (Protocol.header_bytes - 4) with
+  | None -> ()
+  | Some rest -> (
+    match Protocol.decode_header (first4 ^ rest) with
+    | Error `Bad_magic | Error `Bad_length ->
+      respond fd
+        (Protocol.Error_resp
+           { code = Protocol.Bad_frame; message = "bad frame header"; retry_after_ms = None })
+    | Ok (kind, len) ->
+      if len > t.cfg.max_request_bytes then
+        (* typed refusal without reading the payload: a length bomb
+           costs the server 9 bytes of reads *)
+        respond fd
+          (Protocol.Error_resp
+             {
+               code = Protocol.Too_large;
+               message =
+                 Printf.sprintf "frame of %d bytes exceeds the %d byte cap" len
+                   t.cfg.max_request_bytes;
+               retry_after_ms = None;
+             })
+      else (
+        match Io.read_exact fd len with
+        | None -> ()
+        | Some payload -> (
+          match Protocol.decode_request ~kind payload with
+          | Error (code, msg) ->
+            respond fd
+              (Protocol.Error_resp
+                 { code; message = msg; retry_after_ms = None })
+          | Ok Protocol.Ping -> respond fd Protocol.Pong
+          | Ok Protocol.Get_metrics ->
+            respond fd (Protocol.Metrics_text (metrics_text ()))
+          | Ok (Protocol.Adapt r) -> (
+            Obs.incr m_requests;
+            let started = Clock.now () in
+            let served = protected_serve t ~shed r in
+            Obs.observe m_request_ms (Clock.ms_between started (Clock.now ()));
+            match served with
+            | Done payload ->
+              Obs.incr m_ok;
+              respond fd (Protocol.Result payload)
+            | Failed (code, message, retry_after_ms) ->
+              Obs.incr m_failed;
+              respond fd
+                (Protocol.Error_resp { code; message; retry_after_ms })))))
+
+(* {1 HTTP shim connection} *)
+
+let http_error_status = function
+  | Protocol.Too_large -> 413
+  | Protocol.Bad_frame | Protocol.Invalid_circuit | Protocol.Unsupported -> 400
+  | Protocol.Overloaded | Protocol.Shutting_down -> 503
+  | Protocol.Internal -> 500
+
+let read_http_head fd first4 =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf first4;
+  let find_terminator () =
+    let s = Buffer.contents buf in
+    let rec go i =
+      if i + 3 >= String.length s then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some (String.sub s 0 i, String.sub s (i + 4) (String.length s - i - 4))
+      else go (i + 1)
+    in
+    go 0
+  in
+  let chunk = Bytes.create 1024 in
+  let rec loop () =
+    match find_terminator () with
+    | Some _ as r -> r
+    | None ->
+      if Buffer.length buf > 8192 then None
+      else (
+        match Unix.read fd chunk 0 1024 with
+        | 0 -> None
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error (_, _, _) -> None)
+  in
+  loop ()
+
+let handle_http t fd shed first4 =
+  Obs.incr m_http;
+  let send ~status ?(headers = []) body =
+    ignore (Io.write_all fd (Http.response ~status ~headers body))
+  in
+  match read_http_head fd first4 with
+  | None -> ()
+  | Some (head, leftover) -> (
+    match Http.parse_head head with
+    | Error msg -> send ~status:400 (msg ^ "\n")
+    | Ok (meth, target, headers) -> (
+      let path, params = Http.split_target target in
+      match (meth, path) with
+      | "GET", "/metrics" -> send ~status:200 (metrics_text ())
+      | "GET", "/healthz" ->
+        send ~status:200
+          (Printf.sprintf "ok queue=%d/%d\n" (Chan.length t.queue)
+             t.cfg.queue_capacity)
+      | "POST", "/adapt" -> (
+        match Http.content_length headers with
+        | Error msg -> send ~status:400 (msg ^ "\n")
+        | Ok None -> send ~status:400 "missing Content-Length\n"
+        | Ok (Some n) when n > t.cfg.max_request_bytes ->
+          send ~status:413
+            (Printf.sprintf "body of %d bytes exceeds the %d byte cap\n" n
+               t.cfg.max_request_bytes)
+        | Ok (Some n) -> (
+          let body =
+            if String.length leftover >= n then Some (String.sub leftover 0 n)
+            else
+              Option.map
+                (fun rest -> leftover ^ rest)
+                (Io.read_exact fd (n - String.length leftover))
+          in
+          match body with
+          | None -> ()
+          | Some body -> (
+            let param k = List.assoc_opt k params in
+            let build =
+              let ( let* ) = Result.bind in
+              let* method_ =
+                match param "method" with
+                | None -> Ok (Pipeline.Sat Model.Sat_p)
+                | Some m ->
+                  Result.map_error
+                    (fun e -> (400, e))
+                    (Protocol.method_of_string m)
+              in
+              let* hardware =
+                match param "hw" with
+                | None -> Ok Hardware.d0
+                | Some h ->
+                  Result.map_error
+                    (fun e -> (400, e))
+                    (Protocol.hardware_of_string h)
+              in
+              let* format =
+                match param "format" with
+                | None | Some "text" -> Ok Protocol.Text
+                | Some "qasm" -> Ok Protocol.Qasm
+                | Some other ->
+                  Error (400, Printf.sprintf "unknown format %S" other)
+              in
+              let* timeout_ms =
+                match param "timeout-ms" with
+                | None -> Ok None
+                | Some v -> (
+                  match float_of_string_opt v with
+                  | Some ms when ms >= 0.0 && Float.is_finite ms ->
+                    Ok (Some ms)
+                  | Some _ | None -> Error (400, "invalid timeout-ms"))
+              in
+              let* max_conflicts =
+                match param "max-conflicts" with
+                | None -> Ok None
+                | Some v -> (
+                  match int_of_string_opt v with
+                  | Some n when n >= 0 -> Ok (Some n)
+                  | Some _ | None -> Error (400, "invalid max-conflicts"))
+              in
+              Ok
+                {
+                  Protocol.method_;
+                  hardware;
+                  format;
+                  timeout_ms;
+                  max_conflicts;
+                  use_cache = param "cache" <> Some "off";
+                  circuit_text = body;
+                }
+            in
+            match build with
+            | Error (status, msg) -> send ~status (msg ^ "\n")
+            | Ok r -> (
+              Obs.incr m_requests;
+              let started = Clock.now () in
+              let served = protected_serve t ~shed r in
+              Obs.observe m_request_ms
+                (Clock.ms_between started (Clock.now ()));
+              match served with
+              | Done p ->
+                Obs.incr m_ok;
+                send ~status:200
+                  ~headers:
+                    ([
+                       ("X-Qca-Tier", Protocol.tier_to_string p.Protocol.tier);
+                       ("X-Qca-Shed", Protocol.shed_to_string p.Protocol.shed);
+                       ( "X-Qca-Cache",
+                         match p.Protocol.cache with
+                         | Protocol.Cache_hit -> "hit"
+                         | Protocol.Cache_miss -> "miss"
+                         | Protocol.Cache_revalidated -> "revalidated" );
+                       ("X-Qca-Cache-Key", p.Protocol.cache_key);
+                       ( "X-Qca-Elapsed-Ms",
+                         Printf.sprintf "%.3f" p.Protocol.elapsed_ms );
+                     ]
+                    @ (match p.Protocol.reason with
+                      | Some reason -> [ ("X-Qca-Reason", reason) ]
+                      | None -> [])
+                    @
+                    match p.Protocol.certified with
+                    | Some b ->
+                      [ ("X-Qca-Certified", if b then "yes" else "no") ]
+                    | None -> [])
+                  p.Protocol.adapted_text
+              | Failed (code, msg, retry) ->
+                Obs.incr m_failed;
+                send ~status:(http_error_status code)
+                  ~headers:
+                    (( "X-Qca-Error",
+                       Protocol.error_code_to_string code )
+                    ::
+                    (match retry with
+                    | Some ms ->
+                      [
+                        ( "Retry-After",
+                          string_of_int
+                            (int_of_float (ceil (float_of_int ms /. 1000.))) );
+                      ]
+                    | None -> []))
+                  (msg ^ "\n")))))
+      | _, ("/metrics" | "/healthz" | "/adapt") -> send ~status:405 "method not allowed\n"
+      | _ -> send ~status:404 "not found\n"))
+
+(* {1 Connection dispatch, worker and acceptor loops} *)
+
+let handle_connection t fd shed =
+  match Io.read_exact fd 4 with
+  | None -> ()
+  | Some first4 ->
+    if first4 = Protocol.magic then handle_binary t fd shed first4
+    else if Http.looks_like_http first4 then handle_http t fd shed first4
+    else
+      respond fd
+        (Protocol.Error_resp
+           {
+             code = Protocol.Bad_frame;
+             message = "neither a QCA1 frame nor HTTP";
+             retry_after_ms = None;
+           })
+
+let worker_loop t =
+  let rec loop () =
+    match Chan.pop t.queue with
+    | None -> ()
+    | Some (fd, shed) ->
+      Obs.set m_queue_depth (float_of_int (Chan.length t.queue));
+      (try handle_connection t fd shed with
+      | Client_cancelled -> Obs.incr m_cancelled
+      | _ ->
+        (* last-resort isolation: protocol-layer crashes (the request
+           layer already answered typed Internal errors) *)
+        Obs.incr m_crashes);
+      Io.close_quiet fd;
+      loop ()
+  in
+  loop ()
+
+(* Refusals answer in the client's own protocol when it has already
+   sent bytes (an instant non-blocking peek); a silent client gets the
+   binary frame. Never blocks the acceptor. *)
+let refuse_and_close fd ~retry_after_ms ~shutting_down =
+  (try
+     Unix.set_nonblock fd;
+     let buf = Bytes.create 4 in
+     let sniff =
+       match Unix.recv fd buf 0 4 [ Unix.MSG_PEEK ] with
+       | n when n > 0 -> Bytes.sub_string buf 0 n
+       | _ -> ""
+       | exception Unix.Unix_error (_, _, _) -> ""
+     in
+     let code =
+       if shutting_down then Protocol.Shutting_down else Protocol.Overloaded
+     in
+     let payload =
+       if Http.looks_like_http sniff then
+         Http.response ~status:503
+           ~headers:
+             [
+               ("X-Qca-Error", Protocol.error_code_to_string code);
+               ( "Retry-After",
+                 string_of_int
+                   (int_of_float (ceil (float_of_int retry_after_ms /. 1000.)))
+               );
+             ]
+           (Protocol.error_code_to_string code ^ "\n")
+       else
+         Protocol.encode_response
+           (Protocol.Error_resp
+              {
+                code;
+                message = "admission control refused the request";
+                retry_after_ms = Some retry_after_ms;
+              })
+     in
+     ignore (Unix.write_substring fd payload 0 (String.length payload))
+   with Unix.Unix_error (_, _, _) -> ());
+  Io.close_quiet fd
+
+let handle_accept t fd =
+  Obs.incr m_accepted;
+  match Fault.check t.cfg.fault Fault.Serve_accept with
+  | Some (Fault.Spurious_conflict | Fault.Cancel) ->
+    (* transient socket error / client gone before its frame *)
+    Obs.incr m_accept_faults;
+    Io.close_quiet fd
+  | (Some Fault.Exhaust | None) as f -> (
+    let depth = Chan.length t.queue in
+    let decision =
+      if f = Some Fault.Exhaust then
+        Admission.Refuse { retry_after_ms = Admission.retry_hint_ms ~depth }
+      else
+        Admission.decide ~depth ~capacity:t.cfg.queue_capacity
+          ~shed_fraction:t.cfg.shed_fraction
+          ~direct_fraction:t.cfg.direct_fraction
+    in
+    match decision with
+    | Admission.Refuse { retry_after_ms } ->
+      Obs.incr m_refused;
+      refuse_and_close fd ~retry_after_ms ~shutting_down:false
+    | Admission.Admit shed ->
+      if shed <> Protocol.No_shed then Obs.incr m_shed;
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.io_timeout_s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.io_timeout_s
+       with Unix.Unix_error (_, _, _) -> ());
+      Obs.set m_queue_depth (float_of_int (depth + 1));
+      if not (Chan.try_push t.queue (fd, shed)) then begin
+        (* raced to full (or closed for drain) since the decision *)
+        Obs.incr m_refused;
+        refuse_and_close fd
+          ~retry_after_ms:(Admission.retry_hint_ms ~depth)
+          ~shutting_down:(Atomic.get t.shutdown)
+      end)
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.shutdown then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ -> handle_accept t fd
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+          -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  Io.close_quiet t.listen_fd;
+  (* queued connections are still drained by the workers *)
+  Chan.close t.queue
+
+(* {1 Lifecycle} *)
+
+let start (cfg : config) =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers < 1";
+  (* a client that hangs up mid-write must never kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if cfg.metrics then Obs.set_enabled true;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen listen_fd 64
+   with e ->
+     Io.close_quiet listen_fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      bound_port;
+      queue = Chan.create ~capacity:cfg.queue_capacity;
+      cache = Cache.create ~capacity:cfg.cache_capacity;
+      shutdown = Atomic.make false;
+      cache_hits_seen = Atomic.make 0;
+      acceptor = None;
+      workers = [];
+      joined = Atomic.make false;
+    }
+  in
+  t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
+  t.workers <- List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let port t = t.bound_port
+let queue_depth t = Chan.length t.queue
+let request_shutdown t = Atomic.set t.shutdown true
+
+let stop t =
+  request_shutdown t;
+  if not (Atomic.exchange t.joined true) then begin
+    (match t.acceptor with Some d -> Domain.join d | None -> ());
+    List.iter Domain.join t.workers;
+    t.acceptor <- None;
+    t.workers <- []
+  end
+
+let run (cfg : config) =
+  let t = start cfg in
+  Printf.eprintf "qca-serve: listening on %s:%d (%d workers, queue %d, cache %d)\n%!"
+    cfg.host t.bound_port cfg.workers cfg.queue_capacity cfg.cache_capacity;
+  let stop_requested = Atomic.make false in
+  let handler _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  let rec wait () =
+    if not (Atomic.get stop_requested) then begin
+      (try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      wait ()
+    end
+  in
+  wait ();
+  Printf.eprintf "qca-serve: draining (finishing %d queued requests)...\n%!"
+    (Chan.length t.queue);
+  stop t;
+  Printf.eprintf "qca-serve: drained\n%!"

@@ -18,6 +18,15 @@ type site =
   | Omt_round  (** before each OMT improvement round *)
   | Warm_start  (** before each greedy warm-start sweep in [Model.optimize] *)
   | Greedy_step  (** before each refinement step of the greedy fallback *)
+  | Serve_accept
+      (** in the daemon, before each accepted connection is admitted —
+          [Spurious_conflict] simulates a transient accept/socket error,
+          [Cancel] a client that disconnects before its frame arrives *)
+  | Serve_request
+      (** in the daemon, before each admitted request is solved —
+          [Exhaust] simulates transient budget exhaustion (exercising
+          the retry-with-backoff path), [Cancel] a client gone mid-solve,
+          [Spurious_conflict] a handler crash (isolation path) *)
 
 type action =
   | Exhaust  (** report budget exhaustion at this site *)
@@ -39,6 +48,21 @@ val inject : (site * int * action) list -> t
 val random : seed:int -> p:float -> action -> t
 (** A seeded Bernoulli plan: every consultation of every site fires
     [action] with probability [p], reproducibly for a given [seed]. *)
+
+val of_spec : string -> (t, string) result
+(** Parse a textual plan for CLI flags. Either a comma-separated list
+    of [site:n:action] triples — e.g.
+    ["serve-request:3:exhaust,serve-accept:1:cancel"] — which builds
+    {!inject}, or ["random:SEED:P:action"], which builds {!random}.
+    Site names are the constructor names in kebab-case ([sat-step],
+    [theory-check], [omt-round], [warm-start], [greedy-step],
+    [serve-accept], [serve-request]); actions are [exhaust],
+    [spurious-conflict] and [cancel]. *)
+
+val site_name : site -> string
+(** The kebab-case name {!of_spec} accepts. *)
+
+val action_name : action -> string
 
 val check : t -> site -> action option
 (** Consult the plan (advances the site's consultation counter). *)

@@ -290,6 +290,50 @@ let test_polynomial_methods_never_degrade () =
       | Pipeline.Sat _ | Pipeline.Greedy _ -> ())
     [ Pipeline.Direct; Pipeline.Kak_only_cz; Pipeline.Template_f ]
 
+(* {1 The ladder under concurrency}
+
+   Shedding and degradation must not change shape when the solve runs
+   on a portfolio: the same injected exhaustion lands the same tier
+   with --jobs > 1 as with --jobs 1, and the outcome stays valid. *)
+
+let governed_with_jobs ~jobs fault method_ =
+  let budget = Solver.budget ~fault () in
+  Pipeline.adapt_governed ~budget ~jobs hw method_ paper_like_circuit
+
+let test_ladder_parity_under_jobs () =
+  List.iter
+    (fun plan ->
+      let o1 = governed_with_jobs ~jobs:1 (Fault.inject plan) (Pipeline.Sat Model.Sat_p) in
+      let o2 = governed_with_jobs ~jobs:2 (Fault.inject plan) (Pipeline.Sat Model.Sat_p) in
+      checkb "same tier under jobs=2" true (o1.Pipeline.tier = o2.Pipeline.tier);
+      checkb "same stop reason shape" true
+        (Option.is_some o1.Pipeline.reason = Option.is_some o2.Pipeline.reason);
+      checkb "same degradation verdict" true
+        (Pipeline.degraded o1 = Pipeline.degraded o2);
+      check_valid_outcome o1;
+      check_valid_outcome o2)
+    [
+      [];  (* full service *)
+      [ (Fault.Omt_round, 1, Fault.Exhaust) ];  (* incumbent *)
+      [ (Fault.Warm_start, 1, Fault.Exhaust) ];  (* greedy fallback *)
+      [ (Fault.Warm_start, 1, Fault.Exhaust); (Fault.Greedy_step, 1, Fault.Exhaust) ];
+      (* direct fallback *)
+    ]
+
+let test_ladder_deadline_parity_under_jobs () =
+  (* a pre-expired deadline lands on the same rung at any concurrency *)
+  List.iter
+    (fun jobs ->
+      let budget = Solver.budget ~timeout_ms:0.0 () in
+      let o =
+        Pipeline.adapt_governed ~budget ~jobs hw (Pipeline.Sat Model.Sat_p)
+          paper_like_circuit
+      in
+      checkb "direct rung" true (o.Pipeline.tier = Pipeline.Direct_fallback);
+      checkb "deadline reason" true (o.Pipeline.reason = Some Solver.Deadline);
+      check_valid_outcome o)
+    [ 1; 2; 4 ]
+
 (* {1 Differential soundness} *)
 
 let test_budgeted_verdicts_sound () =
@@ -359,6 +403,8 @@ let suite =
     ("ladder: exhausted before entry", `Quick, test_ladder_exhausted_before_entry);
     ("ladder: governed greedy method", `Quick, test_ladder_greedy_method_governed);
     ("ladder: polynomial methods", `Quick, test_polynomial_methods_never_degrade);
+    ("ladder: tier parity under jobs>1", `Quick, test_ladder_parity_under_jobs);
+    ("ladder: deadline parity under jobs>1", `Quick, test_ladder_deadline_parity_under_jobs);
     ("differential: budgeted verdicts sound", `Quick, test_budgeted_verdicts_sound);
     ("acceptance: depth-160 under 1 ms", `Quick, test_deep_workload_1ms_deadline);
   ]

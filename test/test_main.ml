@@ -30,5 +30,6 @@ let () =
       ("schedule+heap", Test_schedule_heap.suite);
       ("governance", Test_governance.suite);
       ("par", Test_par.suite);
+      ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
     ]

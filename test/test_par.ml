@@ -318,6 +318,52 @@ let test_pipeline_jobs_objective_equal () =
   checkb "portfolio adaptation certifies" true (Lint.errors issues = []);
   checki "all domains joined" 0 (Portfolio.live_domains ())
 
+(* The serve daemon runs governed adaptations concurrently on worker
+   domains, each with its own fault plan. Concurrency must not warp the
+   degradation ladder: an injected exhaustion lands the same tier on a
+   busy machine as on an idle one, and neighbouring requests are
+   unaffected. *)
+let test_concurrent_governed_ladder_shape () =
+  let module Fault = Qca_util.Fault in
+  let module Lint = Qca_adapt.Lint in
+  let hw = Hardware.d0 in
+  let meth = Pipeline.Sat Qca_adapt.Model.Sat_p in
+  let circuit = Workloads.random_template ~seed:11 ~num_qubits:3 ~depth:8 in
+  (* expected tier for each plan, taken from a sequential run *)
+  let plans =
+    [
+      (fun () -> Fault.none);
+      (fun () -> Fault.inject [ (Fault.Omt_round, 1, Fault.Exhaust) ]);
+      (fun () -> Fault.inject [ (Fault.Warm_start, 1, Fault.Exhaust) ]);
+      (fun () ->
+        Fault.inject
+          [ (Fault.Warm_start, 1, Fault.Exhaust); (Fault.Greedy_step, 1, Fault.Exhaust) ]);
+    ]
+  in
+  let governed ~jobs plan =
+    let budget = Solver.budget ~fault:(plan ()) () in
+    Pipeline.adapt_governed ~budget ~jobs hw meth circuit
+  in
+  let sequential = List.map (fun p -> (governed ~jobs:1 p).Pipeline.tier) plans in
+  (* same plans, solved concurrently on 4 domains with jobs=2 each *)
+  let domains =
+    List.map (fun p -> Domain.spawn (fun () -> governed ~jobs:2 p)) plans
+  in
+  let concurrent = List.map Domain.join domains in
+  List.iteri
+    (fun i (expected, o) ->
+      checkb
+        (Printf.sprintf "plan %d: tier matches the sequential run" i)
+        true
+        (o.Pipeline.tier = expected);
+      let issues =
+        Lint.certify_adaptation hw ~original:circuit ~adapted:o.Pipeline.circuit
+          ?claimed_makespan:o.Pipeline.claimed_makespan ()
+      in
+      checkb "outcome certifies" true (Lint.errors issues = []))
+    (List.combine sequential concurrent);
+  checki "all portfolio domains joined" 0 (Portfolio.live_domains ())
+
 (* {1 Phase-saving ablation} *)
 
 let test_phase_ablation_verdicts_agree () =
@@ -373,6 +419,8 @@ let suite =
     ("smt: sequential and portfolio agree", `Quick, test_smt_jobs_agree);
     ("pipeline: portfolio objective equals sequential", `Quick,
      test_pipeline_jobs_objective_equal);
+    ("pipeline: concurrent governed ladder shape", `Quick,
+     test_concurrent_governed_ladder_shape);
     ("sat: phase-saving ablations agree", `Quick,
      test_phase_ablation_verdicts_agree);
   ]

@@ -1,0 +1,685 @@
+(* The adaptation service: wire validation, the protocol codec, the
+   pure admission policy, the content-addressed cache, the bounded
+   channel, and a live daemon on an ephemeral port driven through the
+   binary client and raw sockets — including the fault-injection storm
+   the robustness story is built on. *)
+
+module Wire = Qca_circuit.Wire
+module Parse = Qca_circuit.Parse
+module Qasm = Qca_circuit.Qasm
+module Circuit = Qca_circuit.Circuit
+module Solver = Qca_sat.Solver
+module Fault = Qca_util.Fault
+module Chan = Qca_par.Chan
+module Obs = Qca_obs.Metrics
+open Qca_adapt
+open Qca_serve
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let sample_text = "qubits 2\ncx 0 1\nsx 1\ncx 0 1\n"
+
+let sample_qasm =
+  "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0],q[1];\n"
+
+(* {1 Wire validation (untrusted input hardening)} *)
+
+let test_wire_accepts_ascii () =
+  checkb "plain ascii" true (Wire.validate sample_text = Ok ())
+
+let test_wire_accepts_utf8 () =
+  (* 2-, 3- and 4-byte sequences: é, €, 𝜋 *)
+  let s = "# \xc3\xa9 \xe2\x82\xac \xf0\x9d\x9c\x8b\nqubits 1\nx 0\n" in
+  checkb "multibyte utf-8" true (Wire.validate s = Ok ())
+
+let test_wire_rejects_nul () =
+  match Wire.validate "qubits 1\x00x 0\n" with
+  | Error (Wire.Invalid_byte { offset; _ }) -> checki "nul offset" 8 offset
+  | _ -> Alcotest.fail "NUL must be rejected"
+
+let test_wire_rejects_bad_utf8 () =
+  List.iter
+    (fun (name, s) ->
+      match Wire.validate s with
+      | Error (Wire.Invalid_byte _) -> ()
+      | _ -> Alcotest.fail (name ^ " must be rejected"))
+    [
+      ("lone continuation", "ok \x80 nope");
+      ("truncated sequence", "ok \xc3");
+      ("overlong slash", "ok \xc0\xaf");
+      ("surrogate", "ok \xed\xa0\x80");
+      ("beyond U+10FFFF", "ok \xf4\x90\x80\x80");
+    ]
+
+let test_wire_size_cap () =
+  let big = String.make 64 'x' in
+  (match Wire.validate ~max_bytes:16 big with
+  | Error (Wire.Too_large { size; limit }) ->
+    checki "size" 64 size;
+    checki "limit" 16 limit
+  | _ -> Alcotest.fail "oversized input must be rejected");
+  checkb "describe mentions the cap" true
+    (String.length (Wire.describe (Wire.Too_large { size = 64; limit = 16 })) > 0)
+
+let test_parse_untrusted () =
+  (match Parse.parse_untrusted sample_text with
+  | Ok c -> checki "qubits" 2 (Circuit.num_qubits c)
+  | Error _ -> Alcotest.fail "valid text refused");
+  (match Parse.parse_untrusted ~max_bytes:4 sample_text with
+  | Error (`Wire (Wire.Too_large _)) -> ()
+  | _ -> Alcotest.fail "cap not enforced");
+  (match Parse.parse_untrusted "qubits 1\nbogus 0\n" with
+  | Error (`Syntax _) -> ()
+  | _ -> Alcotest.fail "syntax error not typed");
+  match Qasm.of_qasm_untrusted "OPENQASM 2.0;\nqreg q[\x00];\n" with
+  | Error (`Wire (Wire.Invalid_byte _)) -> ()
+  | _ -> Alcotest.fail "NUL in qasm not rejected"
+
+(* {1 Fault spec parsing} *)
+
+let test_fault_of_spec () =
+  (match Fault.of_spec "serve-request:2:exhaust,serve-accept:1:cancel" with
+  | Ok f ->
+    checkb "1st request check clean" true (Fault.check f Fault.Serve_request = None);
+    checkb "2nd request check fires" true
+      (Fault.check f Fault.Serve_request = Some Fault.Exhaust);
+    checkb "1st accept check fires" true
+      (Fault.check f Fault.Serve_accept = Some Fault.Cancel)
+  | Error e -> Alcotest.fail e);
+  (match Fault.of_spec "random:7:0.5:spurious-conflict" with
+  | Ok f -> checkb "random plan is live" false (Fault.is_none f)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Fault.of_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted bad spec " ^ bad))
+    [ "nope:1:cancel"; "sat-step:0:cancel"; "sat-step:1:frob"; "sat-step:1" ]
+
+let test_fault_site_names_roundtrip () =
+  List.iter
+    (fun site ->
+      match Fault.of_spec (Fault.site_name site ^ ":1:exhaust") with
+      | Ok f ->
+        checkb "fires at its own site" true (Fault.check f site = Some Fault.Exhaust)
+      | Error e -> Alcotest.fail e)
+    [
+      Fault.Sat_step; Fault.Theory_check; Fault.Omt_round; Fault.Warm_start;
+      Fault.Greedy_step; Fault.Serve_accept; Fault.Serve_request;
+    ]
+
+(* {1 Bounded channel} *)
+
+let test_chan_fifo () =
+  let c = Chan.create ~capacity:8 in
+  List.iter (fun i -> checkb "push" true (Chan.push c i)) [ 1; 2; 3 ];
+  checki "length" 3 (Chan.length c);
+  checkb "fifo" true
+    (Chan.pop c = Some 1 && Chan.pop c = Some 2 && Chan.pop c = Some 3)
+
+let test_chan_bounded () =
+  let c = Chan.create ~capacity:2 in
+  checkb "fits" true (Chan.try_push c 1 && Chan.try_push c 2);
+  checkb "full rejects" false (Chan.try_push c 3);
+  ignore (Chan.pop c);
+  checkb "room again" true (Chan.try_push c 3)
+
+let test_chan_close_drains () =
+  let c = Chan.create ~capacity:8 in
+  ignore (Chan.push c 1);
+  ignore (Chan.push c 2);
+  Chan.close c;
+  checkb "closed rejects pushes" false (Chan.push c 3);
+  checkb "drains queued items" true (Chan.pop c = Some 1 && Chan.pop c = Some 2);
+  checkb "then signals exit" true (Chan.pop c = None);
+  Chan.close c (* idempotent *)
+
+let test_chan_cross_domain () =
+  let c = Chan.create ~capacity:4 in
+  let n = 200 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec go acc =
+          match Chan.pop c with None -> acc | Some x -> go (acc + x)
+        in
+        go 0)
+  in
+  for i = 1 to n do
+    ignore (Chan.push c i)
+  done;
+  Chan.close c;
+  checki "all items delivered across domains" (n * (n + 1) / 2)
+    (Domain.join consumer)
+
+(* {1 Admission policy} *)
+
+let decide depth =
+  Admission.decide ~depth ~capacity:16 ~shed_fraction:0.5 ~direct_fraction:0.875
+
+let test_admission_thresholds () =
+  checkb "empty queue admits in full" true (decide 0 = Admission.Admit Protocol.No_shed);
+  checkb "below shed point" true (decide 7 = Admission.Admit Protocol.No_shed);
+  checkb "shed point demotes to greedy" true
+    (decide 8 = Admission.Admit Protocol.Shed_greedy);
+  checkb "still greedy" true (decide 13 = Admission.Admit Protocol.Shed_greedy);
+  checkb "direct point" true (decide 14 = Admission.Admit Protocol.Shed_direct);
+  checkb "last slot is direct" true (decide 15 = Admission.Admit Protocol.Shed_direct);
+  (match decide 16 with
+  | Admission.Refuse { retry_after_ms } ->
+    checkb "refusal carries a hint" true (retry_after_ms >= 100)
+  | _ -> Alcotest.fail "full queue must refuse");
+  checki "hint is clamped low" 100 (Admission.retry_hint_ms ~depth:0);
+  checki "hint is clamped high" 5000 (Admission.retry_hint_ms ~depth:1000)
+
+(* {1 Result cache} *)
+
+let circ_of text =
+  match Parse.parse text with Ok c -> c | Error e -> Alcotest.fail e
+
+let test_cache_basics () =
+  let c = Cache.create ~capacity:2 in
+  let k1 = Cache.key ~hardware:"D0" ~method_:"sat-p" ~circuit:sample_text in
+  checkb "miss on empty" true (Cache.find c k1 = None);
+  Cache.add c ~key:k1 ~adapted:(circ_of sample_text) ~makespan:(Some 42);
+  (match Cache.find c k1 with
+  | Some e ->
+    checkb "makespan kept" true (e.Cache.makespan = Some 42);
+    checks "digest matches" (Cache.digest_hex k1) e.Cache.digest
+  | None -> Alcotest.fail "hit expected");
+  (* distinct hardware / method / circuit all split the address *)
+  List.iter
+    (fun k -> checkb "no false sharing" true (Cache.find c k = None))
+    [
+      Cache.key ~hardware:"D1" ~method_:"sat-p" ~circuit:sample_text;
+      Cache.key ~hardware:"D0" ~method_:"sat-r" ~circuit:sample_text;
+      Cache.key ~hardware:"D0" ~method_:"sat-p" ~circuit:(sample_text ^ "x 0\n");
+    ];
+  Cache.invalidate c k1;
+  checkb "invalidated" true (Cache.find c k1 = None)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  let key i = Cache.key ~hardware:"D0" ~method_:"sat-p" ~circuit:(string_of_int i) in
+  let dummy = circ_of sample_text in
+  Cache.add c ~key:(key 1) ~adapted:dummy ~makespan:None;
+  Cache.add c ~key:(key 2) ~adapted:dummy ~makespan:None;
+  ignore (Cache.find c (key 1));
+  (* 2 is now the least recently used *)
+  Cache.add c ~key:(key 3) ~adapted:dummy ~makespan:None;
+  checki "bounded" 2 (Cache.length c);
+  checkb "recently used survives" true (Cache.find c (key 1) <> None);
+  checkb "LRU evicted" true (Cache.find c (key 2) = None)
+
+(* {1 HTTP shim helpers} *)
+
+let test_http_parsing () =
+  checkb "sniffs GET" true (Http.looks_like_http "GET ");
+  checkb "sniffs POST" true (Http.looks_like_http "POST");
+  checkb "binary is not http" false (Http.looks_like_http "QCA1");
+  (match Http.parse_head "POST /adapt?method=sat-p HTTP/1.1\r\nHost: x\r\nContent-Length: 12" with
+  | Ok (meth, target, headers) ->
+    checks "method" "POST" meth;
+    let path, params = Http.split_target target in
+    checks "path" "/adapt" path;
+    checkb "param" true (List.assoc_opt "method" params = Some "sat-p");
+    checkb "header lowered" true (Http.content_length headers = Ok (Some 12))
+  | Error e -> Alcotest.fail e);
+  match Http.parse_head "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage head accepted"
+
+(* {1 Protocol codec} *)
+
+let roundtrip_request r =
+  let frame = Protocol.encode_request r in
+  match Protocol.decode_header (String.sub frame 0 Protocol.header_bytes) with
+  | Error _ -> Alcotest.fail "header does not decode"
+  | Ok (kind, len) ->
+    checki "frame length exact" (String.length frame) (Protocol.header_bytes + len);
+    (match
+       Protocol.decode_request ~kind
+         (String.sub frame Protocol.header_bytes len)
+     with
+    | Ok r' -> r'
+    | Error (_, m) -> Alcotest.fail m)
+
+let roundtrip_response r =
+  let frame = Protocol.encode_response r in
+  match Protocol.decode_header (String.sub frame 0 Protocol.header_bytes) with
+  | Error _ -> Alcotest.fail "header does not decode"
+  | Ok (kind, len) -> (
+    match
+      Protocol.decode_response ~kind (String.sub frame Protocol.header_bytes len)
+    with
+    | Ok r' -> r'
+    | Error m -> Alcotest.fail m)
+
+let test_protocol_request_roundtrip () =
+  let r =
+    {
+      Protocol.method_ = Pipeline.Sat Model.Sat_r;
+      hardware = Hardware.d1;
+      format = Protocol.Text;
+      timeout_ms = Some 1500.0;
+      max_conflicts = Some 9000;
+      use_cache = false;
+      circuit_text = sample_text;
+    }
+  in
+  (match roundtrip_request (Protocol.Adapt r) with
+  | Protocol.Adapt r' ->
+    checkb "method" true (r'.Protocol.method_ = Pipeline.Sat Model.Sat_r);
+    checks "hardware" "D1" r'.Protocol.hardware.Hardware.name;
+    checkb "deadline" true (r'.Protocol.timeout_ms = Some 1500.0);
+    checkb "conflicts" true (r'.Protocol.max_conflicts = Some 9000);
+    checkb "cache opt-out" false r'.Protocol.use_cache;
+    checks "body" sample_text r'.Protocol.circuit_text
+  | _ -> Alcotest.fail "wrong request kind");
+  checkb "ping" true (roundtrip_request Protocol.Ping = Protocol.Ping);
+  checkb "metrics" true (roundtrip_request Protocol.Get_metrics = Protocol.Get_metrics)
+
+let test_protocol_response_roundtrip () =
+  let p =
+    {
+      Protocol.tier = Pipeline.Greedy_fallback;
+      reason = Some "conflict budget exhausted";
+      shed = Protocol.Shed_greedy;
+      cache = Protocol.Cache_revalidated;
+      cache_key = "00ff00ff00ff00ff";
+      conflicts = 17;
+      propagations = 4242;
+      elapsed_ms = 12.5;
+      makespan = Some 186;
+      certified = Some true;
+      adapted_text = sample_text;
+    }
+  in
+  (match roundtrip_response (Protocol.Result p) with
+  | Protocol.Result p' -> checkb "payload survives" true (p' = p)
+  | _ -> Alcotest.fail "wrong response kind");
+  (match
+     roundtrip_response
+       (Protocol.Error_resp
+          { code = Protocol.Overloaded; message = "busy"; retry_after_ms = Some 300 })
+   with
+  | Protocol.Error_resp e ->
+    checkb "code" true (e.code = Protocol.Overloaded);
+    checkb "hint" true (e.retry_after_ms = Some 300)
+  | _ -> Alcotest.fail "wrong response kind");
+  checkb "pong" true (roundtrip_response Protocol.Pong = Protocol.Pong);
+  match roundtrip_response (Protocol.Metrics_text "a\nb\n") with
+  | Protocol.Metrics_text t -> checks "text body" "a\nb\n" t
+  | _ -> Alcotest.fail "wrong response kind"
+
+let test_protocol_rejects_garbage () =
+  (match Protocol.decode_header "XXXX\x00\x00\x00\x00\x01" with
+  | Error `Bad_magic -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  (match Protocol.decode_header "QCA1A\xff\xff\xff\xff" with
+  | Error `Bad_length -> ()
+  | _ -> Alcotest.fail "negative length accepted");
+  match Protocol.decode_request ~kind:'Z' "" with
+  | Error (Protocol.Bad_frame, _) -> ()
+  | _ -> Alcotest.fail "unknown kind accepted"
+
+(* {1 Live daemon} *)
+
+let with_server ?(cfg = Server.default_config) f =
+  let cfg = { cfg with Server.port = 0; workers = 2; metrics = true } in
+  let t = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f (Server.port t))
+
+let call port req =
+  match Client.call ~host:"127.0.0.1" ~port ~timeout_s:30.0 req with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("client: " ^ e)
+
+let adapt_req ?(method_ = Pipeline.Sat Model.Sat_p) ?(format = Protocol.Text)
+    ?timeout_ms ?(use_cache = true) text =
+  Protocol.Adapt
+    {
+      Protocol.method_;
+      hardware = Hardware.d0;
+      format;
+      timeout_ms;
+      max_conflicts = None;
+      use_cache;
+      circuit_text = text;
+    }
+
+let expect_result = function
+  | Protocol.Result p -> p
+  | Protocol.Error_resp { message; _ } -> Alcotest.fail ("error resp: " ^ message)
+  | _ -> Alcotest.fail "expected a result"
+
+let expect_error code = function
+  | Protocol.Error_resp e ->
+    checks "error code"
+      (Protocol.error_code_to_string code)
+      (Protocol.error_code_to_string e.code)
+  | _ -> Alcotest.fail "expected a typed error"
+
+let test_server_ping_metrics () =
+  with_server @@ fun port ->
+  checkb "pong" true (call port Protocol.Ping = Protocol.Pong);
+  match call port Protocol.Get_metrics with
+  | Protocol.Metrics_text text ->
+    checkb "summary includes serve counters" true
+      (let re = Str.regexp_string "serve.accepted" in
+       try ignore (Str.search_forward re text 0); true with Not_found -> false)
+  | _ -> Alcotest.fail "expected metrics text"
+
+let test_server_adapt_and_cache () =
+  with_server @@ fun port ->
+  let p1 = expect_result (call port (adapt_req sample_text)) in
+  checkb "full tier" true (p1.Protocol.tier = Pipeline.Full);
+  checkb "first is a miss" true (p1.Protocol.cache = Protocol.Cache_miss);
+  checkb "solver worked" true (p1.Protocol.propagations > 0);
+  (* the adapted text is itself valid and equivalent *)
+  let adapted = circ_of p1.Protocol.adapted_text in
+  checkb "response parses and is equivalent" true
+    (Circuit.equivalent (circ_of sample_text) adapted);
+  (* a repeat must hit the cache and skip the solver entirely *)
+  let sat_conflicts = Obs.counter "sat.conflicts" in
+  let before = Obs.value sat_conflicts in
+  let p2 = expect_result (call port (adapt_req sample_text)) in
+  checkb "repeat hits" true
+    (p2.Protocol.cache = Protocol.Cache_hit
+    || p2.Protocol.cache = Protocol.Cache_revalidated);
+  checki "cache hit skips the solver" before (Obs.value sat_conflicts);
+  checks "same content address" p1.Protocol.cache_key p2.Protocol.cache_key;
+  checks "same adapted circuit" p1.Protocol.adapted_text p2.Protocol.adapted_text;
+  (* whitespace and comments do not split the content address *)
+  let noisy = "# a comment\n\nqubits 2\n  cx 0 1\nsx 1\ncx 0 1\n" in
+  let p3 = expect_result (call port (adapt_req noisy)) in
+  checks "canonical key" p1.Protocol.cache_key p3.Protocol.cache_key;
+  (* opting out bypasses the cache *)
+  let p4 = expect_result (call port (adapt_req ~use_cache:false sample_text)) in
+  checkb "no-cache is a miss" true (p4.Protocol.cache = Protocol.Cache_miss)
+
+let test_server_qasm_and_invalid () =
+  with_server @@ fun port ->
+  let p = expect_result (call port (adapt_req ~format:Protocol.Qasm sample_qasm)) in
+  checkb "qasm served in full" true (p.Protocol.tier = Pipeline.Full);
+  expect_error Protocol.Invalid_circuit
+    (call port (adapt_req "qubits 1\nbogus 0\n"));
+  expect_error Protocol.Invalid_circuit
+    (call port (adapt_req "qubits 1\nx\x00 0\n"));
+  (* the daemon is unharmed by the garbage *)
+  checkb "still serves" true
+    ((expect_result (call port (adapt_req sample_text))).Protocol.tier
+    = Pipeline.Full)
+
+let test_server_deadline_degrades () =
+  with_server @@ fun port ->
+  let p = expect_result (call port (adapt_req ~timeout_ms:0.0 sample_text)) in
+  checkb "served from a fallback tier" true (p.Protocol.tier <> Pipeline.Full);
+  checkb "reason names the deadline" true
+    (p.Protocol.reason = Some (Solver.string_of_stop_reason Solver.Deadline));
+  (* degraded responses are still valid circuits *)
+  checkb "fallback is equivalent" true
+    (Circuit.equivalent (circ_of sample_text) (circ_of p.Protocol.adapted_text))
+
+let raw_exchange port bytes n_reply =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      ignore (Unix.write_substring fd bytes 0 (String.length bytes));
+      let buf = Bytes.create n_reply in
+      let rec go off =
+        if off >= n_reply then off
+        else
+          match Unix.read fd buf off (n_reply - off) with
+          | 0 -> off
+          | k -> go (off + k)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error (_, _, _) -> off
+      in
+      let n = go 0 in
+      Bytes.sub_string buf 0 n)
+
+let test_server_rejects_raw_garbage () =
+  with_server @@ fun port ->
+  (* binary garbage gets a typed Bad_frame *)
+  let reply = raw_exchange port "ZZZZZZZZZZZZ" 4096 in
+  checkb "answers garbage with a frame" true
+    (String.length reply >= Protocol.header_bytes
+    && String.sub reply 0 4 = Protocol.magic);
+  (* a length bomb is refused from the 9 header bytes alone *)
+  let bomb = Protocol.magic ^ "A\x7f\xff\xff\xff" in
+  let reply = raw_exchange port bomb 4096 in
+  (match Protocol.decode_header (String.sub reply 0 Protocol.header_bytes) with
+  | Ok (kind, len) -> (
+    match
+      Protocol.decode_response ~kind
+        (String.sub reply Protocol.header_bytes
+           (min len (String.length reply - Protocol.header_bytes)))
+    with
+    | Ok (Protocol.Error_resp e) ->
+      checkb "too-large" true (e.code = Protocol.Too_large)
+    | _ -> Alcotest.fail "expected a Too_large error")
+  | Error _ -> Alcotest.fail "length bomb got no typed reply");
+  checkb "daemon survives" true (call port Protocol.Ping = Protocol.Pong)
+
+let test_server_http_shim () =
+  with_server @@ fun port ->
+  let reply = raw_exchange port "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n" 8192 in
+  checkb "healthz 200" true
+    (String.length reply > 15 && String.sub reply 0 15 = "HTTP/1.1 200 OK");
+  let body = Printf.sprintf "POST /adapt?method=sat-p HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n\r\n%s"
+      (String.length sample_text) sample_text
+  in
+  let reply = raw_exchange port body 65536 in
+  checkb "adapt 200" true
+    (String.length reply > 15 && String.sub reply 0 15 = "HTTP/1.1 200 OK");
+  checkb "tier header present" true
+    (let re = Str.regexp_string "X-Qca-Tier: full" in
+     try ignore (Str.search_forward re reply 0); true with Not_found -> false);
+  let reply = raw_exchange port "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n" 8192 in
+  checkb "404 on unknown path" true
+    (let re = Str.regexp_string "404" in
+     try ignore (Str.search_forward re reply 0); true with Not_found -> false)
+
+(* {2 Fault injection: the robustness paths} *)
+
+let test_server_retry_on_transient_exhaustion () =
+  let cfg =
+    {
+      Server.default_config with
+      fault = Fault.inject [ (Fault.Serve_request, 1, Fault.Exhaust) ];
+      retries = 2;
+    }
+  in
+  with_server ~cfg @@ fun port ->
+  let retries = Obs.counter "serve.retries" in
+  let before = Obs.value retries in
+  let p = expect_result (call port (adapt_req sample_text)) in
+  checkb "retry recovered full service" true (p.Protocol.tier = Pipeline.Full);
+  checki "exactly one retry" (before + 1) (Obs.value retries)
+
+let test_server_exhaustion_without_retries_degrades () =
+  let cfg =
+    {
+      Server.default_config with
+      fault = Fault.inject [ (Fault.Serve_request, 1, Fault.Exhaust) ];
+      retries = 0;
+    }
+  in
+  with_server ~cfg @@ fun port ->
+  let p = expect_result (call port (adapt_req sample_text)) in
+  checkb "degraded without retries" true (p.Protocol.tier <> Pipeline.Full);
+  checkb "reason reported" true (p.Protocol.reason <> None)
+
+let test_server_handler_crash_isolated () =
+  let cfg =
+    {
+      Server.default_config with
+      fault = Fault.inject [ (Fault.Serve_request, 1, Fault.Spurious_conflict) ];
+    }
+  in
+  with_server ~cfg @@ fun port ->
+  expect_error Protocol.Internal (call port (adapt_req sample_text));
+  (* the worker survived the crash and serves the next request in full *)
+  checkb "daemon survives a handler crash" true
+    ((expect_result (call port (adapt_req sample_text))).Protocol.tier
+    = Pipeline.Full)
+
+let test_server_client_gone_midsolve () =
+  let cfg =
+    {
+      Server.default_config with
+      fault = Fault.inject [ (Fault.Serve_request, 1, Fault.Cancel) ];
+    }
+  in
+  with_server ~cfg @@ fun port ->
+  (match Client.call ~host:"127.0.0.1" ~port (adapt_req sample_text) with
+  | Error _ -> ()  (* the abandoned connection yields no response *)
+  | Ok (Protocol.Result _) -> Alcotest.fail "cancelled request got a result"
+  | Ok _ -> Alcotest.fail "unexpected response");
+  checkb "daemon survives an abandoned request" true
+    (call port Protocol.Ping = Protocol.Pong)
+
+let test_server_accept_faults () =
+  let cfg =
+    {
+      Server.default_config with
+      fault =
+        Fault.inject
+          [
+            (Fault.Serve_accept, 1, Fault.Cancel);
+            (Fault.Serve_accept, 2, Fault.Exhaust);
+          ];
+    }
+  in
+  with_server ~cfg @@ fun port ->
+  (* 1st connection: dropped before its frame is read *)
+  (match Client.call ~host:"127.0.0.1" ~port Protocol.Ping with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dropped connection answered");
+  (* 2nd connection: forced admission refusal, typed with a hint *)
+  (match Client.call ~host:"127.0.0.1" ~port Protocol.Ping with
+  | Ok (Protocol.Error_resp e) ->
+    checkb "overloaded" true (e.code = Protocol.Overloaded);
+    checkb "retry hint" true (e.retry_after_ms <> None)
+  | _ -> Alcotest.fail "expected an Overloaded refusal");
+  (* 3rd connection: business as usual *)
+  checkb "recovers" true (call port Protocol.Ping = Protocol.Pong)
+
+let test_server_certify_responses () =
+  let cfg = { Server.default_config with certify = true } in
+  with_server ~cfg @@ fun port ->
+  let p = expect_result (call port (adapt_req sample_text)) in
+  checkb "response carries a certificate" true (p.Protocol.certified = Some true)
+
+(* {2 Soak: a storm of faults and hostile input} *)
+
+let test_server_soak () =
+  let fault =
+    Fault.inject
+      [
+        (Fault.Serve_accept, 3, Fault.Cancel);
+        (Fault.Serve_accept, 8, Fault.Exhaust);
+        (Fault.Serve_request, 2, Fault.Exhaust);
+        (Fault.Serve_request, 5, Fault.Spurious_conflict);
+        (Fault.Serve_request, 9, Fault.Cancel);
+        (Fault.Serve_request, 13, Fault.Exhaust);
+      ]
+  in
+  let cfg =
+    {
+      Server.default_config with
+      fault;
+      certify = true;  (* every success response is checked end to end *)
+      cache_capacity = 4;
+      retries = 1;
+    }
+  in
+  with_server ~cfg @@ fun port ->
+  let texts =
+    [
+      sample_text;
+      "qubits 2\ncx 0 1\nsx 1\ncx 0 1\n";  (* repeat of sample_text *)
+      "qubits 3\ncx 0 1\ncx 1 2\nx 2\n";
+      "qubits 2\nrz(0.5) 0\ncx 0 1\n";
+      "qubits 1\nbogus!!\n";  (* malformed *)
+      "qubits 2\nx\x00 0\n";  (* NUL bomb *)
+      "qubits 4\ncx 0 1\ncx 2 3\ncx 1 2\nsx 0\n";
+      "qubits 2\nsx 0\nsx 1\ncx 0 1\n";
+      "qubits 3\nx 0\ncx 0 2\nrz(1.0) 2\n";
+    ]
+  in
+  let results = ref 0 and errors = ref 0 and dropped = ref 0 in
+  for i = 0 to 29 do
+    let text = List.nth texts (i mod List.length texts) in
+    let timeout_ms = if i mod 11 = 10 then Some 0.0 else None in
+    match Client.call ~host:"127.0.0.1" ~port (adapt_req ?timeout_ms text) with
+    | Ok (Protocol.Result p) ->
+      incr results;
+      (* a success response under --certify is never a wrong answer *)
+      checkb "soak: success certified or degraded-but-equivalent" true
+        (Circuit.equivalent (circ_of text) (circ_of p.Protocol.adapted_text))
+    | Ok (Protocol.Error_resp _) -> incr errors
+    | Ok _ -> Alcotest.fail "unexpected response kind"
+    | Error _ -> incr dropped
+  done;
+  checkb "soak: successes happened" true (!results > 10);
+  checkb "soak: typed errors happened" true (!errors > 0);
+  checkb "soak: injected drops happened" true (!dropped > 0);
+  (* zero crashes: the daemon still answers, and the cache stayed bounded *)
+  checkb "soak: daemon alive after the storm" true
+    (call port Protocol.Ping = Protocol.Pong);
+  checkb "soak: cache bounded" true
+    (Obs.gauge_value (Obs.gauge "serve.cache.size") <= 4.0)
+
+let test_server_stop_idempotent () =
+  let t = Server.start { Server.default_config with Server.port = 0 } in
+  let port = Server.port t in
+  checkb "up" true (Client.call ~host:"127.0.0.1" ~port Protocol.Ping = Ok Protocol.Pong);
+  Server.stop t;
+  Server.stop t;
+  (* after the drain the port no longer accepts *)
+  match Client.call ~host:"127.0.0.1" ~port ~timeout_s:2.0 Protocol.Ping with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stopped server still answers"
+
+let suite =
+  [
+    ("wire: ascii ok", `Quick, test_wire_accepts_ascii);
+    ("wire: utf-8 ok", `Quick, test_wire_accepts_utf8);
+    ("wire: NUL rejected", `Quick, test_wire_rejects_nul);
+    ("wire: bad utf-8 rejected", `Quick, test_wire_rejects_bad_utf8);
+    ("wire: size cap", `Quick, test_wire_size_cap);
+    ("wire: untrusted parse entry points", `Quick, test_parse_untrusted);
+    ("fault: of_spec", `Quick, test_fault_of_spec);
+    ("fault: site names roundtrip", `Quick, test_fault_site_names_roundtrip);
+    ("chan: fifo", `Quick, test_chan_fifo);
+    ("chan: bounded", `Quick, test_chan_bounded);
+    ("chan: close drains", `Quick, test_chan_close_drains);
+    ("chan: cross-domain", `Quick, test_chan_cross_domain);
+    ("admission: thresholds", `Quick, test_admission_thresholds);
+    ("cache: basics", `Quick, test_cache_basics);
+    ("cache: LRU eviction", `Quick, test_cache_lru_eviction);
+    ("http: parsing", `Quick, test_http_parsing);
+    ("protocol: request roundtrip", `Quick, test_protocol_request_roundtrip);
+    ("protocol: response roundtrip", `Quick, test_protocol_response_roundtrip);
+    ("protocol: rejects garbage", `Quick, test_protocol_rejects_garbage);
+    ("server: ping and metrics", `Quick, test_server_ping_metrics);
+    ("server: adapt and cache", `Quick, test_server_adapt_and_cache);
+    ("server: qasm and invalid input", `Quick, test_server_qasm_and_invalid);
+    ("server: deadline degrades", `Quick, test_server_deadline_degrades);
+    ("server: raw garbage and length bomb", `Quick, test_server_rejects_raw_garbage);
+    ("server: http shim", `Quick, test_server_http_shim);
+    ("server: retry on transient exhaustion", `Quick, test_server_retry_on_transient_exhaustion);
+    ("server: no retries means degraded", `Quick, test_server_exhaustion_without_retries_degrades);
+    ("server: handler crash isolated", `Quick, test_server_handler_crash_isolated);
+    ("server: client gone mid-solve", `Quick, test_server_client_gone_midsolve);
+    ("server: accept faults", `Quick, test_server_accept_faults);
+    ("server: certified responses", `Quick, test_server_certify_responses);
+    ("server: fault storm soak", `Quick, test_server_soak);
+    ("server: stop is idempotent", `Quick, test_server_stop_idempotent);
+  ]
