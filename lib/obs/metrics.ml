@@ -26,21 +26,27 @@ type id = int
    records (pointers) into the fresh array, so updaters racing through
    a stale [!metrics] still hit the same atomic cells. *)
 let metrics : metric array ref = ref [||]
+  [@@qca.domain_safe "guarded by intern_m"]
+
 let n_metrics = ref 0
+  [@@qca.domain_safe "guarded by intern_m"]
+
 let by_name : (string, id) Hashtbl.t = Hashtbl.create 64
+  [@@qca.domain_safe "guarded by intern_m"]
 let intern_m = Mutex.create ()
 
-let live = ref false
-let enabled () = !live
+let live = Atomic.make false
+let enabled () = Atomic.get live
 
-let started = ref 0.0
+let started = Atomic.make 0.0
 
 let set_enabled b =
-  live := b;
-  if b then started := Clock.now ()
+  Atomic.set live b;
+  if b then Atomic.set started (Clock.now ())
 
 let elapsed_s () =
-  if not !live then 0.0 else Clock.ms_between !started (Clock.now ()) /. 1000.0
+  if not (Atomic.get live) then 0.0
+  else Clock.ms_between (Atomic.get started) (Clock.now ()) /. 1000.0
 
 let kind_name = function
   | Counter -> "counter"
@@ -102,9 +108,9 @@ let rec accum_max cell v =
   let cur = Atomic.get cell in
   if v > cur && not (Atomic.compare_and_set cell cur v) then accum_max cell v
 
-let incr id = if !live then Atomic.incr !metrics.(id).c_value
-let add id n = if !live then ignore (Atomic.fetch_and_add !metrics.(id).c_value n)
-let set id v = if !live then Atomic.set !metrics.(id).g_value v
+let incr id = if Atomic.get live then Atomic.incr !metrics.(id).c_value
+let add id n = if Atomic.get live then ignore (Atomic.fetch_and_add !metrics.(id).c_value n)
+let set id v = if Atomic.get live then Atomic.set !metrics.(id).g_value v
 
 (* Bucket 0: v < 1 (zero, clamped negatives, NaN). Bucket i in 1..30:
    2^(i-1) <= v < 2^i (frexp exponent). Bucket 31: overflow. *)
@@ -121,7 +127,7 @@ let bucket_bounds i =
   else (ldexp 1.0 (i - 1), ldexp 1.0 i)
 
 let observe id v =
-  if !live then begin
+  if Atomic.get live then begin
     let m = !metrics.(id) in
     let v = if v >= 0.0 then v else 0.0 (* clamp negatives and NaN *) in
     Atomic.incr m.buckets.(bucket_of v);
@@ -129,6 +135,7 @@ let observe id v =
     accum_float m.h_sum v;
     accum_max m.h_max v
   end
+  [@@qca.hot]
 
 let get id =
   if id < 0 || id >= !n_metrics then invalid_arg "Metrics: unknown id";
@@ -262,4 +269,4 @@ let reset () =
     Atomic.set m.h_sum 0.0;
     Atomic.set m.h_max 0.0
   done;
-  started := Clock.now ()
+  Atomic.set started (Clock.now ())

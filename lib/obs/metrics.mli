@@ -36,10 +36,11 @@ val histogram : string -> id
 
 (** {1 Enabling} *)
 
-val live : bool ref
+val live : bool Atomic.t
 (** The hot-path guard. Treat as read-only outside this module; flip it
-    through {!set_enabled}. Instrumentation sites may read [!live]
-    directly to skip argument computation when the registry is off. *)
+    through {!set_enabled}. Instrumentation sites may read
+    [Atomic.get live] directly to skip argument computation when the
+    registry is off. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit

@@ -1,11 +1,11 @@
-let callback = ref (fun () -> ())
+let callback = Atomic.make (fun () -> ())
 let fired = Atomic.make false
 
 let handler signo =
-  if not (Atomic.exchange fired true) then (try !callback () with _ -> ());
+  if not (Atomic.exchange fired true) then (try (Atomic.get callback) () with _ -> ());
   exit (if signo = Sys.sigint then 130 else 143)
 
 let install ~flush =
-  callback := flush;
+  Atomic.set callback flush;
   Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)

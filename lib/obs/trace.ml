@@ -21,19 +21,25 @@ type event =
     }
   | Counter of { c_name : string; c_ts_us : int; c_tid : int; c_value : float }
 
-let live = ref false
-let enabled () = !live
+let live = Atomic.make false
+let enabled () = Atomic.get live
 
-let t0 = ref (Clock.now ())
+let t0 = Atomic.make (Clock.now ())
 
 (* Completed events, in completion order, guarded by [rec_m] (several
    domains — pool workers, portfolio seats — record concurrently). The
    open-span stack is per-domain state in DLS: spans nest within one
    domain and never migrate across domains. *)
 let rec_m = Mutex.create ()
+
 let events : event list ref = ref []
+  [@@qca.domain_safe "guarded by rec_m"]
+
 let n_events = ref 0
+  [@@qca.domain_safe "guarded by rec_m"]
+
 let next_seq = ref 0
+  [@@qca.domain_safe "guarded by rec_m"]
 
 let stack_key :
     (int * string * int * (string * string) list) list ref Domain.DLS.key =
@@ -43,7 +49,7 @@ let stack () = Domain.DLS.get stack_key
 let tid () = (Domain.self () :> int)
 
 let now_us () =
-  int_of_float (Clock.ms_between !t0 (Clock.now ()) *. 1000.0)
+  int_of_float (Clock.ms_between (Atomic.get t0) (Clock.now ()) *. 1000.0)
 
 let record e =
   Mutex.lock rec_m;
@@ -59,18 +65,18 @@ let alloc_seq () =
   seq
 
 let set_enabled b =
-  if b && not !live then t0 := Clock.now ();
-  live := b
+  if b && not (Atomic.get live) then Atomic.set t0 (Clock.now ());
+  Atomic.set live b
 
 let begin_span ?(args = []) name =
-  if !live then begin
+  if Atomic.get live then begin
     let seq = alloc_seq () in
     let st = stack () in
     st := (seq, name, now_us (), args) :: !st
   end
 
 let end_span ?(args = []) name =
-  if !live then begin
+  if Atomic.get live then begin
     let st = stack () in
     match !st with
     | [] ->
@@ -95,19 +101,19 @@ let end_span ?(args = []) name =
   end
 
 let span ?args name f =
-  if not !live then f ()
+  if not (Atomic.get live) then f ()
   else begin
     begin_span ?args name;
     Fun.protect ~finally:(fun () -> end_span name) f
   end
 
 let instant ?(args = []) name =
-  if !live then
+  if Atomic.get live then
     record
       (Instant { i_name = name; i_ts_us = now_us (); i_tid = tid (); i_args = args })
 
 let counter name v =
-  if !live then
+  if Atomic.get live then
     record
       (Counter { c_name = name; c_ts_us = now_us (); c_tid = tid (); c_value = v })
 
@@ -138,7 +144,7 @@ let reset () =
   next_seq := 0;
   Mutex.unlock rec_m;
   stack () := [];
-  t0 := Clock.now ()
+  Atomic.set t0 (Clock.now ())
 
 (* {1 Rendering} *)
 

@@ -1,7 +1,7 @@
 type 'a t = {
   cap : int;
   q : 'a Queue.t;
-  m : Mutex.t;
+  m : Lockcheck.t;
   not_empty : Condition.t;
   not_full : Condition.t;
   mutable closed : bool;
@@ -12,7 +12,7 @@ let create ~capacity =
   {
     cap = capacity;
     q = Queue.create ();
-    m = Mutex.create ();
+    m = Lockcheck.create ~name:"chan" ();
     not_empty = Condition.create ();
     not_full = Condition.create ();
     closed = false;
@@ -21,8 +21,8 @@ let create ~capacity =
 let capacity t = t.cap
 
 let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Lockcheck.lock t.m;
+  Fun.protect ~finally:(fun () -> Lockcheck.unlock t.m) f
 
 let length t = locked t (fun () -> Queue.length t.q)
 
@@ -40,7 +40,7 @@ let push t x =
       let rec go () =
         if t.closed then false
         else if Queue.length t.q >= t.cap then begin
-          Condition.wait t.not_full t.m;
+          Lockcheck.wait t.not_full t.m;
           go ()
         end
         else begin
@@ -61,7 +61,7 @@ let pop t =
         | None ->
           if t.closed then None
           else begin
-            Condition.wait t.not_empty t.m;
+            Lockcheck.wait t.not_empty t.m;
             go ()
           end
       in

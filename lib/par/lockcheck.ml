@@ -1,0 +1,217 @@
+module Clock = Qca_util.Clock
+module Obs = Qca_obs.Metrics
+
+let m_cycles = Obs.counter "par.lockcheck.cycles"
+let m_long_holds = Obs.counter "par.lockcheck.long_holds"
+
+type t = { mu : Mutex.t; id : int; lname : string }
+
+let name t = t.lname
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "QCA_LOCKCHECK" with
+    | Some ("1" | "true" | "on") -> true
+    | _ -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let long_hold_ms =
+  Atomic.make
+    (match Option.bind (Sys.getenv_opt "QCA_LOCKCHECK_MS") float_of_string_opt with
+    | Some ms when ms >= 0.0 -> ms
+    | _ -> 250.0)
+
+let set_long_hold_ms ms = Atomic.set long_hold_ms ms
+
+type kind = Cycle | Long_hold
+
+type report = { r_kind : kind; r_message : string }
+
+(* {1 Checker state}
+
+   One global order graph shared by every domain, guarded by a *raw*
+   mutex: the checker cannot check itself. The graph only ever grows
+   (first observation of each edge is kept), so the memory cost is
+   bounded by the number of distinct (held, wanted) lock pairs. *)
+
+let max_retained_reports = 100
+
+let state_m = Mutex.create ()
+
+let next_id = ref 0
+  [@@qca.domain_safe "guarded by state_m"]
+
+(* edge (a, b): some domain acquired b while holding a *)
+let edges : (int * int, unit) Hashtbl.t = Hashtbl.create 64
+  [@@qca.domain_safe "guarded by state_m"]
+
+let succs : (int, int list) Hashtbl.t = Hashtbl.create 64
+  [@@qca.domain_safe "guarded by state_m"]
+
+let names : (int, string) Hashtbl.t = Hashtbl.create 64
+  [@@qca.domain_safe "guarded by state_m"]
+
+let reports_rev : report list ref = ref []
+  [@@qca.domain_safe "guarded by state_m"]
+
+let n_reports = ref 0
+  [@@qca.domain_safe "guarded by state_m"]
+
+let n_cycles = ref 0
+  [@@qca.domain_safe "guarded by state_m"]
+
+let n_long_holds = ref 0
+  [@@qca.domain_safe "guarded by state_m"]
+
+(* The held stack is per-domain: (lock, acquisition time), most recent
+   first. DLS keeps it allocation-free on the lock path. *)
+let held_key : (t * float) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let held () = Domain.DLS.get held_key
+
+let locked_state f =
+  Mutex.lock state_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state_m) f
+
+let record_report kind msg counter_cell obs_counter =
+  (* caller holds state_m *)
+  incr n_reports;
+  incr counter_cell;
+  Obs.incr obs_counter;
+  if !n_reports <= max_retained_reports then
+    reports_rev := { r_kind = kind; r_message = msg } :: !reports_rev
+
+let reports () = locked_state (fun () -> List.rev !reports_rev)
+let cycles () = locked_state (fun () -> !n_cycles)
+let long_holds () = locked_state (fun () -> !n_long_holds)
+
+let reset () =
+  locked_state (fun () ->
+      Hashtbl.reset edges;
+      Hashtbl.reset succs;
+      reports_rev := [];
+      n_reports := 0;
+      n_cycles := 0;
+      n_long_holds := 0);
+  held () := []
+
+let create ?name () =
+  let id = locked_state (fun () -> let id = !next_id in incr next_id; id) in
+  let lname =
+    match name with Some n -> n | None -> Printf.sprintf "mutex-%d" id
+  in
+  locked_state (fun () -> Hashtbl.replace names id lname);
+  { mu = Mutex.create (); id; lname }
+
+let name_of id =
+  match Hashtbl.find_opt names id with
+  | Some n -> Printf.sprintf "%s#%d" n id
+  | None -> Printf.sprintf "#%d" id
+
+(* Path from [src] to [dst] in the order graph, as lock names (caller
+   holds state_m). BFS keeps the reported witness minimal. *)
+let find_path src dst =
+  let prev = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Queue.push src q;
+  Hashtbl.replace prev src src;
+  let rec bfs () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some u ->
+      if u = dst then begin
+        let rec build acc v =
+          if v = src then v :: acc else build (v :: acc) (Hashtbl.find prev v)
+        in
+        Some (build [] dst)
+      end
+      else begin
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem prev v) then begin
+              Hashtbl.replace prev v u;
+              Queue.push v q
+            end)
+          (Option.value (Hashtbl.find_opt succs u) ~default:[]);
+        bfs ()
+      end
+  in
+  bfs ()
+
+(* Before blocking on [want] while [h] is held: merge the edge
+   h -> want and flag a cycle iff want already reaches h. *)
+let note_edge h want =
+  locked_state (fun () ->
+      let e = (h.id, want.id) in
+      if not (Hashtbl.mem edges e) then begin
+        (match find_path want.id h.id with
+        | Some path ->
+          let chain =
+            String.concat " -> " (List.map name_of (path @ [ want.id ]))
+          in
+          record_report Cycle
+            (Printf.sprintf
+               "lock-order cycle: acquiring %s while holding %s inverts the \
+                established order %s"
+               (name_of want.id) (name_of h.id) chain)
+            n_cycles m_cycles
+        | None -> ());
+        Hashtbl.replace edges e ();
+        Hashtbl.replace succs h.id
+          (want.id :: Option.value (Hashtbl.find_opt succs h.id) ~default:[])
+      end)
+
+let push_held t =
+  let hs = held () in
+  hs := (t, Clock.now ()) :: !hs
+
+(* Remove [t]'s innermost hold and report if it outlived the
+   threshold. Robust to a stack perturbed by a mid-section
+   [set_enabled] flip: a missing entry is ignored. *)
+let pop_held t =
+  let hs = held () in
+  let rec remove = function
+    | [] -> []
+    | (h, since) :: rest when h.id = t.id ->
+      let ms = Clock.ms_between since (Clock.now ()) in
+      if ms > Atomic.get long_hold_ms then
+        locked_state (fun () ->
+            record_report Long_hold
+              (Printf.sprintf "%s held for %.1f ms (threshold %.1f ms)"
+                 (name_of t.id) ms
+                 (Atomic.get long_hold_ms))
+              n_long_holds m_long_holds);
+      rest
+    | kept :: rest -> kept :: remove rest
+  in
+  hs := remove !hs
+
+let lock t =
+  if not (Atomic.get enabled_flag) then Mutex.lock t.mu
+  else begin
+    List.iter (fun (h, _) -> if h.id <> t.id then note_edge h t) !(held ());
+    Mutex.lock t.mu;
+    push_held t
+  end
+
+let unlock t =
+  if not (Atomic.get enabled_flag) then Mutex.unlock t.mu
+  else begin
+    pop_held t;
+    Mutex.unlock t.mu
+  end
+
+let wait cv t =
+  if not (Atomic.get enabled_flag) then Condition.wait cv t.mu
+  else begin
+    (* a condition wait releases the mutex: close the hold window so
+       the parked time is not billed as a long hold, and so the order
+       graph does not see locks acquired by *other* domains during the
+       wait as nested under [t] *)
+    pop_held t;
+    Condition.wait cv t.mu;
+    push_held t
+  end

@@ -1,0 +1,68 @@
+(** Runtime lock/race checker: a shim over [Mutex] that, when armed
+    with [QCA_LOCKCHECK=1], records the per-domain lock-order graph and
+    flags two hazard classes at the moment they first become possible:
+
+    - {b lock-order cycles}: if domain X ever acquires A then B while
+      domain Y acquires B then A, the two can deadlock under the right
+      interleaving. The checker merges every observed [held -> wanted]
+      edge into one global order graph and reports the closing edge of
+      any cycle — no actual deadlock has to occur.
+    - {b long-held locks}: a critical section that outlives the
+      configurable threshold (default 250 ms, [QCA_LOCKCHECK_MS])
+      starves every other domain; time parked in [wait] is excluded,
+      because a condition wait releases the mutex.
+
+    Disarmed (the default), [lock]/[unlock] are a single relaxed
+    [Atomic.get] branch away from the raw [Mutex] operations and no
+    bookkeeping state is touched. Violations are recorded, not thrown:
+    production code keeps running, tests assert [reports () = []]. *)
+
+type t
+(** A checked mutex. *)
+
+val create : ?name:string -> unit -> t
+(** [create ~name ()] makes a checked mutex. [name] labels the lock in
+    reports (default ["mutex-<id>"]); instances are distinct order-graph
+    nodes even when they share a name. *)
+
+val lock : t -> unit
+val unlock : t -> unit
+
+val wait : Condition.t -> t -> unit
+(** [wait cv m] is [Condition.wait cv (raw m)] with the bookkeeping a
+    wait implies: the lock leaves the domain's held set (and its hold
+    timer stops) for the duration of the wait and is re-entered on
+    wake-up. *)
+
+val name : t -> string
+
+val enabled : unit -> bool
+(** Armed? Initialised from [QCA_LOCKCHECK] ([1]/[true]/[on]) at
+    startup; tests may override with {!set_enabled}. *)
+
+val set_enabled : bool -> unit
+(** Test hook. Toggle only while no checked lock is held, and [reset]
+    afterwards — flipping the flag mid-critical-section loses the
+    held-set bookkeeping for that section. *)
+
+val set_long_hold_ms : float -> unit
+(** Threshold for the long-hold report, in milliseconds of wall clock
+    ([QCA_LOCKCHECK_MS] at startup, default 250). *)
+
+type kind = Cycle | Long_hold
+
+type report = { r_kind : kind; r_message : string }
+
+val reports : unit -> report list
+(** Violations recorded since the last [reset], oldest first (capped at
+    100 retained messages; the counters keep exact totals). *)
+
+val cycles : unit -> int
+(** Total lock-order cycles detected (exact, not capped). *)
+
+val long_holds : unit -> int
+(** Total long-hold violations detected (exact, not capped). *)
+
+val reset : unit -> unit
+(** Clear the order graph, the reports and the calling domain's held
+    set. For tests; call with no checked lock held anywhere. *)

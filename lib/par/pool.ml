@@ -12,17 +12,17 @@ type task = unit -> unit
    cost of a solve). Indices only move forward; both rewind to 0
    whenever the deque empties. *)
 type deque = {
-  dm : Mutex.t;
+  dm : Lockcheck.t;
   mutable buf : task array;
   mutable head : int;
   mutable tail : int;
 }
 
 let deque_create () =
-  { dm = Mutex.create (); buf = Array.make 16 ignore; head = 0; tail = 0 }
+  { dm = Lockcheck.create ~name:"pool.deque" (); buf = Array.make 16 ignore; head = 0; tail = 0 }
 
 let deque_push d t =
-  Mutex.lock d.dm;
+  Lockcheck.lock d.dm;
   if d.tail = Array.length d.buf then begin
     let n = d.tail - d.head in
     let cap = max 16 (2 * n) in
@@ -34,10 +34,10 @@ let deque_push d t =
   end;
   d.buf.(d.tail) <- t;
   d.tail <- d.tail + 1;
-  Mutex.unlock d.dm
+  Lockcheck.unlock d.dm
 
 let deque_take d ~from_head =
-  Mutex.lock d.dm;
+  Lockcheck.lock d.dm;
   let r =
     if d.head = d.tail then None
     else if from_head then begin
@@ -57,18 +57,18 @@ let deque_take d ~from_head =
     d.head <- 0;
     d.tail <- 0
   end;
-  Mutex.unlock d.dm;
+  Lockcheck.unlock d.dm;
   r
 
 type t = {
   jobs : int;
   deques : deque array;
-  m : Mutex.t;  (* guards batch_gen and stop *)
+  m : Lockcheck.t;  (* guards batch_gen and stop *)
   cv : Condition.t;  (* new batch posted, or shutdown *)
   mutable batch_gen : int;
   mutable stop : bool;
   remaining : int Atomic.t;  (* unfinished tasks of the current batch *)
-  done_m : Mutex.t;
+  done_m : Lockcheck.t;
   done_cv : Condition.t;  (* remaining hit 0 *)
   mutable domains : unit Domain.t array;
   live : int Atomic.t;
@@ -106,6 +106,7 @@ let drain t w =
       go ()
   in
   go ()
+  [@@qca.hot]
 
 (* Workers sleep between batches; a batch-generation counter (rather
    than a queue flag) means a worker that was still draining an old
@@ -120,13 +121,13 @@ let worker t w () =
       let seen = ref 0 in
       let running = ref true in
       while !running do
-        Mutex.lock t.m;
+        Lockcheck.lock t.m;
         while (not t.stop) && t.batch_gen = !seen do
-          Condition.wait t.cv t.m
+          Lockcheck.wait t.cv t.m
         done;
         let stopping = t.stop in
         seen := t.batch_gen;
-        Mutex.unlock t.m;
+        Lockcheck.unlock t.m;
         if stopping then running := false
         else
           Trace.span "par.worker"
@@ -140,12 +141,12 @@ let create ~jobs =
     {
       jobs;
       deques = Array.init jobs (fun _ -> deque_create ());
-      m = Mutex.create ();
+      m = Lockcheck.create ~name:"pool.batch" ();
       cv = Condition.create ();
       batch_gen = 0;
       stop = false;
       remaining = Atomic.make 0;
-      done_m = Mutex.create ();
+      done_m = Lockcheck.create ~name:"pool.done" ();
       done_cv = Condition.create ();
       domains = [||];
       live = Atomic.make 0;
@@ -160,10 +161,10 @@ let create ~jobs =
   t
 
 let shutdown t =
-  Mutex.lock t.m;
+  Lockcheck.lock t.m;
   t.stop <- true;
   Condition.broadcast t.cv;
-  Mutex.unlock t.m;
+  Lockcheck.unlock t.m;
   Array.iter Domain.join t.domains
 
 let parallel_map t ~f arr =
@@ -176,41 +177,41 @@ let parallel_map t ~f arr =
       ~finally:(fun () -> Atomic.set t.busy false)
       (fun () ->
         let results = Array.make n None in
-        let exn_m = Mutex.create () in
+        let exn_m = Lockcheck.create ~name:"pool.exn" () in
         let first_exn = ref None in
         Atomic.set t.remaining n;
         let finish_one () =
           if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
-            Mutex.lock t.done_m;
+            Lockcheck.lock t.done_m;
             Condition.broadcast t.done_cv;
-            Mutex.unlock t.done_m
+            Lockcheck.unlock t.done_m
           end
         in
         let task i () =
           (try results.(i) <- Some (f arr.(i))
            with e ->
              let bt = Printexc.get_raw_backtrace () in
-             Mutex.lock exn_m;
+             Lockcheck.lock exn_m;
              if !first_exn = None then first_exn := Some (e, bt);
-             Mutex.unlock exn_m);
+             Lockcheck.unlock exn_m);
           finish_one ()
         in
         for i = 0 to n - 1 do
           deque_push t.deques.(i mod t.jobs) (task i)
         done;
-        Mutex.lock t.m;
+        Lockcheck.lock t.m;
         t.batch_gen <- t.batch_gen + 1;
         Condition.broadcast t.cv;
-        Mutex.unlock t.m;
+        Lockcheck.unlock t.m;
         (* The caller is worker 0. *)
         Trace.span "par.worker"
           ~args:[ ("worker", "0") ]
           (fun () -> drain t 0);
-        Mutex.lock t.done_m;
+        Lockcheck.lock t.done_m;
         while Atomic.get t.remaining > 0 do
-          Condition.wait t.done_cv t.done_m
+          Lockcheck.wait t.done_cv t.done_m
         done;
-        Mutex.unlock t.done_m;
+        Lockcheck.unlock t.done_m;
         (match !first_exn with
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ());

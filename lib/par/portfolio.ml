@@ -21,7 +21,7 @@ let race f k =
   let win = Atomic.make (-1) in
   let abort = Atomic.make false in
   let value = Array.make k None in
-  let exn_m = Mutex.create () in
+  let exn_m = Lockcheck.create ~name:"portfolio.exn" () in
   let first_exn = ref None in
   let should_stop () = Atomic.get win >= 0 || Atomic.get abort in
   let run i =
@@ -30,9 +30,9 @@ let race f k =
     | None -> ()
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
-      Mutex.lock exn_m;
+      Lockcheck.lock exn_m;
       if !first_exn = None then first_exn := Some (e, bt);
-      Mutex.unlock exn_m;
+      Lockcheck.unlock exn_m;
       (* wind the other racers down at their next cooperative check *)
       Atomic.set abort true
   in

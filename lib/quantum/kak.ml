@@ -231,6 +231,7 @@ let swap_correctors =
      S swaps x,y; H swaps x,z; Rx(π/2) swaps y,z (tensor squares kill
      residual Pauli signs). Verified by the test suite. *)
   [| Gates.s; Gates.h; Gates.rx half_pi |]
+  [@@qca.domain_safe "read-only lookup table, written only at module init"]
 
 let swap_coords st a b =
   if a <> b then begin

@@ -114,6 +114,9 @@ let no_budget =
     propagations_spent = 0;
     theory_rounds_spent = 0;
   }
+  [@@qca.domain_safe
+    "spent counters are scratch: every limit is max_int / infinity, so a \
+     racy increment can never trip a budget check"]
 
 let budget ?timeout_ms ?(max_conflicts = max_int)
     ?(max_propagations = max_int) ?(max_theory_rounds = default_theory_rounds)
@@ -394,10 +397,10 @@ let audit_period =
     | Some v -> (
       match int_of_string_opt v with Some n when n > 1 -> n | _ -> 256))
 
-let audit_hook : (t -> unit) option ref = ref None
-let set_audit_hook f = audit_hook := Some f
+let audit_hook : (t -> unit) option Atomic.t = Atomic.make None
+let set_audit_hook f = Atomic.set audit_hook (Some f)
 
-let audit t = match !audit_hook with None -> () | Some f -> f t
+let audit t = match Atomic.get audit_hook with None -> () | Some f -> f t
 
 let grow_arrays t n =
   let old = Array.length t.assigns in
@@ -663,8 +666,9 @@ let propagate t =
     Array.unsafe_set t.wsize false_lit !j
   done;
   t.n_propagations <- t.n_propagations + !nprops;
-  if !Obs.live then Obs.add m_propagations !nprops;
+  if Atomic.get Obs.live then Obs.add m_propagations !nprops;
   !confl
+  [@@qca.hot]
 
 let var_bump t v =
   let a = Array.unsafe_get t.hact v +. t.var_inc in
@@ -930,7 +934,7 @@ let record_learnt t =
     let lits = Array.sub t.learnt_buf 0 len in
     let cr = Arena.alloc t.arena ~learnt:true lits in
     let glue = learnt_lbd t in
-    if !Obs.live then Obs.observe m_lbd (float_of_int glue);
+    if Atomic.get Obs.live then Obs.observe m_lbd (float_of_int glue);
     Arena.set_lbd t.arena cr glue;
     t.lbd_sum <- t.lbd_sum + glue;
     Vec.push t.learnts cr;
@@ -1571,7 +1575,7 @@ let vivify_stage t vec ~learnt ~cap =
   done
 
 let simp_flush_metrics t ~s0 =
-  if !Obs.live then begin
+  if Atomic.get Obs.live then begin
     let sub0, str0, eli0, viv0, fl0 = s0 in
     Obs.incr m_simp_runs;
     let d c v = if v > 0 then Obs.add c v in
@@ -1877,7 +1881,7 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
         if conflict >= 0 then begin
           t.n_conflicts <- t.n_conflicts + 1;
           decr conflicts_until_restart;
-          if !Obs.live then begin
+          if Atomic.get Obs.live then begin
             Obs.incr m_conflicts;
             Obs.observe m_trail_depth (float_of_int t.trail_size);
             if t.n_conflicts mod telemetry_period = 0 then begin

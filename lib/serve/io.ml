@@ -27,4 +27,25 @@ let write_all fd s =
   in
   go 0
 
+let read_chunk fd buf len =
+  let rec go () =
+    match Unix.read fd buf 0 len with
+    | 0 -> None
+    | n -> Some n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> None
+  in
+  go ()
+
+let peek fd n =
+  let buf = Bytes.create n in
+  let rec go () =
+    match Unix.recv fd buf 0 n [ Unix.MSG_PEEK ] with
+    | k when k > 0 -> Bytes.sub_string buf 0 k
+    | _ -> ""
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> ""
+  in
+  go ()
+
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()

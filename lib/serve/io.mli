@@ -11,4 +11,12 @@ val write_all : Unix.file_descr -> string -> bool
 (** Writes the whole string; [false] on any error (best-effort —
     the peer may have hung up, which must never hurt the writer). *)
 
+val read_chunk : Unix.file_descr -> bytes -> int -> int option
+(** One read of at most [len] bytes into the start of [buf]; [Some n]
+    with [n > 0], or [None] on EOF / timeout / error. *)
+
+val peek : Unix.file_descr -> int -> string
+(** Up to [n] bytes with [MSG_PEEK] (not consumed); [""] on EOF, a
+    would-block on a non-blocking socket, or any error. *)
+
 val close_quiet : Unix.file_descr -> unit

@@ -405,13 +405,11 @@ let read_http_head fd first4 =
     | None ->
       if Buffer.length buf > 8192 then None
       else (
-        match Unix.read fd chunk 0 1024 with
-        | 0 -> None
-        | n ->
+        match Io.read_chunk fd chunk 1024 with
+        | None -> None
+        | Some n ->
           Buffer.add_subbytes buf chunk 0 n;
-          loop ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-        | exception Unix.Unix_error (_, _, _) -> None)
+          loop ())
   in
   loop ()
 
@@ -599,13 +597,7 @@ let worker_loop t =
 let refuse_and_close fd ~retry_after_ms ~shutting_down =
   (try
      Unix.set_nonblock fd;
-     let buf = Bytes.create 4 in
-     let sniff =
-       match Unix.recv fd buf 0 4 [ Unix.MSG_PEEK ] with
-       | n when n > 0 -> Bytes.sub_string buf 0 n
-       | _ -> ""
-       | exception Unix.Unix_error (_, _, _) -> ""
-     in
+     let sniff = Io.peek fd 4 in
      let code =
        if shutting_down then Protocol.Shutting_down else Protocol.Overloaded
      in
@@ -630,7 +622,7 @@ let refuse_and_close fd ~retry_after_ms ~shutting_down =
                 retry_after_ms = Some retry_after_ms;
               })
      in
-     ignore (Unix.write_substring fd payload 0 (String.length payload))
+     ignore (Io.write_all fd payload)
    with Unix.Unix_error (_, _, _) -> ());
   Io.close_quiet fd
 

@@ -28,6 +28,7 @@ type mode =
 type t = { mode : mode; counts : int array }
 
 let none = { mode = Off; counts = Array.make num_sites 0 }
+  [@@qca.domain_safe "counts is never written while mode = Off"]
 
 let inject plan =
   {

@@ -30,6 +30,8 @@ let () =
       ("schedule+heap", Test_schedule_heap.suite);
       ("governance", Test_governance.suite);
       ("par", Test_par.suite);
+      ("lockcheck", Test_lockcheck.suite);
+      ("analysis", Test_analysis.suite);
       ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
     ]
