@@ -424,6 +424,41 @@ let par_rows () =
         } );
     ] )
 
+(* {1 Flight-recorder overhead}
+
+   A/B of the ablation PHP(6,5) solve with the ring recorder disabled
+   and enabled, interleaved rep by rep so machine drift charges both
+   sides equally (best-of-reps reported). ISSUE acceptance: recorder-on
+   stays within a few percent of recorder-off — the recorder is meant
+   to be left on in production. *)
+
+module Ring = Qca_obs.Ring
+
+let ring_rows () =
+  let solve () = ignore (php_instance Sat.default_options) in
+  let time f =
+    let t0 = Clock.now () in
+    f ();
+    Clock.ms_between t0 (Clock.now ())
+  in
+  let reps = if fast then 5 else 20 in
+  let best_off = ref infinity and best_on = ref infinity in
+  let was_on = Ring.enabled () in
+  for _ = 1 to reps do
+    Ring.set_enabled false;
+    best_off := Float.min !best_off (time solve);
+    Ring.set_enabled true;
+    best_on := Float.min !best_on (time solve)
+  done;
+  let recorded = Ring.total_recorded () in
+  Ring.set_enabled was_on;
+  Ring.reset ();
+  ( !best_off, !best_on, recorded,
+    [
+      ("qca/ring/ablation-sat-off", plain_row (!best_off *. 1e6));
+      ("qca/ring/ablation-sat-on", plain_row (!best_on *. 1e6));
+    ] )
+
 let run_benchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
@@ -486,6 +521,14 @@ let run_benchmarks () =
     (if par_ms > 0.0 then seq_ms /. par_ms else Float.nan);
   Format.fprintf fmt "portfolio PHP(6,5): winner seat %d of %d raced@." winner
     jobs;
+  let ring_off, ring_on, ring_events, ring = ring_rows () in
+  Format.fprintf fmt "== Flight recorder overhead (PHP 6,5) ==@.";
+  Format.fprintf fmt
+    "solve %.2f ms recorder off, %.2f ms recorder on (%+.1f%%), %d events \
+     recorded@."
+    ring_off ring_on
+    (if ring_off > 0.0 then 100.0 *. (ring_on -. ring_off) /. ring_off else 0.0)
+    ring_events;
   Format.pp_print_flush fmt ();
   match json_file with
   | None -> ()
@@ -507,7 +550,7 @@ let run_benchmarks () =
             omt_rounds = Some r;
           } )
     in
-    let all = List.map micro rows @ governed @ proof @ par in
+    let all = List.map micro rows @ governed @ proof @ par @ ring in
     let int_opt = function None -> "null" | Some n -> string_of_int n in
     let oc = open_out file in
     output_string oc "{\n";

@@ -25,7 +25,8 @@ let port_arg =
 
 let daemon host port workers jobs queue_capacity shed_fraction direct_fraction
     cache_capacity default_timeout_ms max_timeout_ms max_request_bytes retries
-    certify revalidate_period no_simplify fault_spec =
+    certify revalidate_period no_simplify fault_spec dump_dir slow_ms
+    watchdog_ms =
   match
     match fault_spec with
     | None -> Ok Fault.none
@@ -55,6 +56,15 @@ let daemon host port workers jobs queue_capacity shed_fraction direct_fraction
         fault;
         options =
           { Solver.default_options with use_simplify = not no_simplify };
+        dump_dir =
+          (match dump_dir with
+          | Some _ -> dump_dir
+          | None -> Server.default_config.Server.dump_dir);
+        slow_ms =
+          (match slow_ms with
+          | Some _ -> slow_ms
+          | None -> Server.default_config.Server.slow_ms);
+        watchdog_period_ms = watchdog_ms;
       }
     in
     (try
@@ -146,12 +156,37 @@ let daemon_cmd =
     in
     Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
   in
+  let dump_dir =
+    let doc =
+      "Arm anomaly auto-capture: degraded, deadline-breached, faulted or \
+       slow requests dump a forensic JSON (ring slice, span tree, metrics \
+       delta) into $(docv); also the SIGUSR1 live-dump target. Defaults to \
+       $(b,QCA_DUMP_DIR) when set."
+    in
+    Arg.(value & opt (some string) None & info [ "dump-dir" ] ~docv:"DIR" ~doc)
+  in
+  let slow_ms =
+    let doc =
+      "Latency threshold (ms) beyond which a served request counts as \
+       anomalous and is dumped. Defaults to $(b,QCA_SLOW_MS) when set."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let watchdog_ms =
+    let doc =
+      "Stuck-solver watchdog sampling period in ms (0 disables): flags \
+       requests in flight while solver conflicts and propagations stay \
+       flat, and dumps them when --dump-dir is armed."
+    in
+    Arg.(value & opt float 0.0 & info [ "watchdog-ms" ] ~docv:"MS" ~doc)
+  in
   let doc = "run the adaptation service" in
   Cmd.v (Cmd.info "daemon" ~doc)
     Term.(
       const daemon $ host_arg $ port_arg $ workers $ jobs $ queue $ shed_at
       $ direct_at $ cache $ default_timeout $ max_timeout $ max_bytes $ retries
-      $ certify $ revalidate $ no_simplify $ fault)
+      $ certify $ revalidate $ no_simplify $ fault $ dump_dir $ slow_ms
+      $ watchdog_ms)
 
 (* {1 client subcommands} *)
 
@@ -162,7 +197,7 @@ let read_input = function
     with Sys_error msg -> Error msg)
 
 let adapt host port method_name hw_name format_name input show_circuit
-    timeout_ms max_conflicts no_cache =
+    timeout_ms max_conflicts no_cache traceparent =
   let ( let* ) = Result.bind in
   let result =
     let* method_ = Protocol.method_of_string method_name in
@@ -183,6 +218,7 @@ let adapt host port method_name hw_name format_name input show_circuit
           timeout_ms;
           max_conflicts;
           use_cache = not no_cache;
+          traceparent;
           circuit_text;
         }
     in
@@ -219,6 +255,9 @@ let adapt host port method_name hw_name format_name input show_circuit
       p.Protocol.cache_key;
     Format.printf "spent    : %d conflicts, %d propagations, %.1f ms@."
       p.Protocol.conflicts p.Protocol.propagations p.Protocol.elapsed_ms;
+    Format.printf "queued   : %.1f ms@." p.Protocol.queue_ms;
+    if p.Protocol.trace_id <> "" then
+      Format.printf "trace    : %s@." p.Protocol.trace_id;
     (match p.Protocol.makespan with
     | Some m -> Format.printf "makespan : %d@." m
     | None -> ());
@@ -267,11 +306,22 @@ let adapt_cmd =
     let doc = "Bypass the server-side result cache." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
+  let traceparent =
+    let doc =
+      "W3C trace context to propagate (00-<32 hex>-<16 hex>-<2 hex>); the \
+       server adopts the trace id so its spans, ring events and any \
+       forensic dump correlate with the caller's trace."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "traceparent" ] ~docv:"CTX" ~doc)
+  in
   let doc = "send one adaptation request to a running daemon" in
   Cmd.v (Cmd.info "adapt" ~doc)
     Term.(
       const adapt $ host_arg $ port_arg $ method_ $ hw $ format $ input $ show
-      $ timeout $ conflicts $ no_cache)
+      $ timeout $ conflicts $ no_cache $ traceparent)
 
 let ping host port =
   match Client.call ~host ~port Protocol.Ping with

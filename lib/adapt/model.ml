@@ -7,6 +7,7 @@ module Dl = Qca_diff_logic.Dl
 module Fault = Qca_util.Fault
 module Obs = Qca_obs.Metrics
 module Trace = Qca_obs.Trace
+module Ring = Qca_obs.Ring
 module Portfolio = Qca_par.Portfolio
 
 (* OMT-driver telemetry: round count and the incumbent-objective
@@ -15,6 +16,8 @@ module Portfolio = Qca_par.Portfolio
 let m_omt_rounds = Obs.counter "omt.rounds"
 let m_omt_incumbent_updates = Obs.counter "omt.incumbent_updates"
 let m_omt_incumbent = Obs.gauge "omt.incumbent"
+let k_omt_round = Ring.kind "omt.round"
+let k_omt_incumbent = Ring.kind "omt.incumbent"
 
 type objective = Sat_f | Sat_r | Sat_p
 
@@ -370,6 +373,9 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
   let rec improve best =
     incr rounds;
     Obs.incr m_omt_rounds;
+    Ring.record k_omt_round !rounds
+      (match best with None -> -1 | Some (b, _, _) -> b)
+      !cuts;
     if !rounds > round_budget then begin
       (* anytime behaviour: keep the incumbent, flag non-proven *)
       proven := false;
@@ -407,6 +413,7 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
           Obs.incr m_omt_incumbent_updates;
           Obs.set m_omt_incumbent (float_of_int v);
           Trace.counter "omt.incumbent" (float_of_int v);
+          Ring.record k_omt_incumbent v !rounds d;
           Some (v, mask, d)
       in
       (match best' with

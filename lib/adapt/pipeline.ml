@@ -6,12 +6,14 @@ module Solver = Qca_sat.Solver
 module Fault = Qca_util.Fault
 module Obs = Qca_obs.Metrics
 module Trace = Qca_obs.Trace
+module Ring = Qca_obs.Ring
 
 (* Pipeline-level telemetry; each phase below is additionally wrapped
    in a Trace span (partition -> match -> encode -> solve -> apply),
    so a --trace-out file shows where an adaptation spent its time. *)
 let m_adaptations = Obs.counter "pipeline.adaptations"
 let m_degraded = Obs.counter "pipeline.degraded"
+let k_degrade = Ring.kind "pipeline.degrade"
 
 type method_ =
   | Direct
@@ -267,6 +269,23 @@ let adapt_governed ?options ?budget ?(jobs = 1) hw method_ circuit =
   let finish ?claimed_makespan ~tier ~reason ~info circuit =
     if tier <> Full || reason <> None then begin
       Obs.incr m_degraded;
+      let tier_ix =
+        match tier with
+        | Full -> 0
+        | Incumbent -> 1
+        | Greedy_fallback -> 2
+        | Direct_fallback -> 3
+      in
+      Ring.record k_degrade tier_ix
+        (match reason with
+        | None -> -1
+        | Some Solver.Out_of_conflicts -> 0
+        | Some Solver.Out_of_propagations -> 1
+        | Some Solver.Deadline -> 2
+        | Some Solver.Cancelled -> 3
+        | Some Solver.Out_of_rounds -> 4
+        | Some Solver.Theory_divergence -> 5)
+        budget.Solver.conflicts_spent;
       Trace.instant "degrade"
         ~args:
           [

@@ -27,7 +27,9 @@ let rule_catalogue =
     ( rule_io,
       "raw data-plane Unix syscalls in lib/serve must go through Io's \
        EINTR-retrying helpers" );
-    (rule_hot, "no Printf/Format in regions marked [@qca.hot]");
+    ( rule_hot,
+      "no Printf/Format or Trace spans in regions marked [@qca.hot]; \
+       Ring.record and Metrics updates are hot-safe" );
     ( rule_wvr,
       "waivers must carry a justification: [@@qca.domain_safe \"reason\"] \
        or [@@qca.waive \"QCA-XXX-NNN: reason\"]" );
@@ -119,6 +121,40 @@ let raw_syscalls =
   ]
 
 let print_prefixes = [ "Printf."; "Format." ]
+
+(* Span machinery allocates and serializes on the trace mutex — fine
+   around a solve, not inside its inner loops. *)
+let trace_calls =
+  [
+    "Trace.span";
+    "Trace.instant";
+    "Trace.counter";
+    "Qca_obs.Trace.span";
+    "Qca_obs.Trace.instant";
+    "Qca_obs.Trace.counter";
+  ]
+
+(* The observability calls designed for hot regions: one predictable
+   branch when off, lock-free when on. Named so the rule's intent is
+   auditable, and exempted explicitly should they ever pattern-match a
+   banned prefix. *)
+let hot_safe =
+  [
+    "Ring.record";
+    "Qca_obs.Ring.record";
+    "Obs.incr";
+    "Obs.add";
+    "Obs.set";
+    "Obs.observe";
+    "Metrics.incr";
+    "Metrics.add";
+    "Metrics.set";
+    "Metrics.observe";
+    "Qca_obs.Metrics.incr";
+    "Qca_obs.Metrics.add";
+    "Qca_obs.Metrics.set";
+    "Qca_obs.Metrics.observe";
+  ]
 
 let print_calls =
   [
@@ -379,6 +415,7 @@ let rec flatten_chain e =
 let rec iter_expr ctx e =
   let ctx = extend_ctx ctx e.pexp_attributes in
   (match apply_head e with
+  | Some h when List.mem h hot_safe -> ()
   | Some h ->
     if
       ctx.hot
@@ -392,6 +429,13 @@ let rec iter_expr ctx e =
         (Printf.sprintf
            "%s inside a [@qca.hot] region: formatting allocates and takes \
             the channel lock; hoist it out of the hot loop or record a \
+            metric instead"
+           h);
+    if ctx.hot && (not (waived ctx rule_hot)) && List.mem h trace_calls then
+      report ctx ~loc:e.pexp_loc rule_hot
+        (Printf.sprintf
+           "%s inside a [@qca.hot] region: spans allocate and serialize on \
+            the trace mutex; use the flight recorder (Ring.record) or a \
             metric instead"
            h);
     if

@@ -1,0 +1,170 @@
+(* A minimal JSON reader for the observability tooling: enough to load
+   the forensic dumps and Chrome traces this library itself writes.
+   Recursive descent over a string, no dependencies; errors are a
+   Result, never an exception. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let bad msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos >= n then bad "unexpected end" else s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then bad (Printf.sprintf "expected %C" c);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        let e = peek () in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 > n then bad "truncated \\u escape";
+          (match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+          | None -> bad "malformed \\u escape"
+          | Some code ->
+            pos := !pos + 4;
+            (* non-Latin-1 code points degrade to '?': the reader only
+               needs ASCII field names and numbers *)
+            Buffer.add_char buf
+              (if code land 0xff = code then Char.chr code else '?'))
+        | _ -> bad "unknown escape");
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let literal word v =
+    if
+      !pos + String.length word <= n
+      && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else bad "unknown literal"
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> bad "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else
+        let rec members acc =
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> bad "expected ',' or '}'"
+        in
+        members []
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> bad "expected ',' or ']'"
+        in
+        elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+(* {1 Accessors} *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let str = function Str s -> Some s | _ -> None
+let num = function Num f -> Some f | _ -> None
+let arr = function Arr l -> Some l | _ -> None
+
+let str_member k v = Option.bind (member k v) str
+let num_member k v = Option.bind (member k v) num
+let arr_member k v = Option.bind (member k v) arr

@@ -1,0 +1,25 @@
+(** Minimal JSON reader for the observability tooling — loads the
+    forensic dumps and Chrome traces this library writes. Not a
+    general-purpose JSON library: numbers are floats, [\u] escapes
+    outside Latin-1 degrade to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-string parse; trailing garbage is an error. Never raises. *)
+
+(** {1 Accessors} ([None] on missing member or wrong shape) *)
+
+val member : string -> t -> t option
+val str : t -> string option
+val num : t -> float option
+val arr : t -> t list option
+val str_member : string -> t -> string option
+val num_member : string -> t -> float option
+val arr_member : string -> t -> t list option

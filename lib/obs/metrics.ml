@@ -152,26 +152,39 @@ type hist_summary = {
   h_sum : float;
   h_max : float;
   h_p50 : float;
+  h_p90 : float;
   h_p95 : float;
+  h_p99 : float;
 }
 
+(* Quantiles interpolate linearly within the bucket holding the target
+   rank: at the bucket's last sample the estimate is its upper bound
+   (matching the old "p50 <= hi" semantics), earlier ranks pull the
+   estimate toward the lower bound. Estimates never exceed the
+   recorded maximum, which is also what the overflow bucket reports. *)
 let quantile (m : metric) count q =
   if count = 0 then 0.0
   else begin
     let target = int_of_float (ceil (q *. float_of_int count)) in
     let target = max 1 target in
-    let acc = ref 0 and b = ref 0 in
+    let before = ref 0 and in_bucket = ref 0 and b = ref 0 in
     (try
        for i = 0 to num_buckets - 1 do
-         acc := !acc + Atomic.get m.buckets.(i);
-         if !acc >= target then begin
+         let n = Atomic.get m.buckets.(i) in
+         if !before + n >= target then begin
            b := i;
+           in_bucket := n;
            raise Exit
-         end
+         end;
+         before := !before + n
        done
      with Exit -> ());
-    let _, hi = bucket_bounds !b in
-    if hi = infinity then Atomic.get m.h_max else hi
+    let lo, hi = bucket_bounds !b in
+    let max_v = Atomic.get m.h_max in
+    if hi = infinity || !in_bucket = 0 then max_v
+    else
+      let frac = float_of_int (target - !before) /. float_of_int !in_bucket in
+      Float.min (lo +. (frac *. (hi -. lo))) max_v
   end
 
 let summarize_m (m : metric) =
@@ -181,7 +194,9 @@ let summarize_m (m : metric) =
     h_sum = Atomic.get m.h_sum;
     h_max = Atomic.get m.h_max;
     h_p50 = quantile m count 0.5;
+    h_p90 = quantile m count 0.9;
     h_p95 = quantile m count 0.95;
+    h_p99 = quantile m count 0.99;
   }
 
 let summarize id = summarize_m (get id)
@@ -208,8 +223,8 @@ let pp_summary fmt () =
       | Gauge_v (n, v) -> Format.fprintf fmt "%-32s %12.2f@," n v
       | Histogram_v (n, h) ->
         Format.fprintf fmt
-          "%-32s n=%d sum=%.0f p50<=%.0f p95<=%.0f max=%.0f@," n h.h_count
-          h.h_sum h.h_p50 h.h_p95 h.h_max)
+          "%-32s n=%d sum=%.0f p50=%.1f p90=%.1f p99=%.1f max=%.0f@," n
+          h.h_count h.h_sum h.h_p50 h.h_p90 h.h_p99 h.h_max)
     (export ());
   Format.fprintf fmt "@]"
 
@@ -251,10 +266,11 @@ let json_object () =
       | Histogram_v (n, h) ->
         Buffer.add_string buf
           (Printf.sprintf
-             "\"%s\": {\"count\": %d, \"sum\": %s, \"p50\": %s, \"p95\": %s, \
-              \"max\": %s}"
+             "\"%s\": {\"count\": %d, \"sum\": %s, \"p50\": %s, \"p90\": %s, \
+              \"p95\": %s, \"p99\": %s, \"max\": %s}"
              (json_escape n) h.h_count (json_float h.h_sum)
-             (json_float h.h_p50) (json_float h.h_p95) (json_float h.h_max)))
+             (json_float h.h_p50) (json_float h.h_p90) (json_float h.h_p95)
+             (json_float h.h_p99) (json_float h.h_max)))
     (export ());
   Buffer.add_char buf '}';
   Buffer.contents buf

@@ -83,8 +83,12 @@ type hist_summary = {
   h_count : int;
   h_sum : float;
   h_max : float;
-  h_p50 : float;  (** upper bound of the median bucket *)
+  h_p50 : float;
+      (** quantiles interpolate within the power-of-two bucket holding
+          the target rank and never exceed [h_max] *)
+  h_p90 : float;
   h_p95 : float;
+  h_p99 : float;
 }
 
 val summarize : id -> hist_summary
@@ -104,7 +108,7 @@ val pp_summary : Format.formatter -> unit -> unit
 val json_object : unit -> string
 (** The registry as one JSON object
     [{"name": value, ..., "hist": {"count":..,"sum":..,"p50":..,
-    "p95":..,"max":..}}] — embedded under ["otherData"] by
+    "p90":..,"p95":..,"p99":..,"max":..}}] — embedded under ["otherData"] by
     {!Trace.to_chrome_json} and usable standalone. *)
 
 val reset : unit -> unit

@@ -1,0 +1,72 @@
+(* Prometheus text exposition (version 0.0.4) of the Metrics registry.
+
+   Metric names are sanitized ([a-zA-Z0-9_:] survive, everything else
+   becomes '_') and prefixed "qca_". Histograms render as the
+   conventional cumulative [_bucket{le="..."}] series over the
+   registry's power-of-two bounds plus [_sum]/[_count], and the
+   interpolated p50/p90/p99 estimates as a companion
+   [<name>_q{quantile="..."}] gauge family (a histogram and a summary
+   cannot share one name, and the server-side estimates are cheap to
+   expose). *)
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  "qca_" ^ Bytes.to_string b
+
+let num value =
+  if Float.is_integer value && Float.abs value < 1e15 then
+    Printf.sprintf "%.0f" value
+  else Printf.sprintf "%.9g" value
+
+let add_histogram buf name (h : Metrics.hist_summary) bucket_counts =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let cum = ref 0 in
+  Array.iteri
+    (fun i n ->
+      cum := !cum + n;
+      let _, hi = Metrics.bucket_bounds i in
+      if hi <> infinity then
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (num hi) !cum))
+    bucket_counts;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.h_count);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" name (num h.Metrics.h_sum));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" name h.Metrics.h_count);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s_q gauge\n" name);
+  List.iter
+    (fun (q, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s_q{quantile=\"%s\"} %s\n" name q (num v)))
+    [
+      ("0.5", h.Metrics.h_p50);
+      ("0.9", h.Metrics.h_p90);
+      ("0.99", h.Metrics.h_p99);
+    ]
+
+let exposition () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      match e with
+      | Metrics.Counter_v (n, v) ->
+        let n' = sanitize n in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n');
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" n' v)
+      | Metrics.Gauge_v (n, v) ->
+        let n' = sanitize n in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n');
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" n' (num v))
+      | Metrics.Histogram_v (n, h) ->
+        let counts = Metrics.bucket_counts (Metrics.histogram n) in
+        add_histogram buf (sanitize n) h counts)
+    (Metrics.export ());
+  Buffer.contents buf

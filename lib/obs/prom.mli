@@ -1,0 +1,14 @@
+(** Prometheus text exposition (format version 0.0.4) of the
+    {!Metrics} registry.
+
+    Names are sanitized to [qca_<name with non-identifier chars as _>].
+    Histograms expose cumulative [_bucket{le="..."}] series over the
+    registry's power-of-two bounds, [_sum], [_count], and a companion
+    [<name>_q{quantile="0.5"|"0.9"|"0.99"}] gauge family carrying the
+    interpolated quantile estimates. *)
+
+val sanitize : string -> string
+
+val exposition : unit -> string
+(** The whole registry, ready to serve on [GET /metrics] with
+    [Content-Type: text/plain; version=0.0.4]. *)

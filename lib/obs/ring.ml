@@ -1,0 +1,190 @@
+module Clock = Qca_util.Clock
+
+(* {1 Kinds: interned event names, same discipline as Metrics ids} *)
+
+let kind_names : string array ref = ref [||]
+  [@@qca.domain_safe "guarded by kind_m"]
+
+let n_kinds = ref 0
+  [@@qca.domain_safe "guarded by kind_m"]
+
+let kind_by_name : (string, int) Hashtbl.t = Hashtbl.create 32
+  [@@qca.domain_safe "guarded by kind_m"]
+
+let kind_m = Mutex.create ()
+
+let kind name =
+  Mutex.lock kind_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock kind_m)
+    (fun () ->
+      match Hashtbl.find_opt kind_by_name name with
+      | Some k -> k
+      | None ->
+        let k = !n_kinds in
+        if k >= Array.length !kind_names then begin
+          let cap = max 32 (2 * Array.length !kind_names) in
+          let fresh = Array.make cap "" in
+          Array.blit !kind_names 0 fresh 0 k;
+          kind_names := fresh
+        end;
+        !kind_names.(k) <- name;
+        incr n_kinds;
+        Hashtbl.add kind_by_name name k;
+        k)
+
+let kind_name k =
+  Mutex.lock kind_m;
+  let n =
+    if k >= 0 && k < !n_kinds then !kind_names.(k)
+    else Printf.sprintf "kind-%d" k
+  in
+  Mutex.unlock kind_m;
+  n
+
+(* {1 Per-domain buffers}
+
+   One flat int array per domain, [words] ints per slot:
+   ts_us · kind · trace word · a · b · c. A domain only ever writes
+   its own buffer, so recording takes no lock and allocates nothing
+   (beyond the boxed float inside the clock read). [next] counts
+   records ever made; the live window is the last [cap] of them. *)
+
+let words = 6
+
+type buf = { b_dom : int; b_data : int array; b_cap : int; mutable b_next : int }
+
+let live = Atomic.make false
+let enabled () = Atomic.get live
+
+let default_capacity = 4096
+let capacity = Atomic.make default_capacity
+
+let set_capacity c =
+  if c < 1 then invalid_arg "Ring.set_capacity";
+  Atomic.set capacity c
+
+let t0 = Atomic.make (Clock.now ())
+
+let set_enabled b =
+  if b && not (Atomic.get live) then Atomic.set t0 (Clock.now ());
+  Atomic.set live b
+
+(* All buffers ever created, for the merge at dump time. A buffer is
+   registered once, when its domain first records. *)
+let bufs : buf list ref = ref []
+  [@@qca.domain_safe "guarded by bufs_m"]
+
+let bufs_m = Mutex.create ()
+
+let buf_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let cap = Atomic.get capacity in
+      let b =
+        {
+          b_dom = (Domain.self () :> int);
+          b_data = Array.make (cap * words) 0;
+          b_cap = cap;
+          b_next = 0;
+        }
+      in
+      Mutex.lock bufs_m;
+      bufs := b :: !bufs;
+      Mutex.unlock bufs_m;
+      b)
+
+let now_us () =
+  int_of_float (Clock.ms_between (Atomic.get t0) (Clock.now ()) *. 1000.0)
+
+let record_slow k a b c =
+  let buf = Domain.DLS.get buf_key in
+  let slot = buf.b_next mod buf.b_cap in
+  let base = slot * words in
+  let data = buf.b_data in
+  data.(base) <- now_us ();
+  data.(base + 1) <- k;
+  data.(base + 2) <- Tracectx.current_word ();
+  data.(base + 3) <- a;
+  data.(base + 4) <- b;
+  data.(base + 5) <- c;
+  buf.b_next <- buf.b_next + 1
+  [@@qca.hot]
+
+let[@inline] record k a b c = if Atomic.get live then record_slow k a b c
+
+(* {1 Reading}
+
+   Reads are forensic: dumping another domain's buffer mid-write can
+   see a slot that is being overwritten (the merge sorts it out of
+   order at worst). A domain reading its own buffer — the per-request
+   dump path — sees exactly what it wrote. *)
+
+type event = {
+  e_ts_us : int;
+  e_kind : string;
+  e_trace : int;
+  e_a : int;
+  e_b : int;
+  e_c : int;
+  e_dom : int;
+}
+
+let snapshot_bufs () =
+  Mutex.lock bufs_m;
+  let bs = !bufs in
+  Mutex.unlock bufs_m;
+  bs
+
+let buf_events b =
+  let next = b.b_next in
+  let n = min next b.b_cap in
+  let first = next - n in
+  List.init n (fun i ->
+      let seq = first + i in
+      let base = seq mod b.b_cap * words in
+      let d = b.b_data in
+      ( (d.(base), b.b_dom, seq),
+        {
+          e_ts_us = d.(base);
+          e_kind = kind_name d.(base + 1);
+          e_trace = d.(base + 2);
+          e_a = d.(base + 3);
+          e_b = d.(base + 4);
+          e_c = d.(base + 5);
+          e_dom = b.b_dom;
+        } ))
+
+let events ?(min_ts_us = 0) ?trace () =
+  snapshot_bufs ()
+  |> List.concat_map buf_events
+  |> List.filter (fun (_, e) ->
+         e.e_ts_us >= min_ts_us
+         && match trace with None -> true | Some w -> e.e_trace = w)
+  |> List.sort compare
+  |> List.map snd
+
+let total_recorded () =
+  List.fold_left (fun acc b -> acc + b.b_next) 0 (snapshot_bufs ())
+
+let domains () = List.length (snapshot_bufs ())
+
+let reset () =
+  Mutex.lock bufs_m;
+  List.iter
+    (fun b ->
+      b.b_next <- 0;
+      Array.fill b.b_data 0 (Array.length b.b_data) 0)
+    !bufs;
+  Mutex.unlock bufs_m;
+  Atomic.set t0 (Clock.now ())
+
+(* {1 Export} *)
+
+let event_json e =
+  Printf.sprintf
+    "{\"ts_us\": %d, \"kind\": \"%s\", \"trace\": %d, \"a\": %d, \"b\": %d, \
+     \"c\": %d, \"dom\": %d}"
+    e.e_ts_us (Metrics.json_escape e.e_kind) e.e_trace e.e_a e.e_b e.e_c e.e_dom
+
+let events_json es =
+  "[" ^ String.concat ", " (List.map event_json es) ^ "]"

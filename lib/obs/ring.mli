@@ -1,0 +1,89 @@
+(** Per-domain flight recorder: the always-cheap event log that is
+    still there when something goes wrong.
+
+    Each domain records into its own fixed-capacity ring of structured
+    events — a monotone µs timestamp, an interned {!kind}, the current
+    {!Tracectx} correlation word, and three caller int payload words —
+    overwriting the oldest once full. Recording takes no lock,
+    allocates nothing on the OCaml heap (the clock stub's boxed float
+    aside), and while the recorder is disabled every {!record} site
+    costs exactly one predictable branch, like {!Metrics} and
+    {!Trace}.
+
+    Unlike {!Trace} spans (mutex-guarded, unbounded, meant for runs
+    you chose to trace), the ring is meant to be left on in
+    production: bounded memory, no contention, and dumped only when a
+    request misbehaves — {!events} merges every domain's ring
+    chronologically at read time.
+
+    Reading another domain's ring while it records is deliberately
+    unsynchronized: a forensic dump may catch at most the slot being
+    overwritten mid-write. A domain reading its own ring (the
+    per-request dump path) sees exactly what it wrote. *)
+
+val kind : string -> int
+(** Interns an event kind name (idempotent). Do this once at module
+    initialization, never on the hot path. *)
+
+val kind_name : int -> string
+
+(** {1 Enabling} *)
+
+val live : bool Atomic.t
+(** Hot-path guard; flip through {!set_enabled}. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val default_capacity : int
+(** 4096 events per domain (~196 KiB per domain at 6 words/event). *)
+
+val set_capacity : int -> unit
+(** Capacity (in events) for rings created {e after} this call; a
+    domain's ring is sized when that domain first records. Raises
+    [Invalid_argument] on a non-positive capacity. *)
+
+(** {1 Recording} *)
+
+val record : int -> int -> int -> int -> unit
+(** [record kind a b c] appends an event to this domain's ring:
+    timestamp and trace word are captured implicitly. Hot-safe. *)
+
+val now_us : unit -> int
+(** The recorder's current timestamp (µs since enable) — pair with
+    {!events}' [min_ts_us] to slice a window. *)
+
+(** {1 Reading} *)
+
+type event = {
+  e_ts_us : int;  (** µs since the recorder was enabled *)
+  e_kind : string;
+  e_trace : int;  (** {!Tracectx.word} at record time; 0 = none *)
+  e_a : int;
+  e_b : int;
+  e_c : int;
+  e_dom : int;  (** recording domain's id *)
+}
+
+val events : ?min_ts_us:int -> ?trace:int -> unit -> event list
+(** Every retained event across all domains, merged in timestamp
+    order (ties broken by domain then record order). [min_ts_us]
+    keeps only events at or after that timestamp; [trace] keeps only
+    events carrying that correlation word. *)
+
+val total_recorded : unit -> int
+(** Events ever recorded (including overwritten ones), summed over
+    domains. *)
+
+val domains : unit -> int
+(** Number of domains that have recorded so far. *)
+
+val reset : unit -> unit
+(** Empties every ring and re-zeroes the clock. Management operation:
+    call while no domain is recording. *)
+
+(** {1 Export} *)
+
+val event_json : event -> string
+val events_json : event list -> string
+(** JSON array of events, the [ring] field of a forensic dump. *)

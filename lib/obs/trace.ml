@@ -6,6 +6,7 @@ type span_record = {
   s_dur_us : int;
   s_depth : int;
   s_tid : int;
+  s_trace : int;  (* Tracectx.current_word at close time; 0 = none *)
   s_args : (string * string) list;
 }
 
@@ -96,6 +97,7 @@ let end_span ?(args = []) name =
                s_dur_us = max 0 (now_us () - ts);
                s_depth = List.length rest;
                s_tid = tid ();
+               s_trace = Tracectx.current_word ();
                s_args = bargs @ args;
              } ))
   end
@@ -190,11 +192,15 @@ let event_tid = function
 let event_json buf e =
   match e with
   | Span (_, s) ->
+    let args =
+      if s.s_trace = 0 then s.s_args
+      else ("trace", string_of_int s.s_trace) :: s.s_args
+    in
     Buffer.add_string buf
       (Printf.sprintf
          "{\"name\": \"%s\", \"cat\": \"qca\", \"ph\": \"X\", \"ts\": %d, \
           \"dur\": %d, \"pid\": 1, \"tid\": %d, \"args\": %s}"
-         (escape s.s_name) s.s_ts_us s.s_dur_us s.s_tid (args_json s.s_args))
+         (escape s.s_name) s.s_ts_us s.s_dur_us s.s_tid (args_json args))
   | Instant i ->
     Buffer.add_string buf
       (Printf.sprintf

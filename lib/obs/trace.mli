@@ -61,6 +61,10 @@ type span_record = {
   s_dur_us : int;
   s_depth : int;  (** nesting depth at begin time, within [s_tid] *)
   s_tid : int;  (** recording domain's id (0 = main) *)
+  s_trace : int;
+      (** {!Tracectx.current_word} at close time (0 = no request
+          context) — lets a forensic dump slice one request's span
+          tree out of a shared trace *)
   s_args : (string * string) list;
 }
 

@@ -1,0 +1,134 @@
+module Clock = Qca_util.Clock
+module Rng = Qca_util.Rng
+
+type t = { trace_id : string; parent_id : string; sampled : bool }
+
+(* {1 Hex helpers} *)
+
+let is_lower_hex s =
+  let ok = ref (String.length s > 0) in
+  String.iter
+    (fun c ->
+      match c with '0' .. '9' | 'a' .. 'f' -> () | _ -> ok := false)
+    s;
+  !ok
+
+let all_zero s =
+  let z = ref true in
+  String.iter (fun c -> if c <> '0' then z := false) s;
+  !z
+
+let hex_of_int64 ~digits v =
+  let b = Bytes.create digits in
+  for i = 0 to digits - 1 do
+    let nibble =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v (4 * (digits - 1 - i))) 0xFL)
+    in
+    Bytes.set b i "0123456789abcdef".[nibble]
+  done;
+  Bytes.to_string b
+
+(* {1 Parsing (W3C trace-context `traceparent`)} *)
+
+let parse_traceparent s =
+  (* version(2) - trace-id(32) - parent-id(16) - flags(2); we accept
+     only version 00 (the only published version) with the exact
+     layout, and reject the all-zero ids the spec declares invalid. *)
+  if String.length s <> 55 then Error "traceparent: wrong length"
+  else if s.[2] <> '-' || s.[35] <> '-' || s.[52] <> '-' then
+    Error "traceparent: wrong field layout"
+  else begin
+    let version = String.sub s 0 2 in
+    let trace_id = String.sub s 3 32 in
+    let parent_id = String.sub s 36 16 in
+    let flags = String.sub s 53 2 in
+    if not (is_lower_hex version) then Error "traceparent: non-hex version"
+    else if version = "ff" then Error "traceparent: forbidden version ff"
+    else if version <> "00" then Error "traceparent: unsupported version"
+    else if not (is_lower_hex trace_id) then
+      Error "traceparent: non-hex trace-id"
+    else if all_zero trace_id then Error "traceparent: all-zero trace-id"
+    else if not (is_lower_hex parent_id) then
+      Error "traceparent: non-hex parent-id"
+    else if all_zero parent_id then Error "traceparent: all-zero parent-id"
+    else if not (is_lower_hex flags) then Error "traceparent: non-hex flags"
+    else
+      let sampled =
+        match int_of_string_opt ("0x" ^ flags) with
+        | Some f -> f land 1 = 1
+        | None -> false
+      in
+      Ok { trace_id; parent_id; sampled }
+  end
+
+let to_traceparent c =
+  Printf.sprintf "00-%s-%s-%s" c.trace_id c.parent_id
+    (if c.sampled then "01" else "00")
+
+(* {1 Generation}
+
+   Ids only need to be unique within the deployment, not
+   cryptographically strong: splitmix64 over a seed mixing wall time,
+   the generating domain and a process-wide counter is plenty, and it
+   keeps the obs layer free of extra dependencies. *)
+
+let gen_counter = Atomic.make 0
+
+let fresh_rng () =
+  let t = Clock.now () in
+  let seed =
+    Int64.to_int (Int64.bits_of_float t)
+    lxor ((Domain.self () :> int) * 0x9E3779B1)
+    lxor (Atomic.fetch_and_add gen_counter 1 * 0x85EBCA77)
+  in
+  Rng.create seed
+
+let nonzero_hex rng ~digits =
+  let rec go () =
+    let h =
+      if digits = 32 then hex_of_int64 ~digits:16 (Rng.int64 rng) ^ hex_of_int64 ~digits:16 (Rng.int64 rng)
+      else hex_of_int64 ~digits (Rng.int64 rng)
+    in
+    if all_zero h then go () else h
+  in
+  go ()
+
+let generate () =
+  let rng = fresh_rng () in
+  {
+    trace_id = nonzero_hex rng ~digits:32;
+    parent_id = nonzero_hex rng ~digits:16;
+    sampled = true;
+  }
+
+let child c =
+  let rng = fresh_rng () in
+  { c with parent_id = nonzero_hex rng ~digits:16 }
+
+(* {1 Correlation word}
+
+   Ring events carry one int of trace identity: the low 60 bits of the
+   trace id's tail, always positive, 0 reserved for "no context". *)
+
+let word c =
+  let tail = String.sub c.trace_id (String.length c.trace_id - 15) 15 in
+  match int_of_string_opt ("0x" ^ tail) with
+  | Some 0 | None -> 1
+  | Some w -> w
+
+(* {1 The per-domain current context} *)
+
+let current_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Domain.DLS.get current_key)
+let set c = Domain.DLS.get current_key := c
+
+let current_word () =
+  match current () with None -> 0 | Some c -> word c
+
+let with_ctx c f =
+  let cell = Domain.DLS.get current_key in
+  let saved = !cell in
+  cell := Some c;
+  Fun.protect ~finally:(fun () -> cell := saved) f

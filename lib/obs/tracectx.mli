@@ -1,0 +1,53 @@
+(** Request-scoped trace contexts (W3C trace-context).
+
+    A context is a 128-bit trace id plus a 64-bit parent span id,
+    carried across the wire in the [traceparent] header
+    ([00-<32 hex>-<16 hex>-<2 hex flags>]) and within the process in
+    domain-local storage, so everything a request touches — spans,
+    {!Ring} events, response headers — correlates on one id.
+
+    The context travels by DLS, not by argument threading: a request
+    handler wraps its work in {!with_ctx} and every instrumentation
+    site below it (pipeline, OMT, CDCL) picks the id up implicitly via
+    {!current_word}. Spans never migrate across domains mid-request in
+    this codebase (a worker owns its request end to end), which is the
+    invariant that makes DLS carry sound. *)
+
+type t = {
+  trace_id : string;  (** 32 lowercase hex chars, not all zero *)
+  parent_id : string;  (** 16 lowercase hex chars, not all zero *)
+  sampled : bool;
+}
+
+val parse_traceparent : string -> (t, string) result
+(** Strict parse of a W3C [traceparent] value: version [00] only,
+    exact field widths, lowercase hex, all-zero ids rejected. Never
+    raises. *)
+
+val to_traceparent : t -> string
+
+val generate : unit -> t
+(** A fresh context with random non-zero ids (splitmix64 seeded from
+    wall time, domain id and a process counter — unique in practice,
+    not cryptographic). *)
+
+val child : t -> t
+(** Same trace id, fresh parent id — for propagating a caller's trace
+    into work we start on its behalf. *)
+
+val word : t -> int
+(** A positive int fingerprint of the trace id (its low hex tail) —
+    the single payload word {!Ring} events carry for correlation.
+    Never 0; 0 means "no context". *)
+
+(** {1 The per-domain current context} *)
+
+val current : unit -> t option
+val set : t option -> unit
+
+val current_word : unit -> int
+(** [word] of the current context, or 0 when none is set. *)
+
+val with_ctx : t -> (unit -> 'a) -> 'a
+(** Runs [f] with the context installed in this domain's slot, restoring
+    the previous value even on raise. *)

@@ -29,6 +29,14 @@ let m_simp_vivified = Obs.counter "sat.simplify.vivified"
 let m_simp_failed_lits = Obs.counter "sat.simplify.failed_literals"
 
 module Trace = Qca_obs.Trace
+module Ring = Qca_obs.Ring
+
+(* Flight-recorder kinds (interned once; [Ring.record] is hot-safe).
+   Payload words are documented in DESIGN.md section 7.9. *)
+let k_conflicts = Ring.kind "sat.conflicts"
+let k_restart = Ring.kind "sat.restart"
+let k_stop = Ring.kind "sat.stop"
+let k_simplify = Ring.kind "sat.simplify"
 
 (* Conflicts between telemetry syncs of the cheap gauges. *)
 let telemetry_period = 256
@@ -1575,6 +1583,7 @@ let vivify_stage t vec ~learnt ~cap =
   done
 
 let simp_flush_metrics t ~s0 =
+  Ring.record k_simplify t.n_conflicts t.n_subsumed t.n_eliminated;
   if Atomic.get Obs.live then begin
     let sub0, str0, eli0, viv0, fl0 = s0 in
     Obs.incr m_simp_runs;
@@ -1810,6 +1819,16 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
     in
     match stop with
     | Some reason ->
+      let reason_ix =
+        match reason with
+        | Out_of_conflicts -> 0
+        | Out_of_propagations -> 1
+        | Deadline -> 2
+        | Cancelled -> 3
+        | Out_of_rounds -> 4
+        | Theory_divergence -> 5
+      in
+      Ring.record k_stop reason_ix t.n_conflicts t.n_propagations;
       (* leave the solver reusable: no partial assignment survives *)
       backtrack_to t 0;
       raise (Answered (Unknown reason))
@@ -1881,6 +1900,10 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
         if conflict >= 0 then begin
           t.n_conflicts <- t.n_conflicts + 1;
           decr conflicts_until_restart;
+          if Atomic.get Ring.live && t.n_conflicts mod telemetry_period = 0
+          then
+            Ring.record k_conflicts t.n_conflicts t.trail_size
+              (Vec.length t.learnts);
           if Atomic.get Obs.live then begin
             Obs.incr m_conflicts;
             Obs.observe m_trail_depth (float_of_int t.trail_size);
@@ -1912,6 +1935,8 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
         else if t.opts.use_restarts && !conflicts_until_restart <= 0 then begin
           t.n_restarts <- t.n_restarts + 1;
           Obs.incr m_restarts;
+          Ring.record k_restart t.n_restarts t.n_conflicts
+            (Vec.length t.learnts);
           conflicts_until_restart := t.opts.restart_base * next_luby ();
           backtrack_to t 0;
           if t.opts.use_simplify && Vec.length t.clauses >= simp_min_clauses

@@ -13,6 +13,7 @@ type adapt_request = {
   timeout_ms : float option;
   max_conflicts : int option;
   use_cache : bool;
+  traceparent : string option;
   circuit_text : string;
 }
 
@@ -39,6 +40,8 @@ type result_payload = {
   conflicts : int;
   propagations : int;
   elapsed_ms : float;
+  queue_ms : float;
+  trace_id : string;
   makespan : int option;
   certified : bool option;
   adapted_text : string;
@@ -241,6 +244,9 @@ let encode_request = function
       @ (match r.max_conflicts with
         | Some n -> [ ("max-conflicts", string_of_int n) ]
         | None -> [])
+      @ (match r.traceparent with
+        | Some tp -> [ ("traceparent", tp) ]
+        | None -> [])
       @ if r.use_cache then [] else [ ("cache", "off") ]
     in
     frame 'A' (payload hs r.circuit_text)
@@ -295,6 +301,7 @@ let decode_adapt s =
           timeout_ms;
           max_conflicts;
           use_cache;
+          traceparent = lookup hs "traceparent";
           circuit_text = body;
         }
     in
@@ -331,7 +338,11 @@ let encode_response = function
         ("conflicts", string_of_int r.conflicts);
         ("propagations", string_of_int r.propagations);
         ("elapsed-ms", Printf.sprintf "%.3f" r.elapsed_ms);
+        ("queue-ms", Printf.sprintf "%.3f" r.queue_ms);
       ]
+      @ (match r.trace_id with
+        | "" -> []
+        | id -> [ ("trace-id", id) ])
       @ (match r.reason with Some s -> [ ("reason", s) ] | None -> [])
       @ (match r.makespan with
         | Some m -> [ ("makespan", string_of_int m) ]
@@ -360,6 +371,12 @@ let decode_result s =
       let* conflicts = req "conflicts" int_of_string_opt in
       let* propagations = req "propagations" int_of_string_opt in
       let* elapsed_ms = req "elapsed-ms" float_of_string_opt in
+      (* optional: responses from older servers simply lack them *)
+      let queue_ms =
+        Option.value ~default:0.0
+          (Option.bind (lookup hs "queue-ms") float_of_string_opt)
+      in
+      let trace_id = Option.value ~default:"" (lookup hs "trace-id") in
       let cache_key = Option.value ~default:"" (lookup hs "cache-key") in
       let reason = lookup hs "reason" in
       let makespan = Option.bind (lookup hs "makespan") int_of_string_opt in
@@ -379,6 +396,8 @@ let decode_result s =
           conflicts;
           propagations;
           elapsed_ms;
+          queue_ms;
+          trace_id;
           makespan;
           certified;
           adapted_text = body;

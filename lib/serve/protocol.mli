@@ -31,6 +31,9 @@ type adapt_request = {
   timeout_ms : float option;  (** request deadline; server clamps *)
   max_conflicts : int option;
   use_cache : bool;  (** [false] opts out of the result cache *)
+  traceparent : string option;
+      (** W3C trace context to adopt; invalid values are ignored and a
+          fresh trace id is generated *)
   circuit_text : string;
 }
 
@@ -59,6 +62,8 @@ type result_payload = {
   conflicts : int;
   propagations : int;
   elapsed_ms : float;
+  queue_ms : float;  (** time spent queued before a worker picked it up *)
+  trace_id : string;  (** the request's trace id ("" from old servers) *)
   makespan : int option;  (** the solver's claimed duration, if any *)
   certified : bool option;  (** [None] = not checked on this response *)
   adapted_text : string;  (** adapted circuit, textual format *)

@@ -8,6 +8,9 @@ module Clock = Qca_util.Clock
 module Chan = Qca_par.Chan
 module Obs = Qca_obs.Metrics
 module Trace = Qca_obs.Trace
+module Ring = Qca_obs.Ring
+module Tracectx = Qca_obs.Tracectx
+module Prom = Qca_obs.Prom
 open Qca_adapt
 
 (* {1 Telemetry} *)
@@ -28,6 +31,9 @@ let m_revalidation_failures = Obs.counter "serve.cache.revalidation_failures"
 let m_http = Obs.counter "serve.http_requests"
 let m_queue_depth = Obs.gauge "serve.queue_depth"
 let m_request_ms = Obs.histogram "serve.request_ms"
+let m_queue_wait = Obs.histogram "serve.queue_wait_ms"
+let m_inflight = Obs.gauge "serve.inflight"
+let k_request = Ring.kind "serve.request"
 
 type config = {
   host : string;
@@ -49,6 +55,11 @@ type config = {
   metrics : bool;
   fault : Fault.t;
   options : Solver.options;
+  dump_dir : string option;
+  dump_max_files : int;
+  dump_min_interval_ms : float;
+  slow_ms : float option;
+  watchdog_period_ms : float;
 }
 
 let default_config =
@@ -72,18 +83,27 @@ let default_config =
     metrics = true;
     fault = Fault.none;
     options = Solver.default_options;
+    dump_dir = Sys.getenv_opt "QCA_DUMP_DIR";
+    dump_max_files = 32;
+    dump_min_interval_ms = 1_000.0;
+    slow_ms =
+      Option.bind (Sys.getenv_opt "QCA_SLOW_MS") float_of_string_opt;
+    watchdog_period_ms = 0.0;
   }
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  queue : (Unix.file_descr * Protocol.shed) Chan.t;
+  queue : (Unix.file_descr * Protocol.shed * float) Chan.t;
+      (** fd, admission decision, enqueue time (for queue-wait) *)
   cache : Cache.t;
   shutdown : bool Atomic.t;
   cache_hits_seen : int Atomic.t;
+  inflight : int Atomic.t;
   mutable acceptor : unit Domain.t option;
   mutable workers : unit Domain.t list;
+  mutable watchdog : unit Domain.t option;
   joined : bool Atomic.t;
 }
 
@@ -175,10 +195,15 @@ let solve_with_retries t ~circuit ~eff_method ~deadline_at
   in
   Trace.span "serve.solve" (fun () -> attempt 0)
 
-let serve_adapt t ~shed (r : Protocol.adapt_request) =
+let serve_adapt t ~shed ~queue_ms (r : Protocol.adapt_request) =
   let cfg = t.cfg in
   let hw = r.Protocol.hardware in
   let started = Clock.now () in
+  let trace_id =
+    match Tracectx.current () with
+    | Some c -> c.Tracectx.trace_id
+    | None -> ""
+  in
   Trace.span "serve.request"
     ~args:
       [
@@ -232,6 +257,8 @@ let serve_adapt t ~shed (r : Protocol.adapt_request) =
           conflicts = 0;
           propagations = 0;
           elapsed_ms = elapsed ();
+          queue_ms;
+          trace_id;
           makespan = entry.Cache.makespan;
           certified;
           adapted_text = Parse.to_text entry.Cache.adapted;
@@ -280,6 +307,8 @@ let serve_adapt t ~shed (r : Protocol.adapt_request) =
             conflicts = outcome.Pipeline.spent.Pipeline.conflicts;
             propagations = outcome.Pipeline.spent.Pipeline.propagations;
             elapsed_ms = elapsed ();
+            queue_ms;
+            trace_id;
             makespan = outcome.Pipeline.claimed_makespan;
             certified;
             adapted_text = Parse.to_text outcome.Pipeline.circuit;
@@ -316,12 +345,91 @@ let serve_adapt t ~shed (r : Protocol.adapt_request) =
    exception we missed, a solver invariant violation, an injected
    crash — becomes a typed Internal response; only the deliberate
    abandon signal passes through. *)
-let protected_serve t ~shed r =
-  try serve_adapt t ~shed r with
+let protected_serve t ~shed ~queue_ms r =
+  try serve_adapt t ~shed ~queue_ms r with
   | Client_cancelled -> raise Client_cancelled
   | e ->
     Obs.incr m_crashes;
     Failed (Protocol.Internal, Printexc.to_string e, None)
+
+(* The anomaly gate: what makes a finished request worth a dump. *)
+let anomaly_reason cfg ~elapsed_ms = function
+  | Done p ->
+    if p.Protocol.tier <> Qca_adapt.Pipeline.Full then Some "degraded"
+    else if p.Protocol.reason <> None then Some "budget"
+    else (
+      match cfg.slow_ms with
+      | Some s when elapsed_ms > s -> Some "slow"
+      | _ -> None)
+  | Failed (Protocol.Internal, _, _) -> Some "fault"
+  | Failed (_, _, _) -> (
+    match cfg.slow_ms with
+    | Some s when elapsed_ms > s -> Some "slow"
+    | _ -> None)
+
+(* Trace-scoped request wrapper: installs the request's trace context
+   (adopted from a valid [traceparent], generated otherwise), times
+   the request, and — when a dump directory is armed — captures
+   forensics for any anomalous outcome. Returns the served result and
+   the context so the protocol layer can stamp response headers. *)
+let serve_tracked t ~shed ~queue_ms ~traceparent r =
+  Obs.incr m_requests;
+  let ctx =
+    match Option.map Tracectx.parse_traceparent traceparent with
+    | Some (Ok c) -> Tracectx.child c
+    | Some (Error _) | None -> Tracectx.generate ()
+  in
+  let armed = t.cfg.dump_dir <> None in
+  let before = if armed then Some (Forensics.snapshot ()) else None in
+  let since_us = Ring.now_us () in
+  let started = Clock.now () in
+  Atomic.incr t.inflight;
+  Obs.set m_inflight (float_of_int (Atomic.get t.inflight));
+  let finish served =
+    Atomic.decr t.inflight;
+    Obs.set m_inflight (float_of_int (Atomic.get t.inflight));
+    let elapsed_ms = Clock.ms_between started (Clock.now ()) in
+    Obs.observe m_request_ms elapsed_ms;
+    (match served with
+    | Some s ->
+      Ring.record k_request
+        (match s with Done _ -> 0 | Failed _ -> 1)
+        (int_of_float elapsed_ms) (int_of_float queue_ms)
+    | None -> Ring.record k_request 2 (int_of_float elapsed_ms) (int_of_float queue_ms));
+    match (served, t.cfg.dump_dir) with
+    | Some s, Some dir -> (
+      match anomaly_reason t.cfg ~elapsed_ms s with
+      | None -> ()
+      | Some reason ->
+        let describe =
+          [
+            ("method", Protocol.method_to_string r.Protocol.method_);
+            ("shed", Protocol.shed_to_string shed);
+            ("elapsed_ms", Printf.sprintf "%.3f" elapsed_ms);
+            ("queue_ms", Printf.sprintf "%.3f" queue_ms);
+            ( "outcome",
+              match s with
+              | Done p -> "done tier=" ^ Protocol.tier_to_string p.Protocol.tier
+              | Failed (code, _, _) ->
+                "failed " ^ Protocol.error_code_to_string code );
+          ]
+        in
+        ignore
+          (Forensics.write_dump ~dir ~max_files:t.cfg.dump_max_files
+             ~min_interval_ms:t.cfg.dump_min_interval_ms ~reason
+             ~trace:(Some ctx) ~request:describe ~since_us ~before ()))
+    | _ -> ()
+  in
+  match
+    Tracectx.with_ctx ctx (fun () -> protected_serve t ~shed ~queue_ms r)
+  with
+  | served ->
+    finish (Some served);
+    (served, ctx)
+  | exception e ->
+    (* Client_cancelled passes through; record the abandonment first *)
+    finish None;
+    raise e
 
 let metrics_text () = Format.asprintf "%a" Obs.pp_summary ()
 
@@ -329,7 +437,7 @@ let metrics_text () = Format.asprintf "%a" Obs.pp_summary ()
 
 let respond fd response = ignore (Io.write_all fd (Protocol.encode_response response))
 
-let handle_binary t fd shed first4 =
+let handle_binary t fd shed ~queue_ms first4 =
   match Io.read_exact fd (Protocol.header_bytes - 4) with
   | None -> ()
   | Some rest -> (
@@ -364,10 +472,10 @@ let handle_binary t fd shed first4 =
           | Ok Protocol.Get_metrics ->
             respond fd (Protocol.Metrics_text (metrics_text ()))
           | Ok (Protocol.Adapt r) -> (
-            Obs.incr m_requests;
-            let started = Clock.now () in
-            let served = protected_serve t ~shed r in
-            Obs.observe m_request_ms (Clock.ms_between started (Clock.now ()));
+            let served, _ctx =
+              serve_tracked t ~shed ~queue_ms
+                ~traceparent:r.Protocol.traceparent r
+            in
             match served with
             | Done payload ->
               Obs.incr m_ok;
@@ -413,7 +521,7 @@ let read_http_head fd first4 =
   in
   loop ()
 
-let handle_http t fd shed first4 =
+let handle_http t fd shed ~queue_ms first4 =
   Obs.incr m_http;
   let send ~status ?(headers = []) body =
     ignore (Io.write_all fd (Http.response ~status ~headers body))
@@ -426,7 +534,12 @@ let handle_http t fd shed first4 =
     | Ok (meth, target, headers) -> (
       let path, params = Http.split_target target in
       match (meth, path) with
-      | "GET", "/metrics" -> send ~status:200 (metrics_text ())
+      | "GET", "/metrics" ->
+        (* Prometheus exposition by default; ?format=human keeps the
+           pp_summary table reachable (as does the binary 'M' frame) *)
+        if List.assoc_opt "format" params = Some "human" then
+          send ~status:200 (metrics_text ())
+        else send ~status:200 (Prom.exposition ())
       | "GET", "/healthz" ->
         send ~status:200
           (Printf.sprintf "ok queue=%d/%d\n" (Chan.length t.queue)
@@ -501,34 +614,41 @@ let handle_http t fd shed first4 =
                   timeout_ms;
                   max_conflicts;
                   use_cache = param "cache" <> Some "off";
+                  traceparent = List.assoc_opt "traceparent" headers;
                   circuit_text = body;
                 }
             in
             match build with
             | Error (status, msg) -> send ~status (msg ^ "\n")
             | Ok r -> (
-              Obs.incr m_requests;
-              let started = Clock.now () in
-              let served = protected_serve t ~shed r in
-              Obs.observe m_request_ms
-                (Clock.ms_between started (Clock.now ()));
+              let served, ctx =
+                serve_tracked t ~shed ~queue_ms
+                  ~traceparent:r.Protocol.traceparent r
+              in
+              let trace_headers =
+                [
+                  ("X-Qca-Trace-Id", ctx.Tracectx.trace_id);
+                  ("X-Qca-Queue-Ms", Printf.sprintf "%.3f" queue_ms);
+                ]
+              in
               match served with
               | Done p ->
                 Obs.incr m_ok;
                 send ~status:200
                   ~headers:
-                    ([
-                       ("X-Qca-Tier", Protocol.tier_to_string p.Protocol.tier);
-                       ("X-Qca-Shed", Protocol.shed_to_string p.Protocol.shed);
-                       ( "X-Qca-Cache",
-                         match p.Protocol.cache with
-                         | Protocol.Cache_hit -> "hit"
-                         | Protocol.Cache_miss -> "miss"
-                         | Protocol.Cache_revalidated -> "revalidated" );
-                       ("X-Qca-Cache-Key", p.Protocol.cache_key);
-                       ( "X-Qca-Elapsed-Ms",
-                         Printf.sprintf "%.3f" p.Protocol.elapsed_ms );
-                     ]
+                    (trace_headers
+                    @ [
+                        ("X-Qca-Tier", Protocol.tier_to_string p.Protocol.tier);
+                        ("X-Qca-Shed", Protocol.shed_to_string p.Protocol.shed);
+                        ( "X-Qca-Cache",
+                          match p.Protocol.cache with
+                          | Protocol.Cache_hit -> "hit"
+                          | Protocol.Cache_miss -> "miss"
+                          | Protocol.Cache_revalidated -> "revalidated" );
+                        ("X-Qca-Cache-Key", p.Protocol.cache_key);
+                        ( "X-Qca-Elapsed-Ms",
+                          Printf.sprintf "%.3f" p.Protocol.elapsed_ms );
+                      ]
                     @ (match p.Protocol.reason with
                       | Some reason -> [ ("X-Qca-Reason", reason) ]
                       | None -> [])
@@ -542,29 +662,33 @@ let handle_http t fd shed first4 =
                 Obs.incr m_failed;
                 send ~status:(http_error_status code)
                   ~headers:
-                    (( "X-Qca-Error",
-                       Protocol.error_code_to_string code )
-                    ::
-                    (match retry with
+                    (trace_headers
+                    @ [
+                        ( "X-Qca-Error",
+                          Protocol.error_code_to_string code );
+                      ]
+                    @
+                    match retry with
                     | Some ms ->
                       [
                         ( "Retry-After",
                           string_of_int
                             (int_of_float (ceil (float_of_int ms /. 1000.))) );
                       ]
-                    | None -> []))
+                    | None -> [])
                   (msg ^ "\n")))))
       | _, ("/metrics" | "/healthz" | "/adapt") -> send ~status:405 "method not allowed\n"
       | _ -> send ~status:404 "not found\n"))
 
 (* {1 Connection dispatch, worker and acceptor loops} *)
 
-let handle_connection t fd shed =
+let handle_connection t fd shed ~queue_ms =
   match Io.read_exact fd 4 with
   | None -> ()
   | Some first4 ->
-    if first4 = Protocol.magic then handle_binary t fd shed first4
-    else if Http.looks_like_http first4 then handle_http t fd shed first4
+    if first4 = Protocol.magic then handle_binary t fd shed ~queue_ms first4
+    else if Http.looks_like_http first4 then
+      handle_http t fd shed ~queue_ms first4
     else
       respond fd
         (Protocol.Error_resp
@@ -578,9 +702,11 @@ let worker_loop t =
   let rec loop () =
     match Chan.pop t.queue with
     | None -> ()
-    | Some (fd, shed) ->
+    | Some (fd, shed, enqueued_at) ->
       Obs.set m_queue_depth (float_of_int (Chan.length t.queue));
-      (try handle_connection t fd shed with
+      let queue_ms = Clock.ms_between enqueued_at (Clock.now ()) in
+      Obs.observe m_queue_wait queue_ms;
+      (try handle_connection t fd shed ~queue_ms with
       | Client_cancelled -> Obs.incr m_cancelled
       | _ ->
         (* last-resort isolation: protocol-layer crashes (the request
@@ -654,7 +780,7 @@ let handle_accept t fd =
          Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.io_timeout_s
        with Unix.Unix_error (_, _, _) -> ());
       Obs.set m_queue_depth (float_of_int (depth + 1));
-      if not (Chan.try_push t.queue (fd, shed)) then begin
+      if not (Chan.try_push t.queue (fd, shed, Clock.now ())) then begin
         (* raced to full (or closed for drain) since the decision *)
         Obs.incr m_refused;
         refuse_and_close fd
@@ -684,6 +810,53 @@ let accept_loop t =
   (* queued connections are still drained by the workers *)
   Chan.close t.queue
 
+(* {1 Stuck-solver watchdog}
+
+   A sampling domain: every [watchdog_period_ms] it services any
+   pending SIGUSR1 dump request and asks {!Forensics.watch_step}
+   whether the solver counters moved while requests were in flight.
+   A confirmed stall becomes a rate-limited "stuck" dump — the request
+   is still running, so this is the only artifact that captures it. *)
+
+let watchdog_loop t =
+  let period_s = Float.max 0.01 (t.cfg.watchdog_period_ms /. 1000.0) in
+  let st = Forensics.watch_state () in
+  let rec loop () =
+    if Atomic.get t.shutdown then ()
+    else begin
+      (try Unix.sleepf period_s
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      (match t.cfg.dump_dir with
+      | Some dir -> (
+        match
+          Forensics.service_live_dump ~dir ~max_files:t.cfg.dump_max_files
+        with
+        | Some path -> Printf.eprintf "qca-serve: dumped %s\n%!" path
+        | None -> ())
+      | None -> ());
+      let stuck =
+        Forensics.watch_step st ~inflight:(Atomic.get t.inflight)
+      in
+      (if stuck then
+         match t.cfg.dump_dir with
+         | Some dir ->
+           ignore
+             (Forensics.write_dump ~dir ~max_files:t.cfg.dump_max_files
+                ~min_interval_ms:t.cfg.dump_min_interval_ms ~reason:"stuck"
+                ~trace:None
+                ~request:
+                  [
+                    ("scope", "watchdog");
+                    ( "inflight",
+                      string_of_int (Atomic.get t.inflight) );
+                  ]
+                ~since_us:0 ~before:None ())
+         | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
 (* {1 Lifecycle} *)
 
 let start (cfg : config) =
@@ -691,6 +864,9 @@ let start (cfg : config) =
   (* a client that hangs up mid-write must never kill the daemon *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if cfg.metrics then Obs.set_enabled true;
+  (* the flight recorder is bounded and contention-free: leave it on
+     whenever telemetry or forensics is wanted *)
+  if cfg.metrics || cfg.dump_dir <> None then Ring.set_enabled true;
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -714,13 +890,17 @@ let start (cfg : config) =
       cache = Cache.create ~capacity:cfg.cache_capacity;
       shutdown = Atomic.make false;
       cache_hits_seen = Atomic.make 0;
+      inflight = Atomic.make 0;
       acceptor = None;
       workers = [];
+      watchdog = None;
       joined = Atomic.make false;
     }
   in
   t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
   t.workers <- List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  if cfg.watchdog_period_ms > 0.0 then
+    t.watchdog <- Some (Domain.spawn (fun () -> watchdog_loop t));
   t
 
 let port t = t.bound_port
@@ -732,8 +912,10 @@ let stop t =
   if not (Atomic.exchange t.joined true) then begin
     (match t.acceptor with Some d -> Domain.join d | None -> ());
     List.iter Domain.join t.workers;
+    (match t.watchdog with Some d -> Domain.join d | None -> ());
     t.acceptor <- None;
-    t.workers <- []
+    t.workers <- [];
+    t.watchdog <- None
   end
 
 let run (cfg : config) =
@@ -744,9 +926,18 @@ let run (cfg : config) =
   let handler _ = Atomic.set stop_requested true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
   Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  Forensics.install_sigusr1 ();
   let rec wait () =
     if not (Atomic.get stop_requested) then begin
       (try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      (match cfg.dump_dir with
+      | Some dir -> (
+        match
+          Forensics.service_live_dump ~dir ~max_files:cfg.dump_max_files
+        with
+        | Some path -> Printf.eprintf "qca-serve: dumped %s\n%!" path
+        | None -> ())
+      | None -> ());
       wait ()
     end
   in

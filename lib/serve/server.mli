@@ -46,13 +46,26 @@ type config = {
   metrics : bool;  (** enable the metrics registry at start *)
   fault : Qca_util.Fault.t;  (** serve-site injection plan *)
   options : Solver.options;
+  dump_dir : string option;
+      (** arm anomaly auto-capture: anomalous requests (degraded,
+          deadline-breached, faulted, or slower than [slow_ms]) write a
+          forensic dump here (see {!Forensics}); also the target of the
+          SIGUSR1 live dump under {!run} *)
+  dump_max_files : int;  (** dump-directory bound (oldest pruned) *)
+  dump_min_interval_ms : float;  (** process-wide dump rate limit *)
+  slow_ms : float option;  (** latency threshold that counts as anomalous *)
+  watchdog_period_ms : float;
+      (** stuck-solver sampling period; 0 disables the watchdog domain *)
 }
 
 val default_config : config
 (** 127.0.0.1:7333, 2 workers, queue 16, shed at 50% / direct at 87%,
     cache 256, 2 s default / 30 s max deadline, 1 MiB cap, 10 s socket
     timeout, 2 retries from 25 ms, certify off, revalidate every 8th
-    hit, metrics on, no faults, default solver options. *)
+    hit, metrics on, no faults, default solver options. Forensics:
+    [dump_dir] from [QCA_DUMP_DIR], [slow_ms] from [QCA_SLOW_MS]
+    (unset otherwise), 32 dump files max, one dump per second,
+    watchdog off. *)
 
 type t
 

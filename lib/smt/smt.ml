@@ -2,9 +2,11 @@ open Qca_sat
 module Dl = Qca_diff_logic.Dl
 module Fault = Qca_util.Fault
 module Obs = Qca_obs.Metrics
+module Ring = Qca_obs.Ring
 
 let m_theory_rounds = Obs.counter "smt.rounds"
 let m_theory_conflicts = Obs.counter "smt.theory_conflicts"
+let k_round = Ring.kind "smt.round"
 
 type ivar = int
 
@@ -91,6 +93,7 @@ let rec solve_loop t assumptions budget fuel ~jobs =
   else begin
     t.n_rounds <- t.n_rounds + 1;
     Obs.incr m_theory_rounds;
+    Ring.record k_round t.n_rounds t.n_theory_conflicts fuel;
     match
       (Qca_par.Portfolio.solve_portfolio ~assumptions ~budget ~jobs t.sat)
         .verdict

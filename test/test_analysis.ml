@@ -106,6 +106,23 @@ let test_hot_unmarked_clean () =
   check_rules "Printf outside hot regions is fine" ~expect:[]
     "let step x = Printf.printf \"%d\" x\n"
 
+let test_hot_trace_span_flagged () =
+  check_rules "Trace.span inside [@qca.hot]" ~expect:[ "QCA-HOT-004" ]
+    "let step x = Trace.span \"inner\" (fun () -> x + 1) [@@qca.hot]\n"
+
+let test_hot_ring_record_safe () =
+  check_rules "Ring.record is hot-safe" ~expect:[]
+    "let k = Ring.kind \"sat.step\"\n\
+     let step x = Ring.record k x 0 0 [@@qca.hot]\n"
+
+let test_hot_metrics_safe () =
+  check_rules "Metrics updates are hot-safe" ~expect:[]
+    "let m = Obs.counter \"steps\"\n\
+     let step h v =\n\
+    \  Obs.incr m;\n\
+    \  Obs.observe h v\n\
+    \  [@@qca.hot]\n"
+
 (* {1 QCA-WVR-005: malformed waivers} *)
 
 let test_wvr_empty_reason () =
@@ -203,6 +220,9 @@ let suite =
     ("IO: io.ml exempt", `Quick, test_io_io_ml_exempt);
     ("HOT: printf flagged", `Quick, test_hot_printf_flagged);
     ("HOT: unmarked clean", `Quick, test_hot_unmarked_clean);
+    ("HOT: trace span flagged", `Quick, test_hot_trace_span_flagged);
+    ("HOT: ring record safe", `Quick, test_hot_ring_record_safe);
+    ("HOT: metrics safe", `Quick, test_hot_metrics_safe);
     ("WVR: empty reason", `Quick, test_wvr_empty_reason);
     ("WVR: unknown rule", `Quick, test_wvr_unknown_rule);
     ("WVR: generic waive", `Quick, test_wvr_generic_waive);

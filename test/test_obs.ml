@@ -5,6 +5,8 @@
 
 module Obs = Qca_obs.Metrics
 module Trace = Qca_obs.Trace
+module Ring = Qca_obs.Ring
+module Tracectx = Qca_obs.Tracectx
 module Circuit = Qca_circuit.Circuit
 module Gate = Qca_circuit.Gate
 module Parse = Qca_circuit.Parse
@@ -120,6 +122,197 @@ let test_reset_keeps_ids () =
   Alcotest.(check int) "zeroed" 0 (Obs.value c);
   Obs.incr c;
   Alcotest.(check int) "id still valid" 1 (Obs.value c)
+
+let test_quantile_interpolation () =
+  let h = Obs.histogram "test.quantiles" in
+  (* five samples in [1,2), five in [8,16): the bucket census knows
+     exactly where every rank falls *)
+  for _ = 1 to 5 do
+    Obs.observe h 1.0
+  done;
+  for _ = 1 to 5 do
+    Obs.observe h 8.0
+  done;
+  let s = Obs.summarize h in
+  (* p50 = rank 5 = the last sample of bucket [1,2): interpolates to
+     the bucket's upper bound *)
+  Alcotest.(check (float 1e-9)) "p50" 2.0 s.Obs.h_p50;
+  (* p90/p99 land in [8,16) but the recorded max (8.0) clamps them:
+     a quantile must never exceed an observed value *)
+  Alcotest.(check (float 1e-9)) "p90 clamped to max" 8.0 s.Obs.h_p90;
+  Alcotest.(check (float 1e-9)) "p99 clamped to max" 8.0 s.Obs.h_p99;
+  Alcotest.(check bool) "monotone" true
+    (s.Obs.h_p50 <= s.Obs.h_p90 && s.Obs.h_p90 <= s.Obs.h_p99
+    && s.Obs.h_p99 <= s.Obs.h_max);
+  (* the new quantiles surface in both renderings *)
+  let contains needle hay =
+    let ln = String.length needle and l = String.length hay in
+    let rec at i = i + ln <= l && (String.sub hay i ln = needle || at (i + 1)) in
+    at 0
+  in
+  let json = Obs.json_object () in
+  Alcotest.(check bool) "json p90" true (contains "\"p90\"" json);
+  Alcotest.(check bool) "json p99" true (contains "\"p99\"" json);
+  let text = Format.asprintf "%a" Obs.pp_summary () in
+  Alcotest.(check bool) "summary p90" true (contains "p90=" text);
+  Alcotest.(check bool) "summary p99" true (contains "p99=" text)
+
+(* {1 Flight recorder} *)
+
+let with_ring f () =
+  Ring.reset ();
+  Ring.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Ring.set_enabled false;
+      Ring.reset ())
+    f
+
+let test_ring_basics () =
+  let k1 = Ring.kind "test.alpha" in
+  let k2 = Ring.kind "test.beta" in
+  Alcotest.(check int) "kind interning is idempotent" k1
+    (Ring.kind "test.alpha");
+  Alcotest.(check string) "kind names round-trip" "test.beta"
+    (Ring.kind_name k2);
+  Ring.record k1 1 2 3;
+  Ring.record k2 4 5 6;
+  (match Ring.events () with
+  | [ a; b ] ->
+    Alcotest.(check string) "first kind" "test.alpha" a.Ring.e_kind;
+    Alcotest.(check int) "payload a" 1 a.Ring.e_a;
+    Alcotest.(check int) "payload c" 6 b.Ring.e_c;
+    Alcotest.(check bool) "timestamps monotone" true
+      (a.Ring.e_ts_us <= b.Ring.e_ts_us);
+    Alcotest.(check int) "no trace context" 0 a.Ring.e_trace
+  | es -> Alcotest.fail (Printf.sprintf "expected 2 events, got %d" (List.length es)));
+  Alcotest.(check int) "total recorded" 2 (Ring.total_recorded ())
+
+let test_ring_disabled_records_nothing () =
+  let k = Ring.kind "test.off" in
+  Ring.set_enabled false;
+  Ring.record k 1 2 3;
+  Ring.set_enabled true;
+  Alcotest.(check int) "nothing recorded while off" 0 (Ring.total_recorded ())
+
+let test_ring_trace_filter () =
+  let k = Ring.kind "test.traced" in
+  let ctx = Tracectx.generate () in
+  Tracectx.with_ctx ctx (fun () -> Ring.record k 7 0 0);
+  Ring.record k 8 0 0;
+  let w = Tracectx.word ctx in
+  Alcotest.(check bool) "correlation word is nonzero" true (w <> 0);
+  (match Ring.events ~trace:w () with
+  | [ e ] ->
+    Alcotest.(check int) "only the in-context event" 7 e.Ring.e_a;
+    Alcotest.(check int) "carries the word" w e.Ring.e_trace
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length es)));
+  Alcotest.(check int) "both retained overall" 2
+    (List.length (Ring.events ()))
+
+let test_ring_multidomain_hammer () =
+  (* 4 domains x 10_000 records against 512-slot rings: every retained
+     event must be whole (payload is a function of its seed), capacity
+     must bound retention, and nothing may be lost from the total *)
+  let cap = 512 and domains = 4 and per_domain = 10_000 in
+  Ring.set_capacity cap;
+  Fun.protect ~finally:(fun () -> Ring.set_capacity Ring.default_capacity)
+  @@ fun () ->
+  let k = Ring.kind "test.hammer" in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              let seed = (d * per_domain) + i in
+              Ring.record k seed (seed * 2) (seed * 3)
+            done))
+  in
+  List.iter Domain.join workers;
+  let es = List.filter (fun e -> e.Ring.e_kind = "test.hammer") (Ring.events ()) in
+  Alcotest.(check int) "retention is exactly cap per domain"
+    (domains * cap) (List.length es);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "no torn payloads" true
+        (e.Ring.e_b = e.Ring.e_a * 2 && e.Ring.e_c = e.Ring.e_a * 3))
+    es;
+  Alcotest.(check bool) "overwritten events still counted" true
+    (Ring.total_recorded () >= domains * per_domain);
+  (* merged view is globally sorted *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Ring.e_ts_us <= b.Ring.e_ts_us && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "merged chronologically" true (sorted (Ring.events ()))
+
+(* {1 Trace contexts} *)
+
+let valid_tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+let test_traceparent_parse () =
+  (match Tracectx.parse_traceparent valid_tp with
+  | Ok c ->
+    Alcotest.(check string) "trace id" "4bf92f3577b34da6a3ce929d0e0e4736"
+      c.Tracectx.trace_id;
+    Alcotest.(check string) "parent id" "00f067aa0ba902b7" c.Tracectx.parent_id;
+    Alcotest.(check bool) "sampled" true c.Tracectx.sampled;
+    Alcotest.(check string) "reserializes" valid_tp (Tracectx.to_traceparent c)
+  | Error e -> Alcotest.fail ("valid traceparent rejected: " ^ e));
+  let rejected s =
+    match Tracectx.parse_traceparent s with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ String.escaped s)
+    | Error _ -> ()
+  in
+  rejected "";
+  rejected "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0";
+  rejected (valid_tp ^ "0");
+  rejected "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  rejected "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  rejected "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01";
+  rejected "00-00000000000000000000000000000000-00f067aa0ba902b7-01";
+  rejected "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01";
+  rejected "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  rejected "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01"
+
+let test_traceparent_fuzz () =
+  (* mutating any byte of a valid traceparent must never raise; the
+     parse either still succeeds (a hex digit swapped for another) or
+     returns a typed error *)
+  let chars = "0123456789abcdefABCDEF-_ \x00\xffzZ." in
+  for i = 0 to String.length valid_tp - 1 do
+    String.iter
+      (fun c ->
+        let b = Bytes.of_string valid_tp in
+        Bytes.set b i c;
+        match Tracectx.parse_traceparent (Bytes.to_string b) with
+        | Ok _ | Error _ -> ())
+      chars
+  done;
+  (* truncations and extensions at every length *)
+  for len = 0 to String.length valid_tp - 1 do
+    match Tracectx.parse_traceparent (String.sub valid_tp 0 len) with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted prefix of length %d" len)
+    | Error _ -> ()
+  done
+
+let test_tracectx_generate_child () =
+  let c = Tracectx.generate () in
+  (match Tracectx.parse_traceparent (Tracectx.to_traceparent c) with
+  | Ok c' ->
+    Alcotest.(check string) "generated context reparses" c.Tracectx.trace_id
+      c'.Tracectx.trace_id
+  | Error e -> Alcotest.fail ("generated context invalid: " ^ e));
+  let k = Tracectx.child c in
+  Alcotest.(check string) "child keeps the trace" c.Tracectx.trace_id
+    k.Tracectx.trace_id;
+  Alcotest.(check bool) "child gets a fresh span id" true
+    (k.Tracectx.parent_id <> c.Tracectx.parent_id);
+  let c2 = Tracectx.generate () in
+  Alcotest.(check bool) "trace ids are distinct" true
+    (c.Tracectx.trace_id <> c2.Tracectx.trace_id);
+  Alcotest.(check bool) "word is never zero" true
+    (Tracectx.word c <> 0 && Tracectx.word c2 <> 0)
 
 (* {1 Spans} *)
 
@@ -420,6 +613,19 @@ let suite =
       (with_obs test_disabled_noop);
     Alcotest.test_case "reset keeps ids valid" `Quick
       (with_obs test_reset_keeps_ids);
+    Alcotest.test_case "quantile interpolation" `Quick
+      (with_obs test_quantile_interpolation);
+    Alcotest.test_case "ring basics" `Quick (with_ring test_ring_basics);
+    Alcotest.test_case "ring disabled records nothing" `Quick
+      (with_ring test_ring_disabled_records_nothing);
+    Alcotest.test_case "ring trace filter" `Quick
+      (with_ring test_ring_trace_filter);
+    Alcotest.test_case "ring multi-domain hammer" `Quick
+      (with_ring test_ring_multidomain_hammer);
+    Alcotest.test_case "traceparent parse" `Quick test_traceparent_parse;
+    Alcotest.test_case "traceparent fuzz" `Quick test_traceparent_fuzz;
+    Alcotest.test_case "tracectx generate and child" `Quick
+      test_tracectx_generate_child;
     Alcotest.test_case "span nesting depths" `Quick (with_trace test_span_nesting);
     Alcotest.test_case "span closes on raise" `Quick
       (with_trace test_span_closes_on_raise);

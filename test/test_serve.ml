@@ -12,6 +12,8 @@ module Solver = Qca_sat.Solver
 module Fault = Qca_util.Fault
 module Chan = Qca_par.Chan
 module Obs = Qca_obs.Metrics
+module Tracectx = Qca_obs.Tracectx
+module J = Qca_obs.Json
 open Qca_adapt
 open Qca_serve
 
@@ -265,6 +267,8 @@ let test_protocol_request_roundtrip () =
       timeout_ms = Some 1500.0;
       max_conflicts = Some 9000;
       use_cache = false;
+      traceparent =
+        Some "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
       circuit_text = sample_text;
     }
   in
@@ -275,6 +279,9 @@ let test_protocol_request_roundtrip () =
     checkb "deadline" true (r'.Protocol.timeout_ms = Some 1500.0);
     checkb "conflicts" true (r'.Protocol.max_conflicts = Some 9000);
     checkb "cache opt-out" false r'.Protocol.use_cache;
+    checkb "traceparent" true
+      (r'.Protocol.traceparent
+      = Some "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
     checks "body" sample_text r'.Protocol.circuit_text
   | _ -> Alcotest.fail "wrong request kind");
   checkb "ping" true (roundtrip_request Protocol.Ping = Protocol.Ping);
@@ -291,6 +298,8 @@ let test_protocol_response_roundtrip () =
       conflicts = 17;
       propagations = 4242;
       elapsed_ms = 12.5;
+      queue_ms = 3.25;
+      trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
       makespan = Some 186;
       certified = Some true;
       adapted_text = sample_text;
@@ -346,6 +355,7 @@ let adapt_req ?(method_ = Pipeline.Sat Model.Sat_p) ?(format = Protocol.Text)
       timeout_ms;
       max_conflicts = None;
       use_cache;
+      traceparent = None;
       circuit_text = text;
     }
 
@@ -576,6 +586,196 @@ let test_server_certify_responses () =
   let p = expect_result (call port (adapt_req sample_text)) in
   checkb "response carries a certificate" true (p.Protocol.certified = Some true)
 
+(* {2 Forensics: dumps, rate limiting, trace correlation} *)
+
+let with_dump_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qca-test-dumps-%d-%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let dump_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter Forensics.is_dump_file
+  |> List.sort compare
+
+let test_forensics_rate_limit_and_bound () =
+  with_dump_dir @@ fun dir ->
+  Forensics.reset_limiter ();
+  let write ?(min_interval_ms = 0.0) reason =
+    Forensics.write_dump ~dir ~max_files:4 ~min_interval_ms ~reason
+      ~trace:None ~request:[ ("scope", "test") ]
+      ~since_us:0 ~before:None ()
+  in
+  (* the limiter admits the first dump of a storm and suppresses the rest *)
+  checkb "first dump lands" true (write ~min_interval_ms:60_000.0 "slow" <> None);
+  checkb "second suppressed" true (write ~min_interval_ms:60_000.0 "slow" = None);
+  Forensics.reset_limiter ();
+  checkb "admits again after reset" true
+    (write ~min_interval_ms:60_000.0 "slow" <> None);
+  (* the directory stays bounded: oldest dumps pruned beyond max_files *)
+  Forensics.reset_limiter ();
+  for i = 0 to 9 do
+    checkb "bounded-run dump lands" true
+      (write (Printf.sprintf "r%02d" i) <> None)
+  done;
+  let files = dump_files dir in
+  checki "dir bounded at max_files" 4 (List.length files);
+  (* filenames order chronologically, so the survivors are the newest *)
+  checkb "newest survive" true
+    (List.for_all
+       (fun f ->
+         let re = Str.regexp_string "-r0" in
+         (try
+            ignore (Str.search_forward re f 0);
+            List.exists
+              (fun tag ->
+                let re = Str.regexp_string tag in
+                try ignore (Str.search_forward re f 0); true
+                with Not_found -> false)
+              [ "-r06"; "-r07"; "-r08"; "-r09" ]
+          with Not_found -> true))
+       files);
+  (* SIGUSR1 service path: one dump per request flag *)
+  Forensics.request_live_dump ();
+  checkb "live dump serviced" true
+    (Forensics.service_live_dump ~dir ~max_files:4 <> None);
+  checkb "flag consumed" true
+    (Forensics.service_live_dump ~dir ~max_files:4 = None)
+
+let test_forensics_watchdog () =
+  let st = Forensics.watch_state () in
+  (* first sample only baselines the counters *)
+  checkb "baseline sample" false (Forensics.watch_step st ~inflight:1);
+  (* flat counters with work in flight: stuck on the 3rd flat sample *)
+  checkb "flat 1" false (Forensics.watch_step st ~inflight:1);
+  checkb "flat 2" false (Forensics.watch_step st ~inflight:1);
+  checkb "flat 3 is stuck" true (Forensics.watch_step st ~inflight:1);
+  (* progress resets the stall count *)
+  checkb "post-trip sample" false (Forensics.watch_step st ~inflight:1);
+  Obs.set_enabled true;
+  Obs.incr (Obs.counter "sat.conflicts");
+  checkb "progress clears" false (Forensics.watch_step st ~inflight:1);
+  checkb "flat again 1" false (Forensics.watch_step st ~inflight:1);
+  (* idle flatness is not stuckness *)
+  checkb "idle is fine" false (Forensics.watch_step st ~inflight:0);
+  checkb "idle is fine 2" false (Forensics.watch_step st ~inflight:0);
+  checkb "idle is fine 3" false (Forensics.watch_step st ~inflight:0)
+
+let header_value name reply =
+  let re = Str.regexp (Str.quote name ^ ": \\([^\r\n]*\\)") in
+  try
+    ignore (Str.search_forward re reply 0);
+    Some (Str.matched_group 1 reply)
+  with Not_found -> None
+
+let client_tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+let client_trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+let http_adapt ?traceparent port text =
+  let body =
+    Printf.sprintf
+      "POST /adapt?method=sat-p HTTP/1.1\r\nHost: x\r\n%sContent-Length: \
+       %d\r\n\r\n%s"
+      (match traceparent with
+      | Some tp -> Printf.sprintf "Traceparent: %s\r\n" tp
+      | None -> "")
+      (String.length text) text
+  in
+  raw_exchange port body 65536
+
+let test_server_trace_and_dump () =
+  with_dump_dir @@ fun dir ->
+  Forensics.reset_limiter ();
+  let cfg =
+    {
+      Server.default_config with
+      dump_dir = Some dir;
+      fault = Fault.inject [ (Fault.Serve_request, 1, Fault.Spurious_conflict) ];
+    }
+  in
+  with_server ~cfg @@ fun port ->
+  (* 1st request: injected crash under the client's trace context — the
+     typed error still carries the trace id, and exactly one forensic
+     dump lands, correlated to the same id *)
+  let reply = http_adapt ~traceparent:client_tp port sample_text in
+  checks "faulted reply carries the client's trace id" client_trace
+    (Option.value ~default:"?" (header_value "X-Qca-Trace-Id" reply));
+  (match dump_files dir with
+  | [ f ] ->
+    checkb "filename embeds the trace" true
+      (let re = Str.regexp_string (String.sub client_trace 0 16) in
+       try ignore (Str.search_forward re f 0); true with Not_found -> false);
+    let text = In_channel.with_open_bin (Filename.concat dir f)
+        In_channel.input_all
+    in
+    (match J.parse text with
+    | Error e -> Alcotest.fail ("dump does not parse: " ^ e)
+    | Ok doc ->
+      checks "dump schema" "qca.dump.v1"
+        (Option.value ~default:"?" (J.str_member "schema" doc));
+      checks "dump reason" "fault"
+        (Option.value ~default:"?" (J.str_member "reason" doc));
+      checks "dump trace id" client_trace
+        (Option.value ~default:"?" (J.str_member "trace_id" doc));
+      checkb "dump has a request block" true (J.member "request" doc <> None);
+      checkb "dump has a ring array" true (J.arr_member "ring" doc <> None))
+  | files ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly one dump, got %d" (List.length files)));
+  (* 2nd request: healthy; a fresh trace id is generated, the queue-time
+     header is present, and no further dump appears *)
+  let reply = http_adapt port sample_text in
+  (match header_value "X-Qca-Trace-Id" reply with
+  | Some id ->
+    checki "generated trace id is 32 hex" 32 (String.length id);
+    checkb "distinct from the client trace" true (id <> client_trace)
+  | None -> Alcotest.fail "healthy reply lacks X-Qca-Trace-Id");
+  (match header_value "X-Qca-Queue-Ms" reply with
+  | Some ms -> checkb "queue header parses" true (float_of_string_opt ms <> None)
+  | None -> Alcotest.fail "healthy reply lacks X-Qca-Queue-Ms");
+  checki "still exactly one dump" 1 (List.length (dump_files dir));
+  (* binary protocol: the payload carries the same observability fields *)
+  let p = expect_result (call port (adapt_req ~use_cache:false sample_text)) in
+  checki "binary trace id is 32 hex" 32 (String.length p.Protocol.trace_id);
+  checkb "binary queue time sane" true
+    (p.Protocol.queue_ms >= 0.0 && p.Protocol.queue_ms < 60_000.0)
+
+let test_server_prometheus_endpoint () =
+  with_server @@ fun port ->
+  (* one real request so the histograms have content *)
+  ignore (expect_result (call port (adapt_req sample_text)));
+  let reply = raw_exchange port "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" 262144 in
+  checkb "200" true
+    (String.length reply > 15 && String.sub reply 0 15 = "HTTP/1.1 200 OK");
+  let contains needle =
+    let re = Str.regexp_string needle in
+    try ignore (Str.search_forward re reply 0); true with Not_found -> false
+  in
+  checkb "TYPE lines" true (contains "# TYPE qca_serve_requests counter");
+  checkb "histogram buckets" true (contains "_bucket{le=\"+Inf\"}");
+  checkb "histogram count" true (contains "qca_serve_request_ms_count");
+  checkb "quantile family" true (contains "quantile=\"0.99\"");
+  checkb "queue-wait histogram exported" true (contains "qca_serve_queue_wait_ms");
+  (* the human summary stays reachable *)
+  let human =
+    raw_exchange port "GET /metrics?format=human HTTP/1.1\r\nHost: x\r\n\r\n"
+      262144
+  in
+  checkb "human format answers" true
+    (let re = Str.regexp_string "serve.requests" in
+     try ignore (Str.search_forward re human 0); true with Not_found -> false)
+
 (* {2 Soak: a storm of faults and hostile input} *)
 
 let test_server_soak () =
@@ -680,6 +880,10 @@ let suite =
     ("server: client gone mid-solve", `Quick, test_server_client_gone_midsolve);
     ("server: accept faults", `Quick, test_server_accept_faults);
     ("server: certified responses", `Quick, test_server_certify_responses);
+    ("forensics: rate limit and bounded dir", `Quick, test_forensics_rate_limit_and_bound);
+    ("forensics: watchdog stall detection", `Quick, test_forensics_watchdog);
+    ("server: trace roundtrip and auto-dump", `Quick, test_server_trace_and_dump);
+    ("server: prometheus endpoint", `Quick, test_server_prometheus_endpoint);
     ("server: fault storm soak", `Quick, test_server_soak);
     ("server: stop is idempotent", `Quick, test_server_stop_idempotent);
   ]
