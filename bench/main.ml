@@ -110,11 +110,13 @@ let totalizer_instance ~max_out =
   | Some r -> ignore (Totalizer.assume_at_most_approx ~resolution:r s terms 500));
   s
 
-(* The exact totalizer CNF put through one eager full inprocessing
-   pass and then solved under its bound assumption: the encoding is
-   clause-heavy and highly redundant, so this row prices the simplify
-   machinery (occurrence index, subsumption, BVE, probing,
-   vivification) on a real encoding. *)
+(* The exact totalizer CNF with a simplify request pending, solved
+   under its bound assumption. The request is deferred: it is honored
+   at the first restart boundary, so a propagation-only instance like
+   this one never pays for the full inprocessing pass (occurrence
+   index, subsumption, BVE, probing, vivification) — the row documents
+   that the gate works by staying within 1.5x of the plain
+   totalizer-exact row. *)
 let totalizer_solved_instance () =
   let s = Sat.create () in
   let terms =
@@ -218,12 +220,13 @@ type json_row = {
   omt_rounds : int option;
   row_jobs : int option;  (** domain count used (parallel rows) *)
   winner_seat : int option;  (** decisive portfolio seat (portfolio rows) *)
+  cores : int option;  (** detected host core count (parallel rows) *)
 }
 
 let plain_row ns =
   { ns; budget_exhausted = false; degraded_tier = None; proof_checked = None;
     proof_overhead_ms = None; conflicts = None; propagations = None;
-    omt_rounds = None; row_jobs = None; winner_seat = None }
+    omt_rounds = None; row_jobs = None; winner_seat = None; cores = None }
 
 (* {1 Micro-benchmark telemetry}
 
@@ -409,19 +412,99 @@ let par_rows () =
   let race_ms = Clock.ms_between t0 (Clock.now ()) in
   assert (o.Portfolio.verdict = Sat.Unsat);
   let cores = Domain.recommended_domain_count () in
+  (* Every parallel row records both the jobs it ran with and the
+     detected core count, so the JSON is self-describing — no synthetic
+     "cores" row with a null timing. *)
   ( !best_seq, !best_par, o.Portfolio.winner, cores,
     [
-      ("qca/par/cores", { (plain_row Float.nan) with row_jobs = Some cores });
       ( "qca/par/batch-jobs-1",
-        { (plain_row (!best_seq *. 1e6)) with row_jobs = Some 1 } );
+        { (plain_row (!best_seq *. 1e6)) with
+          row_jobs = Some 1; cores = Some cores } );
       ( Printf.sprintf "qca/par/batch-jobs-%d" jobs,
-        { (plain_row (!best_par *. 1e6)) with row_jobs = Some jobs } );
+        { (plain_row (!best_par *. 1e6)) with
+          row_jobs = Some jobs; cores = Some cores } );
       ( "qca/par/portfolio-php",
         {
           (plain_row (race_ms *. 1e6)) with
           row_jobs = Some jobs;
           winner_seat = Some o.Portfolio.winner;
+          cores = Some cores;
         } );
+    ] )
+
+(* {1 Incremental OMT reuse and learnt-clause sharing}
+
+   The PR-10 A/B rows. Incremental-on is the serving steady state the
+   tentpole ships: the SAT-R / SAT-P adaptation of the fig6 workload
+   served from a warm encoded template (partition/match/encode done
+   once, one solver alive across the OMT rounds with the bound
+   tightened as an assumption over the memoized totalizer outputs).
+   Incremental-off is the pre-reuse behavior: re-partition, re-match,
+   re-encode, and rebuild the solver from scratch on every OMT round.
+   Objectives are identical either way (test/test_incremental.ml);
+   only wall-clock differs. Sharing: the PHP(6,5) portfolio race with
+   the lock-free learnt-clause exchange on versus off. Reps are
+   interleaved A/B/A/B so machine drift charges both sides equally;
+   best-of-reps is reported. On a single-core host the share rows
+   simply record what the host delivered (the seats time-slice, so
+   the exchange cannot win). *)
+
+let reuse_rows () =
+  let tm = Pipeline.prepare hw bench_circuit in
+  let ab method_ =
+    let reps = if fast then 1 else 3 in
+    let on = ref infinity and off = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Clock.now () in
+      ignore (Pipeline.adapt_template tm (Pipeline.Sat method_));
+      on := Float.min !on (Clock.ms_between t0 (Clock.now ()));
+      let t1 = Clock.now () in
+      ignore
+        (Pipeline.adapt_governed ~incremental:false hw (Pipeline.Sat method_)
+           bench_circuit);
+      off := Float.min !off (Clock.ms_between t1 (Clock.now ()))
+    done;
+    (!on, !off)
+  in
+  let r_on, r_off = ab Model.Sat_r in
+  let p_on, p_off = ab Model.Sat_p in
+  ( r_on, r_off, p_on, p_off,
+    [
+      ("qca/omt/incremental-on", plain_row (r_on *. 1e6));
+      ("qca/omt/incremental-off", plain_row (r_off *. 1e6));
+      ("qca/omt/incremental-p-on", plain_row (p_on *. 1e6));
+      ("qca/omt/incremental-p-off", plain_row (p_off *. 1e6));
+    ] )
+
+let share_rows () =
+  let race ~share =
+    let num_vars, clauses = php_problem () in
+    let s = Sat.create () in
+    for _ = 1 to num_vars do
+      ignore (Sat.new_var s)
+    done;
+    List.iter (Sat.add_clause s) clauses;
+    let t0 = Clock.now () in
+    let o = Portfolio.solve_portfolio ~share ~jobs s in
+    let ms = Clock.ms_between t0 (Clock.now ()) in
+    assert (o.Portfolio.verdict = Sat.Unsat);
+    ms
+  in
+  let reps = if fast then 1 else 3 in
+  let best_on = ref infinity and best_off = ref infinity in
+  for _ = 1 to reps do
+    best_on := Float.min !best_on (race ~share:true);
+    best_off := Float.min !best_off (race ~share:false)
+  done;
+  let cores = Domain.recommended_domain_count () in
+  ( !best_on, !best_off,
+    [
+      ( "qca/par/share-on",
+        { (plain_row (!best_on *. 1e6)) with
+          row_jobs = Some jobs; cores = Some cores } );
+      ( "qca/par/share-off",
+        { (plain_row (!best_off *. 1e6)) with
+          row_jobs = Some jobs; cores = Some cores } );
     ] )
 
 (* {1 Flight-recorder overhead}
@@ -521,6 +604,23 @@ let run_benchmarks () =
     (if par_ms > 0.0 then seq_ms /. par_ms else Float.nan);
   Format.fprintf fmt "portfolio PHP(6,5): winner seat %d of %d raced@." winner
     jobs;
+  let r_on, r_off, p_on, p_off, reuse = reuse_rows () in
+  Format.fprintf fmt "== Incremental OMT reuse (A/B, best of reps) ==@.";
+  Format.fprintf fmt
+    "sat-r adapt: %.2f ms incremental, %.2f ms scratch (speedup %.2fx)@." r_on
+    r_off
+    (if r_on > 0.0 then r_off /. r_on else Float.nan);
+  Format.fprintf fmt
+    "sat-p adapt: %.2f ms incremental, %.2f ms scratch (speedup %.2fx)@." p_on
+    p_off
+    (if p_on > 0.0 then p_off /. p_on else Float.nan);
+  let sh_on, sh_off, share = share_rows () in
+  Format.fprintf fmt "== Learnt-clause sharing (portfolio, A/B) ==@.";
+  Format.fprintf fmt
+    "portfolio PHP(6,5) at jobs=%d: %.2f ms sharing, %.2f ms isolated \
+     (speedup %.2fx)@."
+    jobs sh_on sh_off
+    (if sh_on > 0.0 then sh_off /. sh_on else Float.nan);
   let ring_off, ring_on, ring_events, ring = ring_rows () in
   Format.fprintf fmt "== Flight recorder overhead (PHP 6,5) ==@.";
   Format.fprintf fmt
@@ -536,7 +636,7 @@ let run_benchmarks () =
     (* object per row:
        { ns, budget_exhausted, degraded_tier, proof_checked,
          proof_overhead_ms, conflicts, propagations, omt_rounds,
-         jobs, winner_seat } *)
+         jobs, winner_seat, cores } *)
     let telemetry = micro_telemetry () in
     let micro (name, ns) =
       match List.assoc_opt name telemetry with
@@ -550,7 +650,9 @@ let run_benchmarks () =
             omt_rounds = Some r;
           } )
     in
-    let all = List.map micro rows @ governed @ proof @ par @ ring in
+    let all =
+      List.map micro rows @ governed @ proof @ par @ reuse @ share @ ring
+    in
     let int_opt = function None -> "null" | Some n -> string_of_int n in
     let oc = open_out file in
     output_string oc "{\n";
@@ -560,7 +662,7 @@ let run_benchmarks () =
           "  %S: {\"ns\": %s, \"budget_exhausted\": %b, \"degraded_tier\": %s, \
            \"proof_checked\": %s, \"proof_overhead_ms\": %s, \"conflicts\": %s, \
            \"propagations\": %s, \"omt_rounds\": %s, \"jobs\": %s, \
-           \"winner_seat\": %s}%s\n"
+           \"winner_seat\": %s, \"cores\": %s}%s\n"
           name
           (if Float.is_nan r.ns then "null" else Printf.sprintf "%.2f" r.ns)
           r.budget_exhausted
@@ -570,7 +672,7 @@ let run_benchmarks () =
           | None -> "null"
           | Some ms -> Printf.sprintf "%.3f" ms)
           (int_opt r.conflicts) (int_opt r.propagations) (int_opt r.omt_rounds)
-          (int_opt r.row_jobs) (int_opt r.winner_seat)
+          (int_opt r.row_jobs) (int_opt r.winner_seat) (int_opt r.cores)
           (if i = List.length all - 1 then "" else ","))
       all;
     output_string oc "}\n";

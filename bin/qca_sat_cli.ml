@@ -37,8 +37,8 @@ let read_input = function
     try Ok (In_channel.with_open_text path In_channel.input_all)
     with Sys_error msg -> Error msg)
 
-let run input no_vsids no_restarts no_phase_saving no_simplify jobs stats
-    timeout_ms max_conflicts certify metrics trace_out =
+let run input no_vsids no_restarts no_phase_saving no_simplify no_share jobs
+    stats timeout_ms max_conflicts certify metrics trace_out =
   obs_start ~metrics ~trace_out;
   match
     Result.bind (read_input input) (fun text ->
@@ -65,13 +65,15 @@ let run input no_vsids no_restarts no_phase_saving no_simplify jobs stats
     let solver =
       Trace.span "encode" (fun () -> Dimacs.load ~options ~proof:certify problem)
     in
-    (* File-based solving is one-shot: run the full inprocessing pass
-       eagerly instead of waiting for the restart-gated schedule. *)
+    (* File-based solving is one-shot: force the full inprocessing pass
+       now instead of leaving a deferred request for the restart-gated
+       schedule (which zero-conflict instances would never honor). *)
     if not no_simplify then
-      Trace.span "simplify" (fun () -> Solver.simplify solver);
+      Trace.span "simplify" (fun () -> Solver.simplify ~force:true solver);
     let outcome =
       Trace.span "solve" (fun () ->
-          Portfolio.solve_portfolio ~budget ~proof:certify ~jobs solver)
+          Portfolio.solve_portfolio ~budget ~proof:certify ~share:(not no_share)
+            ~jobs solver)
     in
     let result = outcome.Portfolio.verdict in
     if jobs > 1 then
@@ -123,7 +125,11 @@ let run input no_vsids no_restarts no_phase_saving no_simplify jobs stats
                      %d vars eliminated, %d vivified, %d failed literals\n"
         st.Solver.simplify_rounds st.Solver.subsumed_clauses
         st.Solver.strengthened_clauses st.Solver.eliminated_vars
-        st.Solver.vivified_clauses st.Solver.failed_literals
+        st.Solver.vivified_clauses st.Solver.failed_literals;
+      let so, si, sr = Solver.share_counts solver in
+      if so + si + sr > 0 then
+        Printf.printf "c shared       %d exported, %d imported, %d rejected\n"
+          so si sr
     end;
     let verdict_exit =
       match result with
@@ -171,6 +177,14 @@ let no_simplify =
           "Disable inprocessing (subsumption, bounded variable elimination, \
            probing, vivification); solve the raw clause set.")
 
+let no_share =
+  Arg.(
+    value & flag
+    & info [ "no-share" ]
+        ~doc:
+          "Disable the lock-free learnt-clause exchange between portfolio \
+           seats (only meaningful with --jobs > 1).")
+
 let jobs_arg =
   let doc =
     "Race $(docv) diversified solver configurations on OCaml domains; the \
@@ -212,7 +226,7 @@ let cmd =
   Cmd.v (Cmd.info "qca-sat" ~doc)
     Term.(
       const run $ input_arg $ no_vsids $ no_restarts $ no_phase_saving
-      $ no_simplify $ jobs_arg $ stats $ timeout_arg $ conflicts_arg
-      $ certify_arg $ metrics_arg $ trace_out_arg)
+      $ no_simplify $ no_share $ jobs_arg $ stats $ timeout_arg
+      $ conflicts_arg $ certify_arg $ metrics_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,9 +24,9 @@ let port_arg =
 (* {1 daemon} *)
 
 let daemon host port workers jobs queue_capacity shed_fraction direct_fraction
-    cache_capacity default_timeout_ms max_timeout_ms max_request_bytes retries
-    certify revalidate_period no_simplify fault_spec dump_dir slow_ms
-    watchdog_ms =
+    cache_capacity template_capacity default_timeout_ms max_timeout_ms
+    max_request_bytes retries certify revalidate_period no_simplify
+    no_incremental no_share fault_spec dump_dir slow_ms watchdog_ms =
   match
     match fault_spec with
     | None -> Ok Fault.none
@@ -47,6 +47,9 @@ let daemon host port workers jobs queue_capacity shed_fraction direct_fraction
         shed_fraction;
         direct_fraction;
         cache_capacity;
+        template_capacity;
+        incremental = not no_incremental;
+        share = not no_share;
         default_timeout_ms;
         max_timeout_ms;
         max_request_bytes;
@@ -108,6 +111,14 @@ let daemon_cmd =
     in
     Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
   in
+  let templates =
+    let doc =
+      "Entries in the encoded-template store (circuit x hardware, method \
+       omitted): repeat SMT traffic skips partition/match/encode and reuses \
+       everything the solver learnt."
+    in
+    Arg.(value & opt int 32 & info [ "templates" ] ~docv:"N" ~doc)
+  in
   let default_timeout =
     let doc = "Deadline for requests that do not name one, in ms." in
     Arg.(value & opt float 2000.0 & info [ "default-timeout-ms" ] ~docv:"MS" ~doc)
@@ -149,6 +160,20 @@ let daemon_cmd =
     let doc = "Disable CDCL inprocessing in every solve." in
     Arg.(value & flag & info [ "no-simplify" ] ~doc)
   in
+  let no_incremental =
+    let doc =
+      "Disable solver reuse: no encoded-template store, and every OMT round \
+       rebuilds its solver from scratch (the measured baseline)."
+    in
+    Arg.(value & flag & info [ "no-incremental" ] ~doc)
+  in
+  let no_share =
+    let doc =
+      "Disable the learnt-clause exchange between portfolio seats (only \
+       meaningful with --jobs > 1)."
+    in
+    Arg.(value & flag & info [ "no-share" ] ~doc)
+  in
   let fault =
     let doc =
       "Deterministic fault-injection plan (SITE:N:ACTION, see qca-sat \
@@ -184,9 +209,9 @@ let daemon_cmd =
   Cmd.v (Cmd.info "daemon" ~doc)
     Term.(
       const daemon $ host_arg $ port_arg $ workers $ jobs $ queue $ shed_at
-      $ direct_at $ cache $ default_timeout $ max_timeout $ max_bytes $ retries
-      $ certify $ revalidate $ no_simplify $ fault $ dump_dir $ slow_ms
-      $ watchdog_ms)
+      $ direct_at $ cache $ templates $ default_timeout $ max_timeout
+      $ max_bytes $ retries $ certify $ revalidate $ no_simplify
+      $ no_incremental $ no_share $ fault $ dump_dir $ slow_ms $ watchdog_ms)
 
 (* {1 client subcommands} *)
 

@@ -38,6 +38,13 @@ type t = {
   conflict_pairs : (int * int) list;  (* Eq. 1 pairs, by substitution id *)
   false_lit : Lit.t;  (* a literal asserted false, for infeasible prunes *)
   mutable consumed : bool;
+  (* Incremental-reuse state. [session] keeps one set of portfolio
+     seats alive across OMT rounds (and across reusable runs);
+     [selectors] memoizes the pruning totalizer per objective, so a
+     reused template never re-encodes a bound it has seen. *)
+  mutable session : (int * bool * Portfolio.session) option;
+      (* (jobs, share, seats) — recreated when either knob changes *)
+  selectors : (objective, Totalizer.selector) Hashtbl.t;
 }
 
 (* Longest path over the block dependency graph for given durations;
@@ -120,6 +127,8 @@ let build ?options hw part subs_list =
     conflict_pairs;
     false_lit = Lit.pos false_var;
     consumed = false;
+    session = None;
+    selectors = Hashtbl.create 4;
   }
 
 let duration_terms t b =
@@ -228,10 +237,27 @@ let sat_stats t = Smt.sat_stats t.smt
 
 let default_round_budget = 120
 
-let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
+let m_reuse_runs = Obs.counter "omt.reuse.runs"
+
+let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1)
+    ?(incremental = true) ?(share = true) ?(reuse = false) t obj =
   if t.consumed then Error `Already_consumed
   else begin
-  t.consumed <- true;
+  if reuse then Obs.incr m_reuse_runs else t.consumed <- true;
+  (* Reusable runs scope their incumbent-exclusion clauses and path
+     cuts under a fresh activation literal, assumed during this run's
+     solves and asserted false on every exit — so a later run with a
+     different objective is not poisoned by this run's blocking
+     clauses, while the learnt clauses, phases and activities survive
+     in the live solver. One-shot runs add them permanently (no guard
+     overhead on the common path). *)
+  let act =
+    if reuse then Some (Lit.pos (Smt.new_bool t.smt)) else None
+  in
+  let run_assumptions = match act with None -> [] | Some a -> [ a ] in
+  let guard_clause lits =
+    match act with None -> lits | Some a -> Lit.negate a :: lits
+  in
   (* anytime budget scales inversely with instance size so that deep
      circuits stay tractable; small instances still close with a proof *)
   let round_budget =
@@ -249,14 +275,16 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
   let sat = Smt.solver t.smt in
   (* One totalizer serves every pruning bound of the optimization: the
      bound only shrinks as the incumbent improves, so it is built once
-     at the warm-start budget and queried per round. *)
-  let prune_selector = ref None in
+     at the warm-start budget and queried per round. Memoized per
+     objective on the model so a reused template pays the encoding once
+     across runs (the warm start is deterministic, so the selector's
+     cap is reproduced exactly). *)
   let prune best =
     let budget = best - 1 - terms.constant - (terms.d_weight * t.d_lb) in
     if pb_terms = [] then if budget < 0 then [ t.false_lit ] else []
     else begin
       let selector =
-        match !prune_selector with
+        match Hashtbl.find_opt t.selectors obj with
         | Some sel -> sel
         | None ->
           let sel =
@@ -264,7 +292,7 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
                 Totalizer.at_most_selector ~resolution:256 sat pb_terms
                   ~max:budget)
           in
-          prune_selector := Some sel;
+          Hashtbl.replace t.selectors obj sel;
           sel
       in
       match Totalizer.select selector budget with
@@ -304,7 +332,8 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
       in
       let bound = best - 1 - terms.constant - (terms.d_weight * path_base) in
       Trace.span "omt.cut" (fun () ->
-          Totalizer.enforce_at_most ~resolution:8 sat cut_terms bound)
+          Totalizer.enforce_at_most ~resolution:8 ?guard:act sat cut_terms
+            bound)
     end
   in
   (* Fault/budget consultation shared by the warm start and the OMT
@@ -367,6 +396,66 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
       let _, d, _ = exact_objective t terms mask in
       Ok (!current, mask, d)
   in
+  (* The round solver. Incremental (the default): one solver — and at
+     [jobs > 1] one persistent portfolio session — stays alive across
+     every round, the tightened bound entering as an assumption literal
+     over the memoized totalizer outputs, so learnt clauses, saved
+     phases, VSIDS activities and simplification results carry over.
+     Non-incremental (--no-incremental, the measured A/B baseline):
+     every round exports the problem, imports a fresh clone, encodes
+     the current bound from scratch on it and throws it all away after
+     the round — the rebuild cost the incremental path amortizes. *)
+  let session =
+    if not incremental then None
+    else
+      Some
+        (match t.session with
+        | Some (j, sh, ss) when j = jobs && sh = share -> ss
+        | _ ->
+          let ss = Portfolio.create_session ~share ~jobs sat in
+          t.session <- Some (jobs, share, ss);
+          ss)
+  in
+  let round_solve best =
+    match session with
+    | Some ss ->
+      let assumptions =
+        run_assumptions
+        @ (match best with None -> [] | Some (b, _, _) -> prune b)
+      in
+      let v = (Portfolio.session_solve ~assumptions ~budget ss).verdict in
+      (v, fun i -> Solver.lit_value sat t.choice.(i))
+    | None ->
+      let clone =
+        Trace.span "omt.scratch.rebuild" (fun () ->
+            Solver.import_problem ~options:(Solver.options sat)
+              (Solver.export_problem sat))
+      in
+      let assumptions =
+        run_assumptions
+        @
+        match best with
+        | None -> []
+        | Some (b, _, _) ->
+          let bd = b - 1 - terms.constant - (terms.d_weight * t.d_lb) in
+          if pb_terms = [] then if bd < 0 then [ t.false_lit ] else []
+          else begin
+            match
+              Trace.span "omt.scratch.encode" (fun () ->
+                  Totalizer.assume_at_most_approx ~resolution:256 clone
+                    pb_terms bd)
+            with
+            | None -> []
+            | Some a -> [ a ]
+            | exception Invalid_argument _ -> [ t.false_lit ]
+          end
+      in
+      let v =
+        (Portfolio.solve_portfolio ~assumptions ~budget ~share ~jobs clone)
+          .verdict
+      in
+      (v, fun i -> Solver.lit_value clone t.choice.(i))
+  in
   let rounds = ref 0 and cuts = ref 0 in
   let proven = ref true in
   let stopped = ref None in
@@ -388,23 +477,22 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
       stopped := Some r;
       best
     | None ->
-    let assumptions = match best with None -> [] | Some (b, _, _) -> prune b in
     match
       Trace.span "omt.round"
         ~args:[ ("round", string_of_int !rounds) ]
         (fun () ->
           (* jobs > 1: every round — including the final UNSAT-proving
-             one, where most conflicts are spent — races a portfolio of
-             diversified clones; jobs = 1 is exactly [Solver.solve]. *)
-          (Portfolio.solve_portfolio ~assumptions ~budget ~jobs sat).verdict)
+             one, where most conflicts are spent — races the session's
+             diversified seats; jobs = 1 is exactly [Solver.solve]. *)
+          round_solve best)
     with
-    | Solver.Unsat -> best
-    | Solver.Unknown r ->
+    | Solver.Unsat, _ -> best
+    | Solver.Unknown r, _ ->
       proven := false;
       stopped := Some r;
       best
-    | Solver.Sat ->
-      let mask = Array.init n (fun i -> Solver.lit_value sat t.choice.(i)) in
+    | Solver.Sat, value_of ->
+      let mask = Array.init n value_of in
       let v, d, path = exact_objective t terms mask in
       let best' =
         match best with
@@ -421,17 +509,29 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
         incr cuts;
         add_path_cut b path
       | None -> ());
-      (* block this exact choice *)
+      (* block this exact choice (under the run guard when reusable) *)
       Solver.add_clause sat
-        (Array.to_list
-           (Array.mapi
-              (fun i c -> if mask.(i) then Lit.negate c else c)
-              t.choice));
+        (guard_clause
+           (Array.to_list
+              (Array.mapi
+                 (fun i c -> if mask.(i) then Lit.negate c else c)
+                 t.choice)));
       improve best'
     end
   in
+  (* Retire a reusable run: asserting ¬act permanently satisfies every
+     clause this run guarded, so the next run (possibly a different
+     objective) starts from a clean constraint set while keeping the
+     solver's learnt clauses, phases and activities. *)
+  let retire () =
+    match act with
+    | None -> ()
+    | Some a -> Solver.add_clause sat [ Lit.negate a ]
+  in
   match Trace.span "omt.warm_start" warm_start with
-  | Error r -> Error (`Budget_exhausted r)
+  | Error r ->
+    retire ();
+    Error (`Budget_exhausted r)
   | Ok warm ->
     let warm_v, _, _ = warm in
     Obs.set m_omt_incumbent (float_of_int warm_v);
@@ -439,6 +539,7 @@ let optimize ?round_budget ?(budget = Solver.no_budget) ?(jobs = 1) t obj =
     (match improve (Some warm) with
     | None -> assert false (* the warm start is an incumbent *)
     | Some (v, mask, d) ->
+      retire ();
       assert (verify_schedule t mask d);
       Ok
         {

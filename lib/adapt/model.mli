@@ -57,6 +57,9 @@ val optimize :
   ?round_budget:int ->
   ?budget:Solver.budget ->
   ?jobs:int ->
+  ?incremental:bool ->
+  ?share:bool ->
+  ?reuse:bool ->
   t ->
   objective ->
   (solution, error) result
@@ -71,11 +74,30 @@ val optimize :
     is returned with [stopped] set, before one exists the typed
     [`Budget_exhausted] error is returned. Never raises.
 
-    [jobs > 1] races a {!Qca_par.Portfolio} of diversified CDCL clones
+    [jobs > 1] races a {!Qca_par.Portfolio} of diversified CDCL seats
     on every OMT round (the final UNSAT-proving round included); the
     objective value is unchanged — optimality is closed by an UNSAT
     answer whatever seat produces it. [jobs = 1] (default) is the
-    bit-identical sequential path. *)
+    bit-identical sequential path.
+
+    [incremental] (default [true]) keeps one solver — and at
+    [jobs > 1] one persistent seat session — alive across the OMT
+    rounds: the tightened bound enters as an assumption literal over
+    the memoized totalizer outputs, so learnt clauses, saved phases,
+    VSIDS activities and simplification results carry from round to
+    round. [incremental:false] is the measured scratch baseline: every
+    round re-exports the problem, re-encodes the bound on a fresh clone
+    and discards it. The objective value is identical either way.
+
+    [share] (default [true]) arms the lock-free learnt-clause exchange
+    between portfolio seats (no effect at [jobs = 1]).
+
+    [reuse] (default [false]) makes the call non-consuming: the run's
+    incumbent-exclusion clauses and path cuts are scoped under a fresh
+    activation literal and retired on exit, so the same built model can
+    be optimized again — for any objective — reusing the encoded
+    template, the memoized pruning totalizers and everything the solver
+    learnt. The template-cache paths (batch, qca-serve) rely on this. *)
 
 val evaluate_choice : t -> objective -> Rules.t list -> int
 (** Exact integer objective of an arbitrary conflict-free choice of

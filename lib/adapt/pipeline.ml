@@ -178,7 +178,8 @@ let greedy_choose_governed ?(budget = Solver.no_budget) model obj subs =
 let greedy_choose model obj subs =
   fst (greedy_choose_governed model obj subs)
 
-let adapt_with_info ?options ?(jobs = 1) hw method_ circuit =
+let adapt_with_info ?options ?(jobs = 1) ?(incremental = true) ?(share = true)
+    hw method_ circuit =
   Obs.incr m_adaptations;
   let part = Trace.span "partition" (fun () -> Block.partition circuit) in
   match method_ with
@@ -206,7 +207,10 @@ let adapt_with_info ?options ?(jobs = 1) hw method_ circuit =
     let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
     let model = Trace.span "encode" (fun () -> Model.build ?options hw part subs) in
     let sol =
-      match Trace.span "solve" (fun () -> Model.optimize ~jobs model obj) with
+      match
+        Trace.span "solve" (fun () ->
+            Model.optimize ~jobs ~incremental ~share model obj)
+      with
       | Ok sol -> sol
       | Error (`Already_consumed | `Budget_exhausted _) ->
         (* fresh model, unlimited budget: neither error can occur *)
@@ -230,8 +234,36 @@ let adapt_with_info ?options ?(jobs = 1) hw method_ circuit =
         substitutions_chosen = List.length chosen;
       } )
 
-let adapt ?options ?jobs hw method_ circuit =
-  fst (adapt_with_info ?options ?jobs hw method_ circuit)
+let adapt ?options ?jobs ?incremental ?share hw method_ circuit =
+  fst (adapt_with_info ?options ?jobs ?incremental ?share hw method_ circuit)
+
+(* {1 Encoded templates} *)
+
+(* The expensive front half of an SMT adaptation — partition, template
+   matching, SMT encoding — depends only on (hardware, circuit), not on
+   the objective. A [template] captures it once; every optimization of
+   it runs through {!Model.optimize}'s non-consuming [~reuse] path, so
+   the batch pipeline and qca-serve amortize one encoding (and
+   everything the solver learns about it) across objectives and
+   repeated requests. *)
+type template = {
+  t_hw : Hardware.t;
+  t_part : Block.t;
+  t_subs : Rules.t list;
+  t_model : Model.t;
+}
+
+let m_template_builds = Obs.counter "pipeline.template.builds"
+let m_template_reuses = Obs.counter "pipeline.template.reuses"
+
+let prepare ?options hw circuit =
+  Obs.incr m_template_builds;
+  let part = Trace.span "partition" (fun () -> Block.partition circuit) in
+  let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
+  let model = Trace.span "encode" (fun () -> Model.build ?options hw part subs) in
+  { t_hw = hw; t_part = part; t_subs = subs; t_model = model }
+
+let template_circuit tm = tm.t_part.Block.circuit
 
 (* {1 Resource-governed adaptation} *)
 
@@ -264,8 +296,25 @@ let degraded o = o.tier <> Full || o.reason <> None
    Every rung always terminates (the lower rungs are polynomial), so a
    governed request never hangs and never raises: the worst case is the
    direct basis translation, which is always a valid adapted circuit. *)
-let adapt_governed ?options ?budget ?(jobs = 1) hw method_ circuit =
+let adapt_governed ?options ?budget ?(jobs = 1) ?(incremental = true)
+    ?(share = true) ?template hw method_ circuit =
   let budget = match budget with Some b -> b | None -> Solver.budget () in
+  (* With a prebuilt template the partition/match/encode phases are
+     skipped and the optimization runs non-consuming ([~reuse]), leaving
+     the template valid for the next request sharing its key. *)
+  let front () =
+    match template with
+    | Some tm ->
+      Obs.incr m_template_reuses;
+      (tm.t_part, tm.t_subs, tm.t_model, true)
+    | None ->
+      let part = Trace.span "partition" (fun () -> Block.partition circuit) in
+      let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
+      let model =
+        Trace.span "encode" (fun () -> Model.build ?options hw part subs)
+      in
+      (part, subs, model, false)
+  in
   let finish ?claimed_makespan ~tier ~reason ~info circuit =
     if tier <> Full || reason <> None then begin
       Obs.incr m_degraded;
@@ -322,12 +371,11 @@ let adapt_governed ?options ?budget ?(jobs = 1) hw method_ circuit =
     match Solver.budget_status budget with
     | Some r -> direct ~reason:(Some r)
     | None -> (
-      let part = Trace.span "partition" (fun () -> Block.partition circuit) in
-      let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
-      let model =
-        Trace.span "encode" (fun () -> Model.build ?options hw part subs)
-      in
-      match Trace.span "solve" (fun () -> Model.optimize ~budget ~jobs model obj) with
+      let part, subs, model, reuse = front () in
+      match
+        Trace.span "solve" (fun () ->
+            Model.optimize ~budget ~jobs ~incremental ~share ~reuse model obj)
+      with
       | Ok sol ->
         let info =
           {
@@ -345,7 +393,10 @@ let adapt_governed ?options ?budget ?(jobs = 1) hw method_ circuit =
         finish ~claimed_makespan:sol.Model.makespan ~tier ~reason ~info
           (Trace.span "apply" (fun () ->
                apply_substitutions part sol.Model.chosen))
-      | Error `Already_consumed -> assert false (* model is fresh *)
+      | Error `Already_consumed ->
+        (* fresh models can't be consumed; template models only ever run
+           the non-consuming reuse path *)
+        assert false
       | Error (`Budget_exhausted r) -> (
         (* no incumbent from the SMT tier; try the greedy heuristic if
            the budget still has headroom (a fault-injected stop leaves
@@ -375,11 +426,7 @@ let adapt_governed ?options ?budget ?(jobs = 1) hw method_ circuit =
     match Solver.budget_status budget with
     | Some r -> direct ~reason:(Some r)
     | None -> (
-      let part = Trace.span "partition" (fun () -> Block.partition circuit) in
-      let subs = Trace.span "match" (fun () -> Rules.find_all hw part) in
-      let model =
-        Trace.span "encode" (fun () -> Model.build ?options hw part subs)
-      in
+      let part, subs, model, _reuse = front () in
       match
         Trace.span "solve" (fun () ->
             greedy_choose_governed ~budget model obj subs)
@@ -399,3 +446,7 @@ let adapt_governed ?options ?budget ?(jobs = 1) hw method_ circuit =
     (* polynomial methods: always complete, no ladder needed *)
     let c, info = adapt_with_info ?options ~jobs hw method_ circuit in
     finish ~tier:Full ~reason:None ~info c
+
+let adapt_template ?budget ?jobs ?incremental ?share tm method_ =
+  adapt_governed ?budget ?jobs ?incremental ?share ~template:tm tm.t_hw method_
+    (template_circuit tm)

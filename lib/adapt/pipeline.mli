@@ -42,6 +42,8 @@ type info = {
 val adapt :
   ?options:Solver.options ->
   ?jobs:int ->
+  ?incremental:bool ->
+  ?share:bool ->
   Hardware.t ->
   method_ ->
   Circuit.t ->
@@ -49,11 +51,18 @@ val adapt :
 (** Adapts the circuit; the result contains only native gates and is
     unitary-equivalent to the input (up to global phase). [jobs > 1]
     enables portfolio solving on the SAT method's OMT rounds (see
-    {!Qca_adapt.Model.optimize}); default 1 = sequential. *)
+    {!Qca_adapt.Model.optimize}); default 1 = sequential.
+    [incremental] (default [true]) keeps one solver alive across the
+    OMT rounds; [false] is the scratch-rebuild baseline. [share]
+    (default [true]) arms learnt-clause exchange between portfolio
+    seats at [jobs > 1]. The adapted circuit's objective value is
+    identical under every combination. *)
 
 val adapt_with_info :
   ?options:Solver.options ->
   ?jobs:int ->
+  ?incremental:bool ->
+  ?share:bool ->
   Hardware.t ->
   method_ ->
   Circuit.t ->
@@ -110,10 +119,35 @@ type outcome = {
 val degraded : outcome -> bool
 (** [true] when the request was not served at full fidelity. *)
 
+(** {1 Encoded templates}
+
+    The front half of an SMT adaptation — partition, template matching,
+    SMT encoding — depends only on (hardware, circuit), never on the
+    objective. {!prepare} runs it once; {!adapt_template} then serves
+    any number of requests (any method, any objective) from the same
+    encoded instance through {!Model.optimize}'s non-consuming reuse
+    path, carrying learnt clauses and memoized pruning totalizers from
+    request to request. The batch evaluator and qca-serve key these by
+    hardware × circuit. *)
+
+type template
+
+val prepare :
+  ?options:Solver.options -> Hardware.t -> Circuit.t -> template
+(** Partition, match and encode once. Counted in the
+    [pipeline.template.builds] metric; each reuse in
+    [pipeline.template.reuses]. *)
+
+val template_circuit : template -> Circuit.t
+(** The original circuit the template was prepared from. *)
+
 val adapt_governed :
   ?options:Solver.options ->
   ?budget:Solver.budget ->
   ?jobs:int ->
+  ?incremental:bool ->
+  ?share:bool ->
+  ?template:template ->
   Hardware.t ->
   method_ ->
   Circuit.t ->
@@ -123,4 +157,23 @@ val adapt_governed :
     circuit is identical to {!adapt}'s. Total: never raises, never
     hangs — see the ladder above. [jobs] as in {!adapt}: a portfolio of
     diversified CDCL seats per OMT round, cancelled cooperatively
-    through this same budget. *)
+    through this same budget. [incremental]/[share] as in {!adapt}.
+    With [template] (which must have been {!prepare}d for the same
+    hardware and circuit) the partition/match/encode phases are skipped
+    and the optimization runs non-consuming, leaving the template ready
+    for the next request. *)
+
+val adapt_template :
+  ?budget:Solver.budget ->
+  ?jobs:int ->
+  ?incremental:bool ->
+  ?share:bool ->
+  template ->
+  method_ ->
+  outcome
+(** [adapt_governed] on the template's own hardware and circuit,
+    skipping the prepared phases. Safe to call repeatedly; per-run
+    incumbent cuts are scoped under an activation literal and retired
+    between runs, so repeated optimizations return identical objective
+    values. Not thread-safe: callers serialize per template (qca-serve
+    holds a per-entry lock). *)

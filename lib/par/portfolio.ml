@@ -143,21 +143,121 @@ let seat_budget parent ~should_stop =
     theory_rounds_spent = 0;
   }
 
-let solve_portfolio ?(assumptions = []) ?(budget = Solver.no_budget)
-    ?(proof = false) ~jobs base =
-  if jobs <= 1 then
+(* {1 Sessions: persistent seats across rounds}
+
+   A session keeps the [jobs] diversified clones alive between solves,
+   so one OMT (or DPLL(T)) round's learnt clauses, saved phases, VSIDS
+   activities and simplification results carry into the next round of
+   the same incremental problem. Clauses the caller adds to the base
+   between solves are replayed into every seat from the base's
+   append-only original-clause journal (a watermark per session), along
+   with any new variables — seat and base variable numbering stay
+   identical, which is also what makes the learnt-clause exchange and
+   the model-adoption re-solve sound. *)
+
+type session = {
+  ss_base : Solver.t;
+  ss_jobs : int;
+  ss_seats : Solver.t array;  (* empty when [ss_jobs <= 1] *)
+  ss_ring : Share.t option;
+  mutable ss_watermark : int;  (* originals journal index synced so far *)
+  mutable ss_rounds : int;
+}
+
+let m_sessions = Obs.counter "omt.reuse.sessions"
+let m_reuse_rounds = Obs.counter "omt.reuse.rounds"
+
+let create_session ?(proof = false) ?(share = true) ~jobs base =
+  let jobs = max 1 jobs in
+  (* An already-inconsistent base has nothing meaningful to export:
+     [Solver.export_problem] would collapse the whole database to a bare
+     empty clause, and a proof-armed seat that "imports" that clause as
+     an original produces a DRUP log no checker can justify against the
+     caller's real originals. Degrade to a single-seat session — the
+     base answers Unsat instantly, and when its proof is armed the log
+     already ends with the empty-clause derivation. *)
+  if jobs <= 1 || not (Solver.okay base) then
     {
-      verdict = Solver.solve ~assumptions ~budget base;
+      ss_base = base;
+      ss_jobs = 1;
+      ss_seats = [||];
+      ss_ring = None;
+      ss_watermark = 0;
+      ss_rounds = 0;
+    }
+  else begin
+    let problem = Solver.export_problem base in
+    let cfg = Array.of_list (seats ~base:(Solver.options base) jobs) in
+    let ring = if share then Some (Share.create ~seats:jobs ()) else None in
+    let mk i =
+      let s =
+        Solver.import_problem ~options:cfg.(i).seat_options ~proof problem
+      in
+      (match ring with
+      | Some ring ->
+        Solver.set_share s
+          ~export:(Some (fun ~lbd lits -> Share.publish ring ~seat:i ~lbd lits))
+          ~import:(Some (fun () -> Share.drain ring ~seat:i))
+      | None -> ());
+      s
+    in
+    Obs.incr m_sessions;
+    {
+      ss_base = base;
+      ss_jobs = jobs;
+      ss_seats = Array.init jobs mk;
+      ss_ring = ring;
+      ss_watermark = Solver.num_originals base;
+      ss_rounds = 0;
+    }
+  end
+
+(* Replay everything the caller added to the base since the last solve
+   into every seat. *)
+let sync_session ss =
+  if ss.ss_jobs > 1 then begin
+    let base = ss.ss_base in
+    let nv = Solver.num_vars base in
+    let delta = Solver.originals_since base ss.ss_watermark in
+    ss.ss_watermark <- Solver.num_originals base;
+    if delta <> [] || Solver.num_vars ss.ss_seats.(0) < nv then
+      Array.iter
+        (fun s ->
+          while Solver.num_vars s < nv do
+            ignore (Solver.new_var s)
+          done;
+          List.iter (fun c -> Solver.add_clause s c) delta)
+        ss.ss_seats
+  end
+
+let session_share_counts ss =
+  Array.fold_left
+    (fun (o, i, r) s ->
+      let o', i', r' = Solver.share_counts s in
+      (o + o', i + i', r + r'))
+    (0, 0, 0) ss.ss_seats
+
+let session_solve ?(assumptions = []) ?(budget = Solver.no_budget) ss =
+  ss.ss_rounds <- ss.ss_rounds + 1;
+  if ss.ss_rounds > 1 then Obs.incr m_reuse_rounds;
+  (* A base that went root-inconsistent after the session was created
+     (e.g. a bound unit closed the objective interval) answers directly:
+     racing the seats would only rediscover the conflict, and the base's
+     own proof — when armed — is the one the caller certifies. *)
+  if ss.ss_jobs <= 1 || not (Solver.okay ss.ss_base) then
+    {
+      verdict = Solver.solve ~assumptions ~budget ss.ss_base;
       winner = 0;
       winner_solver = None;
       seats_run = 1;
     }
   else begin
-    let problem = Solver.export_problem base in
-    let cfg = Array.of_list (seats ~base:(Solver.options base) jobs) in
+    let base = ss.ss_base in
+    sync_session ss;
+    let jobs = ss.ss_jobs in
     let outcomes = Array.make jobs None in
     let thunk i ~should_stop =
-      let s = Solver.import_problem ~options:cfg.(i).seat_options ~proof problem in
+      let s = ss.ss_seats.(i) in
       let sb = seat_budget budget ~should_stop in
       let r = Solver.solve ~assumptions ~budget:sb s in
       outcomes.(i) <- Some (r, s, sb);
@@ -216,3 +316,20 @@ let solve_portfolio ?(assumptions = []) ?(budget = Solver.no_budget)
       seats_run = jobs;
     }
   end
+
+(* One-shot portfolio: a session created and solved once. [share]
+   arms the learnt-clause exchange between the seats (on by default;
+   imports are RUP-gated and DRUP-logged, so --certify replays the
+   winner unchanged). *)
+let solve_portfolio ?(assumptions = []) ?(budget = Solver.no_budget)
+    ?(proof = false) ?(share = true) ~jobs base =
+  if jobs <= 1 then
+    {
+      verdict = Solver.solve ~assumptions ~budget base;
+      winner = 0;
+      winner_solver = None;
+      seats_run = 1;
+    }
+  else
+    session_solve ~assumptions ~budget
+      (create_session ~proof ~share ~jobs base)

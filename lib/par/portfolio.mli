@@ -2,14 +2,24 @@
     of one instance; first decisive answer wins, losers are cancelled
     through the cooperative budget hook.
 
-    Nothing mutable is shared between seats: each seat solves a fresh
-    {!Qca_sat.Solver.import_problem} clone under its own options and its
-    own budget record. The only cross-domain state is the win/abort
-    flags (atomics) polled by every seat's [cancelled] hook, so a loser
-    stops at its next budget check — no unsafe interruption. All seat
-    domains are joined on every exit path, including seat exceptions
-    and budget exhaustion; a seat exception aborts the race and is
-    re-raised after the joins. *)
+    Each seat solves its own {!Qca_sat.Solver.import_problem} clone
+    under its own options and its own budget record. Cross-domain state
+    is limited to the win/abort flags (atomics) polled by every seat's
+    [cancelled] hook — so a loser stops at its next budget check, no
+    unsafe interruption — and, when sharing is on, the lock-free
+    learnt-clause exchange ({!Share}): seats publish short/low-LBD
+    learnt clauses to single-writer rings and drain the other seats'
+    rings at restart boundaries, where every import is RUP-gated and
+    DRUP-logged by the solver (certification replays the winner's proof
+    unchanged). All seat domains are joined on every exit path,
+    including seat exceptions and budget exhaustion; a seat exception
+    aborts the race and is re-raised after the joins.
+
+    A {!session} keeps the seats alive across solves of one growing
+    instance (the OMT bound-tightening loop): learnt clauses, saved
+    phases, VSIDS activities and simplification results carry over from
+    round to round, and clauses added to the base between rounds are
+    replayed into every seat from the base's original-clause journal. *)
 
 module Solver = Qca_sat.Solver
 
@@ -51,6 +61,7 @@ val solve_portfolio :
   ?assumptions:Qca_sat.Lit.t list ->
   ?budget:Solver.budget ->
   ?proof:bool ->
+  ?share:bool ->
   jobs:int ->
   Solver.t ->
   outcome
@@ -62,5 +73,35 @@ val solve_portfolio :
     adopted into [base] (a propagation-only re-solve under the model as
     assumptions), so existing readers of [base] keep working; on
     [Unsat] consult [winner_solver] for the core or DRUP proof.
-    [proof] arms DRUP logging on every clone. Only the decisive seat's
-    conflict/propagation spend is charged to the parent budget. *)
+    [proof] arms DRUP logging on every clone. [share] (default [true])
+    arms the learnt-clause exchange between the seats. Only the
+    decisive seat's conflict/propagation spend is charged to the parent
+    budget. *)
+
+(** {1 Sessions: persistent seats across incremental rounds} *)
+
+type session
+
+val create_session :
+  ?proof:bool -> ?share:bool -> jobs:int -> Solver.t -> session
+(** Clones [jobs] diversified seats of [base] once (and, with [share],
+    wires them to a fresh exchange). With [jobs <= 1] no clone is made
+    and {!session_solve} is the sequential passthrough. [proof] arms
+    DRUP logging on every seat from creation, covering its whole
+    derivation. *)
+
+val session_solve :
+  ?assumptions:Qca_sat.Lit.t list ->
+  ?budget:Solver.budget ->
+  session ->
+  outcome
+(** Like {!solve_portfolio}, but on the session's persistent seats:
+    clauses and variables added to the base since the previous solve
+    are first replayed into every seat (from the base's append-only
+    original-clause journal), then the seats race — keeping their
+    learnt clauses, phases, activities and simplification results from
+    earlier rounds. Must not be called concurrently on one session. *)
+
+val session_share_counts : session -> int * int * int
+(** Summed [(exported, imported, rejected)] exchange totals over the
+    session's seats. *)

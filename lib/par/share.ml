@@ -1,0 +1,109 @@
+(* Bounded lock-free learnt-clause exchange between portfolio seats.
+
+   Layout (the Qca_obs.Ring slot discipline): one slot array per seat,
+   written only by that seat's domain, plus one published-sequence
+   Atomic per seat. A publish writes the packed clause into
+   [slots.(seat).(seq land mask)] and THEN bumps the sequence; a reader
+   loads the sequence first and only dereferences slots below it, so
+   every slot it touches holds a fully built clause. Clauses are packed
+   into fresh immutable int arrays ([|lbd; lit0; ...|]) swapped in with
+   a single [Atomic.set] — a racing overwrite hands the reader a
+   *newer* valid clause, never a torn one.
+
+   Readers keep a private cursor per exporter (row [cursors.(reader)] is
+   only ever touched by the reader's own domain). The ring is lossy by
+   design: a reader that falls more than [size] publishes behind an
+   exporter skips ahead and the overrun is counted in [dropped].
+   Duplicated reads across an overwrite are possible and harmless — the
+   importer's RUP gate re-checks every candidate anyway.
+
+   No locks anywhere; Lockcheck and the devlint mutable-state rule are
+   clean by construction (all mutable state lives behind Atomic.t or in
+   single-owner rows). *)
+
+module Obs = Qca_obs.Metrics
+
+let m_published = Obs.counter "sat.shared.published"
+let m_dropped = Obs.counter "sat.shared.dropped"
+
+type t = {
+  seats : int;
+  size : int;  (* slots per seat; a power of two *)
+  mask : int;
+  slots : int array Atomic.t array array;  (* seat -> slot -> packed clause *)
+  seqs : int Atomic.t array;  (* seat -> clauses published so far *)
+  cursors : int array array;  (* reader seat -> per-exporter cursor *)
+  published : int Atomic.t;
+  dropped : int Atomic.t;
+}
+
+let empty_slot : int array = [||]
+  [@@qca.domain_safe "zero-length sentinel: nothing to write, reads are safe"]
+
+let create ?(size = 64) ~seats () =
+  if seats < 1 then invalid_arg "Share.create: need at least one seat";
+  let size =
+    let rec pow2 n = if n >= size then n else pow2 (2 * n) in
+    pow2 8
+  in
+  {
+    seats;
+    size;
+    mask = size - 1;
+    slots =
+      Array.init seats (fun _ ->
+          Array.init size (fun _ -> Atomic.make empty_slot));
+    seqs = Array.init seats (fun _ -> Atomic.make 0);
+    cursors = Array.init seats (fun _ -> Array.make seats 0);
+    published = Atomic.make 0;
+    dropped = Atomic.make 0;
+  }
+
+(* Admission: derived units and binaries always travel; longer clauses
+   only when their glue says they will prune another seat's search. *)
+let max_len = 8
+let max_lbd = 3
+
+let admit ~len ~lbd = len >= 1 && (len <= 2 || (lbd <= max_lbd && len <= max_len))
+
+let publish t ~seat ~lbd (lits : int array) =
+  let len = Array.length lits in
+  if admit ~len ~lbd then begin
+    let packed = Array.make (len + 1) lbd in
+    Array.blit lits 0 packed 1 len;
+    let seq = Atomic.get t.seqs.(seat) in
+    Atomic.set t.slots.(seat).(seq land t.mask) packed;
+    (* slot before sequence: a reader below the new sequence always
+       finds the clause in place *)
+    Atomic.set t.seqs.(seat) (seq + 1);
+    Atomic.incr t.published;
+    if Atomic.get Obs.live then Obs.incr m_published
+  end
+
+let drain t ~seat:r =
+  let out = ref [] in
+  for e = 0 to t.seats - 1 do
+    if e <> r then begin
+      let hi = Atomic.get t.seqs.(e) in
+      let lo0 = t.cursors.(r).(e) in
+      let lo =
+        if hi - lo0 > t.size then begin
+          let lost = hi - t.size - lo0 in
+          ignore (Atomic.fetch_and_add t.dropped lost);
+          if Atomic.get Obs.live then Obs.add m_dropped lost;
+          hi - t.size
+        end
+        else lo0
+      in
+      for i = lo to hi - 1 do
+        let c = Atomic.get t.slots.(e).(i land t.mask) in
+        let n = Array.length c in
+        if n > 1 then out := (c.(0), Array.sub c 1 (n - 1)) :: !out
+      done;
+      t.cursors.(r).(e) <- hi
+    end
+  done;
+  !out
+
+let published t = Atomic.get t.published
+let dropped t = Atomic.get t.dropped

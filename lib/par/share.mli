@@ -1,0 +1,39 @@
+(** Bounded lock-free learnt-clause exchange between portfolio seats.
+
+    One single-writer ring per seat (the {!Qca_obs.Ring} slot layout):
+    a publish packs the clause into a fresh immutable array, swaps it
+    into the seat's next slot with one [Atomic.set] and then bumps the
+    seat's published sequence, so readers never observe a torn clause.
+    Each reader keeps a private cursor per exporter; a reader that
+    falls more than the ring size behind skips ahead (the ring is lossy
+    by design — the solver-side RUP gate makes every delivered clause
+    safe, and a dropped clause only costs pruning). No locks anywhere.
+
+    Admission keeps the exchange cheap: derived units and binary
+    clauses always travel, longer clauses only up to length 8 with
+    LBD ≤ 3. Literals are in the solver's internal {!Qca_sat.Lit.t}
+    encoding and variable numbering must agree between the exchanging
+    solvers (portfolio clones qualify). *)
+
+type t
+
+val create : ?size:int -> seats:int -> unit -> t
+(** [size] slots per seat (rounded up to a power of two, default 64). *)
+
+val admit : len:int -> lbd:int -> bool
+(** The admission policy ([len ≤ 2], or [lbd ≤ 3 ∧ len ≤ 8]). *)
+
+val publish : t -> seat:int -> lbd:int -> int array -> unit
+(** Offer a clause from [seat]'s domain (single writer per seat). The
+    array is copied; clauses failing {!admit} are dropped silently. *)
+
+val drain : t -> seat:int -> (int * int array) list
+(** All clauses published by the *other* seats since [seat]'s last
+    drain, as [(lbd, lits)] pairs (fresh arrays). Must only be called
+    from [seat]'s own domain. *)
+
+val published : t -> int
+(** Clauses accepted by {!publish} over the exchange's lifetime. *)
+
+val dropped : t -> int
+(** Clauses lost to reader overruns (detected at drain time). *)

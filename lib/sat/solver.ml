@@ -27,6 +27,9 @@ let m_simp_strengthened = Obs.counter "sat.simplify.strengthened"
 let m_simp_eliminated = Obs.counter "sat.simplify.eliminated"
 let m_simp_vivified = Obs.counter "sat.simplify.vivified"
 let m_simp_failed_lits = Obs.counter "sat.simplify.failed_literals"
+let m_shared_out = Obs.counter "sat.shared.exported"
+let m_shared_in = Obs.counter "sat.shared.imported"
+let m_shared_rejected = Obs.counter "sat.shared.rejected"
 
 module Trace = Qca_obs.Trace
 module Ring = Qca_obs.Ring
@@ -258,6 +261,21 @@ type t = {
   mutable n_elim_live : int;
   mutable clauses_since_simp : int;
   mutable simplified_once : bool;
+  mutable simplify_requested : bool;
+      (* a deferred {!simplify} request: honored at the next restart
+         boundary (the first proof that search is conflict-bound), so
+         propagation-only instances never pay for a full pass *)
+  (* Learnt-clause exchange between portfolio seats. [share_export] is
+     invoked from [record_learnt] for short learnt clauses (internal
+     literal encoding; the callee must copy, never mutate).
+     [share_import] is drained at restart boundaries; every candidate
+     is RUP-gated against the live database before it is attached, so
+     the DRUP log stays replayable (see DESIGN.md section 7.10). *)
+  mutable share_export : (lbd:int -> int array -> unit) option;
+  mutable share_import : (unit -> (int * int array) list) option;
+  mutable n_shared_out : int;
+  mutable n_shared_in : int;
+  mutable n_shared_rejected : int;
   mutable n_conflicts : int;
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -327,6 +345,12 @@ let create ?(options = default_options) () =
     n_elim_live = 0;
     clauses_since_simp = 0;
     simplified_once = false;
+    simplify_requested = false;
+    share_export = None;
+    share_import = None;
+    n_shared_out = 0;
+    n_shared_in = 0;
+    n_shared_rejected = 0;
     n_conflicts = 0;
     n_decisions = 0;
     n_propagations = 0;
@@ -346,6 +370,7 @@ let create ?(options = default_options) () =
 
 let num_vars t = t.nvars
 let num_clauses t = Vec.length t.clauses
+let okay t = t.ok
 
 (* --- DRUP proof logging --- *)
 
@@ -922,6 +947,21 @@ let learnt_lbd t =
   done;
   !n
 
+(* Clauses longer than this are never offered to the exchange: the
+   packing cost and the importer's RUP test both scale with length, and
+   long clauses rarely prune another seat's search. *)
+let share_max_len = 8
+
+(* Offer a freshly learnt clause to the exchange. [lits] is retained by
+   the callee (it is never the shared scratch buffer). *)
+let[@inline] share_out t ~lbd lits =
+  match t.share_export with
+  | None -> ()
+  | Some export ->
+    t.n_shared_out <- t.n_shared_out + 1;
+    if Atomic.get Obs.live then Obs.incr m_shared_out;
+    export ~lbd lits
+
 (* Record [t.learnt_buf] as a learnt clause (backtracking already done;
    the asserting literal is at index 0, the second watch at index 1). *)
 let record_learnt t =
@@ -937,7 +977,10 @@ let record_learnt t =
       t.ok <- false;
       proof_emit_empty t
     end
-    else if lit_value_raw t l = -1 then enqueue t l no_reason
+    else begin
+      if lit_value_raw t l = -1 then enqueue t l no_reason;
+      if t.share_export <> None then share_out t ~lbd:1 [| l |]
+    end
   | len ->
     let lits = Array.sub t.learnt_buf 0 len in
     let cr = Arena.alloc t.arena ~learnt:true lits in
@@ -949,7 +992,8 @@ let record_learnt t =
     t.n_learnt <- t.n_learnt + 1;
     attach_clause t cr;
     clause_bump t cr;
-    enqueue t lits.(0) cr
+    enqueue t lits.(0) cr;
+    if len <= share_max_len then share_out t ~lbd:glue lits
 
 let locked t cr =
   let v = Lit.var (Arena.lit t.arena cr 0) in
@@ -1143,6 +1187,65 @@ let flush_pending t pending =
     end
   done;
   Vec.clear pending
+
+(* Drain the exchange and attach every candidate that passes the RUP
+   gate: assert the negations of the clause's unassigned literals on a
+   throwaway decision level — a conflict proves the clause follows from
+   the live database by unit propagation alone, which is exactly the
+   check the DRUP replayer performs when it meets the addition (and the
+   checker's database is a superset of ours, so RUP here implies RUP
+   there). Candidates that mention eliminated or unknown variables, or
+   that do not propagate to a conflict yet (another seat's inprocessing
+   may have derived them differently), are rejected — the exchange is
+   best-effort, never a soundness obligation. Runs at decision level 0
+   (restart boundaries). *)
+let import_shared t drain =
+  List.iter
+    (fun ((lbd : int), (lits : int array)) ->
+      if t.ok then begin
+        let n = Array.length lits in
+        let usable =
+          n > 0
+          && Array.for_all
+               (fun l ->
+                 let v = l lsr 1 in
+                 v < t.nvars && not t.eliminated.(v))
+               lits
+        in
+        if not usable then begin
+          t.n_shared_rejected <- t.n_shared_rejected + 1;
+          if Atomic.get Obs.live then Obs.incr m_shared_rejected
+        end
+        else if Array.exists (fun l -> lit_value_raw t l = 1) lits then
+          (* already satisfied at the root: nothing to learn *)
+          ()
+        else begin
+          new_level t;
+          Array.iter
+            (fun l -> if lit_value_raw t l = -1 then enqueue t (l lxor 1) no_reason)
+            lits;
+          let confl = propagate t in
+          backtrack_to t 0;
+          if confl >= 0 then begin
+            (* RUP: attach (add_derived emits the DRUP addition with
+               exactly the stored literals, so later deletions stay
+               consistent) *)
+            let cr = add_derived t ~learnt:true lits in
+            if cr >= 0 then begin
+              Vec.push t.learnts cr;
+              Arena.set_lbd t.arena cr
+                (max 1 (min lbd (Arena.size t.arena cr)))
+            end;
+            t.n_shared_in <- t.n_shared_in + 1;
+            if Atomic.get Obs.live then Obs.incr m_shared_in
+          end
+          else begin
+            t.n_shared_rejected <- t.n_shared_rejected + 1;
+            if Atomic.get Obs.live then Obs.incr m_shared_rejected
+          end
+        end
+      end)
+    (drain ())
 
 (* Re-attach a clause saved by variable elimination, proof-free: the
    checker never saw it leave, so it must come back with exactly its
@@ -1666,16 +1769,22 @@ let inprocess_light t =
         Vec.filter_in_place (fun cr -> not (Arena.deleted a cr)) t.learnts;
         simp_flush_metrics t ~s0)
 
-(* Eager preprocessing on demand: the implicit schedule only simplifies
-   at restart boundaries (see [solve]); callers that know the instance
-   is worth a pass before any search can force one here. A no-op under
-   [use_simplify = false] so an ablated solver stays raw no matter how
-   it is driven. *)
-let simplify t =
+(* Preprocessing on demand. The default merely *requests* a full pass:
+   it is honored at the next restart boundary, the first evidence the
+   instance is conflict-bound — so an encode-dominated, propagation-only
+   solve never pays for building the occurrence index (this is what the
+   `totalizer-exact-simplify` bench row measures). [force] keeps the old
+   eager behavior for callers that know the pass pays before any search.
+   A no-op under [use_simplify = false] so an ablated solver stays raw
+   no matter how it is driven. *)
+let simplify ?(force = false) t =
   if t.opts.use_simplify then begin
-    backtrack_to t 0;
-    t.has_model <- false;
-    simplify_full t
+    if force then begin
+      backtrack_to t 0;
+      t.has_model <- false;
+      simplify_full t
+    end
+    else t.simplify_requested <- true
   end
 
 let add_clause t lits =
@@ -1939,13 +2048,27 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
             (Vec.length t.learnts);
           conflicts_until_restart := t.opts.restart_base * next_luby ();
           backtrack_to t 0;
-          if t.opts.use_simplify && Vec.length t.clauses >= simp_min_clauses
+          (* learnt-clause exchange: drain the other seats' rings while
+             the trail is at the root (the RUP gate opens throwaway
+             decision levels) *)
+          (match t.share_import with
+          | Some drain ->
+            import_shared t drain;
+            if not t.ok then raise (Answered Unsat)
+          | None -> ());
+          if
+            t.opts.use_simplify
+            && (t.simplify_requested
+               || Vec.length t.clauses >= simp_min_clauses)
           then begin
             decr restarts_until_simp;
-            if !restarts_until_simp <= 0 then begin
+            if t.simplify_requested || !restarts_until_simp <= 0 then begin
+              let requested = t.simplify_requested in
+              t.simplify_requested <- false;
               restarts_until_simp := max 1 t.opts.simplify_period;
               if
-                (not t.simplified_once)
+                requested
+                || (not t.simplified_once)
                 || t.clauses_since_simp >= Vec.length t.clauses / 2
               then simplify_full t
               else inprocess_light t;
@@ -2027,6 +2150,26 @@ let import_problem ?options ?(proof = false) p =
   for _ = 1 to p.p_nvars do ignore (new_var s) done;
   List.iter (fun c -> add_clause s c) p.p_clauses;
   s
+
+(* Delta export for persistent clones: the [originals] journal is
+   append-only, so (watermark, length) windows name exactly the clauses
+   added between two points in time. A session syncs its seats by
+   replaying the window plus any new variables. *)
+let num_originals t = Vec.length t.originals
+
+let originals_since t start =
+  let n = Vec.length t.originals in
+  let cls = ref [] in
+  for i = n - 1 downto max 0 start do
+    cls := Vec.get t.originals i :: !cls
+  done;
+  !cls
+
+let set_share t ~export ~import =
+  t.share_export <- export;
+  t.share_import <- import
+
+let share_counts t = (t.n_shared_out, t.n_shared_in, t.n_shared_rejected)
 
 (* Read-only snapshot of the internal state for the invariant auditor
    (lib/check). Scalar fields are copies; the arrays are shared with the

@@ -127,6 +127,14 @@ val new_var : t -> Lit.var
 val num_vars : t -> int
 val num_clauses : t -> int
 
+val okay : t -> bool
+(** [false] once the clause database is known inconsistent at the root
+    level — an empty clause was added, or simplification/propagation
+    derived one — after which every {!solve} answers [Unsat]
+    immediately. Callers that clone solvers (e.g. the portfolio) use
+    this to avoid exporting a derived empty clause as if it were an
+    original. *)
+
 val add_clause : t -> Lit.t list -> unit
 (** Adds a clause (permanently). Tautologies are dropped; duplicate
     literals merged. Adding the empty clause (or deriving a root-level
@@ -139,13 +147,16 @@ val solve : ?assumptions:Lit.t list -> ?budget:budget -> t -> result
     retracted and the solver can be reused. Without a budget the answer
     is always [Sat] or [Unsat]. *)
 
-val simplify : t -> unit
-(** Runs one full inprocessing pass (subsumption, bounded variable
-    elimination, probing, vivification) at the root right now,
-    regardless of the effort-gated schedule. Invalidates any model the
-    solver holds. A root conflict derived here makes every future
-    {!solve} return [Unsat], exactly as {!add_clause} would. A no-op
-    when the solver was created with [use_simplify = false]. *)
+val simplify : ?force:bool -> t -> unit
+(** Requests one full inprocessing pass (subsumption, bounded variable
+    elimination, probing, vivification). By default the request is
+    deferred to the next restart boundary — the first evidence that the
+    instance is conflict-bound — so a solve decided by propagation
+    alone never pays for it. [~force:true] runs the pass at the root
+    right now regardless; this invalidates any model the solver holds,
+    and a root conflict derived here makes every future {!solve} return
+    [Unsat], exactly as {!add_clause} would. A no-op when the solver
+    was created with [use_simplify = false]. *)
 
 val value : t -> Lit.var -> bool
 (** Model value after [Sat]; raises [Invalid_argument] otherwise. *)
@@ -180,6 +191,41 @@ val export_problem : t -> problem
 val import_problem : ?options:options -> ?proof:bool -> problem -> t
 (** [proof] arms DRUP logging before any clause is added, so the
     clone's log covers its whole derivation. *)
+
+val num_originals : t -> int
+(** Length of the append-only original-clause journal. Together with
+    {!originals_since} this supports delta synchronization of
+    persistent clones: record the length as a watermark, later replay
+    exactly the clauses added since. *)
+
+val originals_since : t -> int -> Lit.t list list
+(** The original clauses added at journal index [start] and later, in
+    addition order (pristine, as handed to {!add_clause}). *)
+
+(** {1 Learnt-clause exchange (portfolio seats)}
+
+    A pair of hooks connects a solver to an external exchange such as
+    {!Qca_par.Share}: [export] is invoked from the CDCL loop for every
+    short learnt clause (length ≤ 8, plus all derived units) with its
+    literal-block distance and its literals in the internal {!Lit.t}
+    encoding — the callee must copy what it keeps and never mutate the
+    array. [import] is drained at restart boundaries; each candidate is
+    RUP-gated against the live clause database before it is attached
+    (and DRUP-logged like any learnt clause), so certification replays
+    the winner's proof unchanged. Candidates mentioning eliminated or
+    unknown variables, and candidates whose unit propagation does not
+    yet close, are rejected — the exchange is lossy by design and never
+    a soundness obligation. Variable numbering must agree between the
+    exchanging solvers ({!import_problem} clones qualify). *)
+
+val set_share :
+  t ->
+  export:(lbd:int -> int array -> unit) option ->
+  import:(unit -> (int * int array) list) option ->
+  unit
+
+val share_counts : t -> int * int * int
+(** [(exported, imported, rejected)] exchange totals for this solver. *)
 
 (** {1 DRUP proof logging}
 

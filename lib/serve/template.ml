@@ -1,0 +1,101 @@
+module Pipeline = Qca_adapt.Pipeline
+module Obs = Qca_obs.Metrics
+module Lockcheck = Qca_par.Lockcheck
+
+let m_hits = Obs.counter "serve.template.hits"
+let m_misses = Obs.counter "serve.template.misses"
+let m_evictions = Obs.counter "serve.template.evictions"
+
+(* An entry's template is built lazily under the entry's own lock, so a
+   slow encoding never blocks requests for other keys (the table lock is
+   only held for the find-or-insert). The same per-entry lock serializes
+   optimizations on the template — Pipeline.adapt_template is not
+   thread-safe — which also means two concurrent requests for the same
+   key queue up on it rather than duplicating solver work. *)
+type entry = {
+  mutable tmpl : Pipeline.template option;
+  lock : Lockcheck.t;
+  mutable stamp : int;
+}
+
+type t = {
+  cap : int;
+  tbl : (string, entry) Hashtbl.t;
+  m : Lockcheck.t;
+  mutable clock : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Template.create: capacity < 1";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    m = Lockcheck.create ~name:"serve.templates" ();
+    clock = 0;
+  }
+
+let locked t f =
+  Lockcheck.lock t.m;
+  Fun.protect ~finally:(fun () -> Lockcheck.unlock t.m) f
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+(* Method deliberately omitted from the key: one encoded template
+   serves every objective of its hardware × circuit pair. *)
+let key ~hardware ~circuit = String.concat "\x00" [ hardware; circuit ]
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best <= e.stamp -> acc
+        | _ -> Some (k, e.stamp))
+      t.tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+    (* a domain still optimizing on the evicted entry keeps its own
+       reference; eviction only unlinks it from the table *)
+    Hashtbl.remove t.tbl k;
+    Obs.incr m_evictions
+  | None -> ()
+
+let with_template t ~key:k ~build f =
+  let entry =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl k with
+        | Some e ->
+          e.stamp <- tick t;
+          Obs.incr m_hits;
+          e
+        | None ->
+          Obs.incr m_misses;
+          if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+          let e =
+            {
+              tmpl = None;
+              lock = Lockcheck.create ~name:"serve.template.entry" ();
+              stamp = tick t;
+            }
+          in
+          Hashtbl.replace t.tbl k e;
+          e)
+  in
+  Lockcheck.lock entry.lock;
+  Fun.protect
+    ~finally:(fun () -> Lockcheck.unlock entry.lock)
+    (fun () ->
+      let tmpl =
+        match entry.tmpl with
+        | Some tm -> tm
+        | None ->
+          let tm = build () in
+          entry.tmpl <- Some tm;
+          tm
+      in
+      f tmpl)

@@ -1,0 +1,41 @@
+(** Encoded-template store for the adaptation service.
+
+    Where {!Cache} short-circuits {e identical} requests (same circuit,
+    hardware and method) with the finished circuit, this store amortizes
+    the expensive front half — partition, template matching, SMT
+    encoding — across requests that merely share a hardware × circuit
+    key: the method (objective) is deliberately {e not} part of the key,
+    because one {!Qca_adapt.Pipeline.template} serves every objective
+    through the non-consuming reuse path, inheriting learnt clauses and
+    memoized pruning structure from previous requests.
+
+    Concurrency: the table is guarded by one checked mutex held only
+    for find-or-insert; each entry carries its own {!Qca_par.Lockcheck}
+    mutex under which the template is built (first use) and optimized
+    (every use) — [adapt_template] is not thread-safe, so concurrent
+    requests for the same key serialize on the entry instead of
+    duplicating solver state. Bounded LRU like the result cache;
+    evicting an in-use entry is safe (the user keeps its reference, the
+    table just forgets it). Counters: [serve.template.hits] /
+    [.misses] / [.evictions]. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val length : t -> int
+
+val key : hardware:string -> circuit:string -> string
+(** Content address over hardware name × canonical circuit text (the
+    same canonicalization discipline as {!Cache.key}). *)
+
+val with_template :
+  t ->
+  key:string ->
+  build:(unit -> Qca_adapt.Pipeline.template) ->
+  (Qca_adapt.Pipeline.template -> 'a) ->
+  'a
+(** [with_template t ~key ~build f] runs [f] on the cached template for
+    [key], building (and caching) it with [build] on first use — all
+    under the entry's lock. *)

@@ -23,6 +23,9 @@ type t = {
   mutable int_model : int array;  (* last consistent assignment *)
   mutable n_theory_conflicts : int;
   mutable n_rounds : int;
+  (* persistent portfolio seats reused across DPLL(T) rounds and across
+     solve calls: (jobs, share, seats), rebuilt when either changes *)
+  mutable session : (int * bool * Qca_par.Portfolio.session) option;
 }
 
 let create ?options () =
@@ -37,6 +40,7 @@ let create ?options () =
       int_model = [||];
       n_theory_conflicts = 0;
       n_rounds = 0;
+      session = None;
     }
   in
   (* variable 0 is the origin *)
@@ -88,16 +92,37 @@ let theory_constraints t =
         | Ge -> Some { Dl.x = a.ay; y = a.ax; k = -a.ak; tag = a.lit })
     t.atom_list
 
-let rec solve_loop t assumptions budget fuel ~jobs =
+(* The SAT engine of one theory round. Incremental (default): one
+   persistent portfolio session carries learnt clauses — theory lemmas
+   included — phases and activities across rounds and across [solve]
+   calls; the theory lemmas added between rounds are replayed into the
+   seats from the base solver's clause journal. Non-incremental: fresh
+   diversified clones every round (the scratch baseline the bench
+   measures the reuse win against). *)
+let round_engine t ~jobs ~share ~incremental =
+  if not incremental then fun assumptions budget ->
+    (Qca_par.Portfolio.solve_portfolio ~assumptions ~budget ~share ~jobs t.sat)
+      .verdict
+  else begin
+    let session =
+      match t.session with
+      | Some (j, sh, ss) when j = jobs && sh = share -> ss
+      | _ ->
+        let ss = Qca_par.Portfolio.create_session ~share ~jobs t.sat in
+        t.session <- Some (jobs, share, ss);
+        ss
+    in
+    fun assumptions budget ->
+      (Qca_par.Portfolio.session_solve ~assumptions ~budget session).verdict
+  end
+
+let rec solve_loop t assumptions budget fuel ~engine =
   if fuel <= 0 then Unknown Solver.Theory_divergence
   else begin
     t.n_rounds <- t.n_rounds + 1;
     Obs.incr m_theory_rounds;
     Ring.record k_round t.n_rounds t.n_theory_conflicts fuel;
-    match
-      (Qca_par.Portfolio.solve_portfolio ~assumptions ~budget ~jobs t.sat)
-        .verdict
-    with
+    match engine assumptions budget with
     | Solver.Unsat -> Unsat
     | Solver.Unknown r -> Unknown r
     | Solver.Sat -> (
@@ -106,7 +131,7 @@ let rec solve_loop t assumptions budget fuel ~jobs =
         (* injected transient theory failure: burn fuel and re-check —
            no clause is learnt, so soundness is untouched *)
         t.n_theory_conflicts <- t.n_theory_conflicts + 1;
-        solve_loop t assumptions budget (fuel - 1) ~jobs
+        solve_loop t assumptions budget (fuel - 1) ~engine
       | Some Fault.Cancel -> Unknown Solver.Cancelled
       | Some Fault.Exhaust -> Unknown Solver.Theory_divergence
       | None -> (
@@ -120,7 +145,7 @@ let rec solve_loop t assumptions budget fuel ~jobs =
           Obs.incr m_theory_conflicts;
           (* the conjunction of blamed literals is theory-inconsistent *)
           Solver.add_clause t.sat (List.map Lit.negate blamed);
-          solve_loop t assumptions budget (fuel - 1) ~jobs))
+          solve_loop t assumptions budget (fuel - 1) ~engine))
   end
 
 (* Theory-round fuel comes from the budget (cumulative across calls
@@ -128,12 +153,14 @@ let rec solve_loop t assumptions budget fuel ~jobs =
    shared constant and must never be written to, so its spent counter is
    left alone — its [max_theory_rounds] default keeps the historical
    1e6 cap. *)
-let solve ?(assumptions = []) ?(budget = Solver.no_budget) ?(jobs = 1) t =
+let solve ?(assumptions = []) ?(budget = Solver.no_budget) ?(jobs = 1)
+    ?(incremental = true) ?(share = true) t =
   t.n_rounds <- 0;
+  let engine = round_engine t ~jobs ~share ~incremental in
   let fuel =
     max 0 (budget.Solver.max_theory_rounds - budget.Solver.theory_rounds_spent)
   in
-  let r = solve_loop t assumptions budget fuel ~jobs in
+  let r = solve_loop t assumptions budget fuel ~engine in
   if budget != Solver.no_budget then
     budget.Solver.theory_rounds_spent <-
       budget.Solver.theory_rounds_spent + t.n_rounds;
@@ -158,7 +185,8 @@ type minimize_outcome = {
 }
 
 let minimize t ~evaluate ~prune ~block ?(assumptions = [])
-    ?(max_rounds = 100_000) ?(budget = Solver.no_budget) ?(jobs = 1) () =
+    ?(max_rounds = 100_000) ?(budget = Solver.no_budget) ?(jobs = 1)
+    ?(incremental = true) ?(share = true) () =
   let total_rounds = ref 0 in
   let conflicts_before = t.n_theory_conflicts in
   let finish best ~complete ~stopped =
@@ -181,7 +209,10 @@ let minimize t ~evaluate ~prune ~block ?(assumptions = [])
       finish best ~complete:false ~stopped:(Some Solver.Out_of_rounds)
     else begin
       let extra = match best with None -> [] | Some b -> prune ~best:b in
-      match solve ~assumptions:(assumptions @ extra) ~budget ~jobs t with
+      match
+        solve ~assumptions:(assumptions @ extra) ~budget ~jobs ~incremental
+          ~share t
+      with
       | Unsat -> finish best ~complete:true ~stopped:None
       | Unknown r -> finish best ~complete:false ~stopped:(Some r)
       | Sat ->

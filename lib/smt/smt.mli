@@ -49,7 +49,13 @@ val atom_ge : t -> ivar -> ivar -> int -> Lit.t
 type verdict = Sat | Unsat | Unknown of Solver.stop_reason
 
 val solve :
-  ?assumptions:Lit.t list -> ?budget:Solver.budget -> ?jobs:int -> t -> verdict
+  ?assumptions:Lit.t list ->
+  ?budget:Solver.budget ->
+  ?jobs:int ->
+  ?incremental:bool ->
+  ?share:bool ->
+  t ->
+  verdict
 (** Lazy DPLL(T). With a [budget], [Unknown reason] reports budget
     exhaustion, cancellation or an injected fault; without one the only
     [Unknown] is [Theory_divergence] when the refinement fuel runs out.
@@ -62,7 +68,17 @@ val solve :
 
     [jobs > 1] races that many diversified CDCL configurations per
     Boolean solve ({!Qca_par.Portfolio.solve_portfolio}); [jobs = 1]
-    (default) is the bit-identical sequential path. *)
+    (default) is the bit-identical sequential path.
+
+    [incremental] (default [true]) keeps the portfolio seats alive in a
+    persistent {!Qca_par.Portfolio.session} across theory rounds and
+    across [solve] calls: learnt clauses (theory lemmas included), saved
+    phases and VSIDS activities carry over, and lemmas added between
+    rounds are replayed into the seats from the base solver's clause
+    journal. [incremental:false] rebuilds fresh diversified clones every
+    round (the measured scratch baseline). [share] (default [true])
+    arms the lock-free learnt-clause exchange between the seats; both
+    flags are no-ops at [jobs = 1]. *)
 
 val bool_value : t -> Lit.var -> bool
 (** After {!Sat}. *)
@@ -97,6 +113,8 @@ val minimize :
   ?max_rounds:int ->
   ?budget:Solver.budget ->
   ?jobs:int ->
+  ?incremental:bool ->
+  ?share:bool ->
   unit ->
   minimize_outcome
 (** Branch-and-bound minimization. Repeatedly solves; for each
@@ -105,7 +123,10 @@ val minimize :
     [prune ~best] assumptions. [prune] must be {e admissible}: it may
     only exclude assignments whose objective is ≥ [best]. Stops early —
     keeping the incumbent — when [max_rounds] (default 100_000) or the
-    [budget] is exhausted; never raises. *)
+    [budget] is exhausted; never raises. [incremental] (default [true])
+    carries one persistent solver/seat session through every OMT round
+    instead of rebuilding per round; [share] (default [true]) arms the
+    seat-to-seat learnt-clause exchange at [jobs > 1]. See {!solve}. *)
 
 val stats : t -> opt_stats
 (** Cumulative counters from the last [solve]/[minimize]. *)

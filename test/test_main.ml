@@ -30,6 +30,7 @@ let () =
       ("schedule+heap", Test_schedule_heap.suite);
       ("governance", Test_governance.suite);
       ("par", Test_par.suite);
+      ("incremental", Test_incremental.suite);
       ("lockcheck", Test_lockcheck.suite);
       ("analysis", Test_analysis.suite);
       ("serve", Test_serve.suite);

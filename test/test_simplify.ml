@@ -56,7 +56,7 @@ let test_differential_verdicts () =
     let simp = fresh_solver total clauses in
     (* the eager pass makes the inprocessing run regardless of whether
        the search would ever restart on so small an instance *)
-    Solver.simplify simp;
+    Solver.simplify ~force:true simp;
     let r_raw = Solver.solve raw and r_simp = Solver.solve simp in
     checkb "verdicts agree" true (r_raw = r_simp);
     (match r_simp with
@@ -83,7 +83,7 @@ let test_differential_incremental () =
     let total, clauses = instance_with_chains rng nvars 30 in
     let raw = fresh_solver ~options:no_simplify total clauses in
     let simp = fresh_solver total clauses in
-    Solver.simplify simp;
+    Solver.simplify ~force:true simp;
     checkb "round 1 agrees" true (Solver.solve raw = Solver.solve simp);
     let extra =
       List.init 6 (fun _ ->
@@ -128,7 +128,7 @@ let test_drup_with_elimination () =
     let nvars = 8 + Rng.int rng 8 in
     let total, clauses = instance_with_chains rng nvars (4 * nvars) in
     let s = fresh_solver ~proof:true total clauses in
-    Solver.simplify s;
+    Solver.simplify ~force:true s;
     let r = Solver.solve s in
     let st = Solver.stats s in
     eliminated := !eliminated + st.Solver.eliminated_vars;
@@ -154,7 +154,7 @@ let test_drup_with_vivification () =
       ]
   in
   let s = fresh_solver ~proof:true n clauses in
-  Solver.simplify s;
+  Solver.simplify ~force:true s;
   let r = Solver.solve s in
   check_certified "vivified instance" (Drup.certify ~num_vars:n clauses ~solver:s r)
 
@@ -165,7 +165,7 @@ let test_model_reconstruction () =
     let nvars = 8 + Rng.int rng 6 in
     let total, clauses = instance_with_chains rng nvars (3 * nvars) in
     let s = fresh_solver total clauses in
-    Solver.simplify s;
+    Solver.simplify ~force:true s;
     if Solver.solve s = Solver.Sat then begin
       let st = Solver.stats s in
       if st.Solver.eliminated_vars > 0 then incr reconstructed;
@@ -193,12 +193,12 @@ let test_stats_and_options_surface () =
      inprocessing work is recorded, on records the rounds it ran *)
   let total, clauses = instance_with_chains (Rng.create 1) 10 40 in
   let raw = fresh_solver ~options:no_simplify total clauses in
-  Solver.simplify raw;
+  Solver.simplify ~force:true raw;
   ignore (Solver.solve raw);
   let st = Solver.stats raw in
   checki "no rounds with simplify off" 0 st.Solver.simplify_rounds;
   let simp = fresh_solver total clauses in
-  Solver.simplify simp;
+  Solver.simplify ~force:true simp;
   ignore (Solver.solve simp);
   let st = Solver.stats simp in
   checkb "rounds recorded with simplify on" true (st.Solver.simplify_rounds > 0)
